@@ -1,0 +1,34 @@
+"""Benchmark of the memory-allocation and storage-order ablations."""
+
+from repro.experiments import (
+    MemoryAllocationAblationConfig,
+    PrefetchAblationConfig,
+    StorageOrderAblationConfig,
+    run_memory_allocation_ablation,
+    run_prefetch_ablation,
+    run_storage_order_ablation,
+)
+
+
+def bench_memory_allocation_ablation(benchmark):
+    result = benchmark(lambda: run_memory_allocation_ablation(MemoryAllocationAblationConfig()))
+    rows = {r["policy"]: r for r in result["rows"]}
+    # The informed policies should never be worse than the equal split.
+    assert rows["proportional"]["predicted_total_time"] <= rows["equal"]["predicted_total_time"] * 1.001
+    assert rows["search"]["predicted_total_time"] <= rows["equal"]["predicted_total_time"] * 1.001
+    # The proportional policy gives the streamed array the larger slab.
+    assert rows["proportional"]["slab_a_elements"] > rows["proportional"]["slab_b_elements"]
+
+
+def bench_storage_order_ablation(benchmark):
+    result = benchmark(lambda: run_storage_order_ablation(StorageOrderAblationConfig()))
+    # Leaving the LAF in arrival order inflates the request count by the number
+    # of local columns per slab (orders of magnitude for wide local arrays).
+    assert result["request_inflation"] > 10
+
+
+def bench_prefetch_ablation(benchmark):
+    result = benchmark(lambda: run_prefetch_ablation(PrefetchAblationConfig()))
+    rows = {r["efficiency"]: r for r in result["rows"]}
+    assert rows[0.0]["total_time"] >= rows[0.5]["total_time"] >= rows[1.0]["total_time"]
+    assert rows[0.0]["savings"] == 0.0

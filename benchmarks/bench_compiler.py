@@ -1,0 +1,40 @@
+"""Benchmark of the compilation pipeline itself (experiment E6 of DESIGN.md).
+
+Times the full compile (in-core phase, strip-mining, cost model, access
+reorganization, memory allocation, code generation) at the paper's problem
+size and asserts the optimizer's decision: the row-slab plan is chosen and
+the predicted I/O improvement is at least an order of magnitude.
+"""
+
+from repro.core import compile_gaxpy
+from repro.core.memory_alloc import ProportionalAllocation
+from repro.runtime.slab import SlabbingStrategy
+
+
+def bench_compile_gaxpy_paper_scale(benchmark):
+    compiled = benchmark(
+        lambda: compile_gaxpy(
+            1024, 64, memory_budget_bytes=4 * 1024 * 1024, policy=ProportionalAllocation()
+        )
+    )
+    assert compiled.plan.strategy is SlabbingStrategy.ROW
+    assert compiled.decision is not None
+    assert compiled.decision.predicted_improvement >= 10.0
+
+
+def bench_compile_gaxpy_explicit_ratio(benchmark):
+    compiled = benchmark(lambda: compile_gaxpy(2048, 16, slab_ratio=0.125))
+    assert compiled.plan.strategy is SlabbingStrategy.ROW
+    assert compiled.compile_seconds < 1.0
+
+
+def bench_node_program_generation_and_counting(benchmark):
+    compiled = compile_gaxpy(1024, 16, slab_ratio=0.25)
+
+    def regenerate():
+        totals = compiled.node_program.operation_totals()
+        return totals
+
+    totals = benchmark(regenerate)
+    assert totals["flops"] > 0
+    assert totals["global_sums"] > 0

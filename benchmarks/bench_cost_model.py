@@ -1,0 +1,62 @@
+"""Benchmark of the analytic cost model (equations 3–6 and the general form).
+
+Times compiling + cost-estimating the GAXPY program across a grid of problem
+sizes and processor counts, and asserts that the compiler's cost model agrees
+with the closed-form equations of the paper for the streamed array.
+"""
+
+import pytest
+
+from repro.analysis.io_cost import (
+    column_slab_fetch_elements,
+    column_slab_fetch_requests,
+    row_slab_fetch_elements,
+    row_slab_fetch_requests,
+)
+from repro.core import compile_gaxpy
+from repro.runtime.slab import SlabbingStrategy
+
+
+CONFIGS = [(256, 4), (512, 8), (1024, 16), (1024, 64), (2048, 16)]
+
+
+def bench_cost_model_grid(benchmark):
+    """Time cost-model evaluation over the whole grid (both strategies each)."""
+
+    def evaluate():
+        plans = []
+        for n, p in CONFIGS:
+            for strategy in (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW):
+                compiled = compile_gaxpy(n, p, slab_ratio=0.25, force_strategy=strategy)
+                plans.append(compiled.plan.cost.total_time)
+        return plans
+
+    times = benchmark(evaluate)
+    assert len(times) == 2 * len(CONFIGS)
+    assert all(t > 0 for t in times)
+
+
+@pytest.mark.parametrize("n,p", CONFIGS)
+@pytest.mark.parametrize("ratio", [0.125, 0.25, 0.5, 1.0])
+def test_cost_model_matches_paper_equations(n, p, ratio):
+    """The compiler's per-array counts equal equations 3–6 for the streamed array."""
+    local = n * n // p
+    m = int(local * ratio)
+    column = compile_gaxpy(n, p, slab_ratio=ratio, force_strategy=SlabbingStrategy.COLUMN)
+    row = compile_gaxpy(n, p, slab_ratio=ratio, force_strategy=SlabbingStrategy.ROW)
+    col_cost = column.plan.cost.arrays["a"]
+    row_cost = row.plan.cost.arrays["a"]
+    assert col_cost.fetch_requests == pytest.approx(column_slab_fetch_requests(n, p, m), rel=0.01)
+    assert col_cost.fetch_elements == pytest.approx(column_slab_fetch_elements(n, p, m), rel=0.01)
+    assert row_cost.fetch_requests == pytest.approx(row_slab_fetch_requests(n, p, m), rel=0.01)
+    assert row_cost.fetch_elements == pytest.approx(row_slab_fetch_elements(n, p, m), rel=0.01)
+
+
+def test_order_of_magnitude_io_reduction():
+    """The paper's headline: reorganization cuts the dominant array's I/O by ~N/P x."""
+    compiled_col = compile_gaxpy(1024, 16, slab_ratio=0.25, force_strategy=SlabbingStrategy.COLUMN)
+    compiled_row = compile_gaxpy(1024, 16, slab_ratio=0.25, force_strategy=SlabbingStrategy.ROW)
+    col = compiled_col.plan.cost.arrays["a"]
+    row = compiled_row.plan.cost.arrays["a"]
+    assert col.fetch_elements / row.fetch_elements == pytest.approx(1024, rel=0.01)
+    assert col.fetch_requests / row.fetch_requests == pytest.approx(1024, rel=0.01)

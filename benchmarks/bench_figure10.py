@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 10: effect of slab-size variation.
+
+The benchmark times the full paper-scale sweep (1K x 1K arrays, 4–64
+processors, slab ratios 1 down to 1/8, column-slab version) through the
+analytic estimator, and asserts the figure's qualitative shape:
+
+* for every processor count, time increases monotonically as the slab ratio
+  decreases (more slabs -> more I/O requests), and
+* for every slab ratio, time does not increase with the processor count.
+"""
+
+import pytest
+
+from repro.experiments import Figure10Config, run_figure10
+
+
+@pytest.fixture(scope="module")
+def figure10_result():
+    return run_figure10(Figure10Config())
+
+
+def bench_figure10_paper_scale(benchmark):
+    """Time the full Figure 10 sweep (16 configuration points)."""
+    result = benchmark(lambda: run_figure10(Figure10Config()))
+    assert len(result["records"]) == 16
+
+
+def test_time_increases_as_slab_ratio_shrinks(figure10_result):
+    for nprocs, series in figure10_result["series"].items():
+        ordered = sorted(series, key=lambda pair: pair[0], reverse=True)  # ratio 1 first
+        times = [t for _, t in ordered]
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:])), (
+            f"times not monotone for {nprocs} processors: {times}"
+        )
+
+
+def test_time_does_not_grow_with_processors(figure10_result):
+    config = figure10_result["config"]
+    for ratio in config.slab_ratios:
+        times = [
+            next(t for r, t in figure10_result["series"][p] if r == ratio)
+            for p in config.processor_counts
+        ]
+        assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:])), (
+            f"times grow with processor count at ratio {ratio}: {times}"
+        )
+
+
+def test_spread_matches_paper_order_of_magnitude(figure10_result):
+    """The paper's Figure 10 spans roughly 600-1050 s; the model lands in the same decade."""
+    all_times = [t for series in figure10_result["series"].values() for _, t in series]
+    assert 300 < min(all_times) < 1200
+    assert 600 < max(all_times) < 2000

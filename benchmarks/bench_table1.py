@@ -1,0 +1,73 @@
+"""Benchmark regenerating Table 1: column-slab vs row-slab vs in-core.
+
+Times the full paper-scale sweep and asserts the table's qualitative shape:
+
+* the row-slab version beats the column-slab version at every configuration,
+  by a factor in the "order of magnitude" regime the paper reports for the
+  I/O component,
+* the in-core baseline beats both out-of-core versions, and
+* within each version, times improve (or stay flat) as the slab ratio grows.
+"""
+
+import pytest
+
+from repro.experiments import Table1Config, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(Table1Config())
+
+
+def bench_table1_paper_scale(benchmark):
+    """Time the full Table 1 sweep (32 out-of-core points + 4 in-core points)."""
+    result = benchmark(lambda: run_table1(Table1Config()))
+    assert len(result["records"]) == 36
+
+
+def test_row_slab_always_beats_column_slab(table1_result):
+    config = table1_result["config"]
+    cells = table1_result["cells"]
+    for nprocs in config.processor_counts:
+        for ratio in config.slab_ratios:
+            column = cells[(ratio, nprocs, "column")]
+            row = cells[(ratio, nprocs, "row")]
+            assert row < column, f"row slab not faster at P={nprocs}, ratio={ratio}"
+
+
+def test_speedup_is_at_least_several_fold(table1_result):
+    speedups = table1_result["speedups"]
+    assert min(speedups.values()) > 3.0
+    assert max(speedups.values()) > 10.0
+
+
+def test_incore_is_fastest(table1_result):
+    config = table1_result["config"]
+    cells = table1_result["cells"]
+    for nprocs in config.processor_counts:
+        incore = cells[("incore", nprocs)]
+        for ratio in config.slab_ratios:
+            assert incore <= cells[(ratio, nprocs, "row")] * 1.001
+            assert incore < cells[(ratio, nprocs, "column")]
+
+
+def test_times_improve_with_larger_slabs(table1_result):
+    config = table1_result["config"]
+    cells = table1_result["cells"]
+    ratios = sorted(config.slab_ratios)  # smallest slab first
+    for nprocs in config.processor_counts:
+        for version in ("column", "row"):
+            times = [cells[(ratio, nprocs, version)] for ratio in ratios]
+            assert all(t2 <= t1 * 1.001 for t1, t2 in zip(times, times[1:])), (
+                f"{version} times do not improve with slab size at P={nprocs}: {times}"
+            )
+
+
+def test_processor_scaling_direction_matches_paper(table1_result):
+    """In the paper every version gets faster (never slower) with more processors."""
+    config = table1_result["config"]
+    cells = table1_result["cells"]
+    for ratio in config.slab_ratios:
+        for version in ("column", "row"):
+            times = [cells[(ratio, p, version)] for p in config.processor_counts]
+            assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:]))

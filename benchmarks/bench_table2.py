@@ -1,0 +1,52 @@
+"""Benchmark regenerating Table 2: slab-size selection for multiple arrays.
+
+Times the paper-scale sweep (2K x 2K arrays, 16 processors, row-slab version,
+slab sizes 256..2048 lines) and asserts its qualitative conclusions:
+
+* at equal total memory, growing the streamed array's slab (experiment 2)
+  is at least as good as growing the coefficient array's slab (experiment 1),
+* more memory never hurts, and
+* the best overall configuration belongs to experiment 2 — the basis for the
+  paper's recommendation that the compiler allocate memory non-uniformly.
+"""
+
+import pytest
+
+from repro.experiments import Table2Config, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(Table2Config())
+
+
+def bench_table2_paper_scale(benchmark):
+    result = benchmark(lambda: run_table2(Table2Config()))
+    assert len(result["rows"]) == 8
+
+
+def _by_experiment(rows, experiment):
+    return sorted(
+        (r for r in rows if r["experiment"] == experiment), key=lambda r: r["total_lines"]
+    )
+
+
+def test_growing_a_beats_growing_b_at_equal_memory(table2_result):
+    rows = table2_result["rows"]
+    vary_a = _by_experiment(rows, "vary_a")
+    vary_b = _by_experiment(rows, "vary_b")
+    for row_a, row_b in zip(vary_a, vary_b):
+        assert row_a["total_lines"] == row_b["total_lines"]
+        assert row_a["time"] <= row_b["time"] * 1.001
+
+
+def test_more_memory_never_hurts(table2_result):
+    rows = table2_result["rows"]
+    for experiment in ("vary_a", "vary_b"):
+        times = [r["time"] for r in _by_experiment(rows, experiment)]
+        assert all(t2 <= t1 * 1.001 for t1, t2 in zip(times, times[1:]))
+
+
+def test_best_configuration_grows_the_streamed_array(table2_result):
+    best = table2_result["best"]
+    assert best["vary_a"]["time"] <= best["vary_b"]["time"]

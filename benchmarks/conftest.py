@@ -1,0 +1,8 @@
+"""Benchmark suite configuration: make the src layout importable."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,13 @@
+"""Pytest configuration for the repository.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful offline, where ``pip install -e .`` may be unavailable
+because the build front end cannot download ``wheel``).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: compile and run one out-of-core GAXPY matrix multiplication.
+
+This example walks through the library's public API end to end:
+
+1. build the HPF-style program (arrays ``a``, ``b``, ``c`` with column-block /
+   row-block distributions and a FORALL reduction),
+2. compile it — the compiler estimates the I/O cost of the column-slab and
+   row-slab access patterns and picks the cheaper one,
+3. execute the compiled program on a simulated 4-processor machine with real
+   Local Array Files, and
+4. verify the out-of-core product against a dense NumPy reference.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import RunConfig
+from repro.core import compile_gaxpy
+from repro.kernels import generate_gaxpy_inputs
+from repro.runtime import NodeProgramExecutor, VirtualMachine
+
+
+def main() -> int:
+    n = 128          # global array extent (the paper uses 1024; keep the demo quick)
+    nprocs = 4       # simulated processors
+    slab_ratio = 0.25  # each slab holds a quarter of the out-of-core local array
+
+    print(f"Compiling out-of-core GAXPY: {n}x{n} reals on {nprocs} processors\n")
+    compiled = compile_gaxpy(n, nprocs, slab_ratio=slab_ratio)
+    print(compiled.describe())
+    print()
+    print("Generated node program (compare with Figures 9/12 of the paper):")
+    print(compiled.node_program.pretty())
+    print()
+
+    inputs = generate_gaxpy_inputs(n)
+    with VirtualMachine(nprocs, compiled.params, RunConfig()) as vm:
+        result = NodeProgramExecutor(compiled).execute(vm, inputs)
+    print(result.describe())
+    if result.verified is not True:
+        print("ERROR: out-of-core result does not match the dense reference")
+        return 1
+    print("\nOut-of-core result matches the dense NumPy reference.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

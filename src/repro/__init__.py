@@ -1,0 +1,64 @@
+"""repro — out-of-core data-parallel compilation with data access reorganization.
+
+A from-scratch reproduction of Bordawekar, Choudhary and Thakur,
+"Data Access Reorganizations in Compiling Out-of-core Data Parallel Programs
+on Distributed Memory Machines" (NPAC SCCS-622 / IPPS).
+
+The library provides:
+
+* a mini-HPF front end (:mod:`repro.hpf`),
+* a simulated distributed-memory machine (:mod:`repro.machine`),
+* a PASSION-style out-of-core runtime (:mod:`repro.runtime`),
+* the out-of-core compiler with I/O cost estimation, access reorganization
+  and memory allocation (:mod:`repro.core`),
+* out-of-core kernels including the paper's GAXPY matrix multiplication
+  (:mod:`repro.kernels`),
+* analytic cost formulas and sweep drivers (:mod:`repro.analysis`), and
+* the experiment harness regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+"""
+
+from repro.config import ExecutionMode, RunConfig, default_config
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionMode",
+    "RunConfig",
+    "default_config",
+    "ReproError",
+    "__version__",
+]
+
+
+def _load_public_api() -> None:
+    """Re-export the most frequently used classes at package level.
+
+    Kept in a helper so the imports happen lazily enough for partial
+    installations (e.g. documentation builds) to still import ``repro``.
+    """
+    global Machine, ProcessorGrid, Template, Alignment, ArrayDescriptor
+    global compile_program, compile_gaxpy, compile_source, VirtualMachine, NodeProgramExecutor
+    from repro.machine import Machine  # noqa: F401
+    from repro.hpf import ProcessorGrid, Template, Alignment, ArrayDescriptor, compile_source  # noqa: F401
+    from repro.core import compile_program, compile_gaxpy  # noqa: F401
+    from repro.runtime import VirtualMachine, NodeProgramExecutor  # noqa: F401
+
+    __all__.extend(
+        [
+            "Machine",
+            "ProcessorGrid",
+            "Template",
+            "Alignment",
+            "ArrayDescriptor",
+            "compile_source",
+            "compile_program",
+            "compile_gaxpy",
+            "VirtualMachine",
+            "NodeProgramExecutor",
+        ]
+    )
+
+
+_load_public_api()

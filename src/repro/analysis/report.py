@@ -1,0 +1,50 @@
+"""Plain-text report formatting.
+
+The experiment harness prints tables in the same row/column layout the paper
+uses so a reader can hold the two side by side.  Only the standard library is
+needed — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_time", "format_markdown_table"]
+
+
+def format_time(seconds: float) -> str:
+    """Format a simulated time the way the paper's tables do (two decimals)."""
+    return f"{seconds:.2f}"
+
+
+def _column_widths(header: Sequence[str], rows: Iterable[Sequence[str]]) -> List[int]:
+    widths = [len(str(h)) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    return widths
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Format a fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = _column_widths(header, str_rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format a GitHub-flavoured markdown table (used to update EXPERIMENTS.md)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    lines = ["| " + " | ".join(str(h) for h in header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

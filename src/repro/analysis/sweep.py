@@ -1,0 +1,164 @@
+"""Parameter sweep drivers for the GAXPY experiments.
+
+A sweep point fixes the problem size, the number of processors, the slab
+sizes and the program version (column-slab, row-slab or in-core).  Points can
+be evaluated in two modes:
+
+* ``estimate`` — compile and charge the machine model with the statically
+  counted operations of the generated node program (fast; used for the
+  paper-scale configurations), or
+* ``execute`` — compile and really run the out-of-core kernels against Local
+  Array Files, verifying the numerical result (used for tests and small
+  problem sizes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import ExecutionMode, RunConfig
+from repro.exceptions import ExperimentError
+from repro.core.pipeline import CompiledProgram, compile_gaxpy
+from repro.machine.parameters import MachineParameters, touchstone_delta
+from repro.runtime.executor import NodeProgramExecutor
+from repro.runtime.slab import SlabbingStrategy
+from repro.runtime.vm import VirtualMachine
+
+__all__ = ["SweepPoint", "run_gaxpy_point", "sweep_gaxpy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of the GAXPY experiment."""
+
+    n: int
+    nprocs: int
+    version: str                      # "column", "row" or "incore"
+    slab_ratio: Optional[float] = None
+    slab_elements: Optional[Dict[str, int]] = None
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.version not in {"column", "row", "incore"}:
+            raise ExperimentError(f"unknown program version {self.version!r}")
+        if self.version != "incore" and self.slab_ratio is None and self.slab_elements is None:
+            raise ExperimentError("out-of-core sweep points need a slab ratio or slab sizes")
+
+    def label(self) -> str:
+        slab = f"ratio={self.slab_ratio}" if self.slab_ratio is not None else "explicit slabs"
+        return f"{self.version} N={self.n} P={self.nprocs} {slab}"
+
+
+def _compile_point(point: SweepPoint, params: MachineParameters) -> CompiledProgram:
+    force = None
+    if point.version == "column":
+        force = SlabbingStrategy.COLUMN
+    elif point.version == "row":
+        force = SlabbingStrategy.ROW
+    ratio = point.slab_ratio if point.version != "incore" else 1.0
+    return compile_gaxpy(
+        point.n,
+        point.nprocs,
+        params,
+        dtype=point.dtype,
+        slab_ratio=ratio if point.slab_elements is None else None,
+        slab_elements=point.slab_elements,
+        force_strategy=force,
+    )
+
+
+def run_gaxpy_point(
+    point: SweepPoint,
+    params: Optional[MachineParameters] = None,
+    mode: ExecutionMode | str = ExecutionMode.ESTIMATE,
+    config: Optional[RunConfig] = None,
+    verify: bool = True,
+) -> Dict[str, float]:
+    """Evaluate one sweep point and return a flat result record."""
+    params = params or touchstone_delta()
+    mode = ExecutionMode(mode) if isinstance(mode, str) else mode
+    compiled = _compile_point(point, params)
+
+    if point.version == "incore":
+        return _run_incore_point(point, compiled, params, mode, config, verify)
+
+    if mode is ExecutionMode.ESTIMATE:
+        result = NodeProgramExecutor(compiled).estimate()
+        record = _record_from_result(point, result.time_breakdown, result.io_statistics,
+                                     result.simulated_seconds)
+        record["verified"] = float("nan")
+        return record
+
+    from repro.kernels.gaxpy import generate_gaxpy_inputs, run_gaxpy_column_slab, run_gaxpy_row_slab
+
+    config = config or RunConfig()
+    inputs = generate_gaxpy_inputs(point.n, dtype=point.dtype, seed=config.seed)
+    with VirtualMachine(point.nprocs, params, config) as vm:
+        runner = run_gaxpy_column_slab if point.version == "column" else run_gaxpy_row_slab
+        run = runner(vm, compiled, inputs, verify=verify)
+        record = _record_from_result(point, run.time_breakdown, run.io_statistics,
+                                     run.simulated_seconds)
+        record["verified"] = float(bool(run.verified)) if run.verified is not None else float("nan")
+        return record
+
+
+def _run_incore_point(point, compiled, params, mode, config, verify) -> Dict[str, float]:
+    from repro.core.cost_model import CostModel
+
+    if mode is ExecutionMode.ESTIMATE:
+        cost = CostModel(params, point.nprocs).estimate_incore(compiled.analysis)
+        record = {
+            "n": float(point.n),
+            "nprocs": float(point.nprocs),
+            "slab_ratio": float(point.slab_ratio or 1.0),
+            "time": cost.total_time,
+            "io_time": cost.io_time,
+            "compute_time": cost.compute_time,
+            "comm_time": cost.comm_time,
+            "io_requests_per_proc": cost.io_requests,
+            "io_bytes_per_proc": cost.io_bytes,
+            "verified": float("nan"),
+        }
+        return record
+
+    from repro.kernels.gaxpy import generate_gaxpy_inputs, run_gaxpy_incore
+
+    config = config or RunConfig()
+    inputs = generate_gaxpy_inputs(point.n, dtype=point.dtype, seed=config.seed)
+    with VirtualMachine(point.nprocs, params, config) as vm:
+        run = run_gaxpy_incore(vm, compiled, inputs, verify=verify)
+        record = _record_from_result(point, run.time_breakdown, run.io_statistics,
+                                     run.simulated_seconds)
+        record["verified"] = float(bool(run.verified)) if run.verified is not None else float("nan")
+        return record
+
+
+def _record_from_result(point, breakdown, io_stats, total) -> Dict[str, float]:
+    return {
+        "n": float(point.n),
+        "nprocs": float(point.nprocs),
+        "slab_ratio": float(point.slab_ratio) if point.slab_ratio is not None else float("nan"),
+        "time": total,
+        "io_time": breakdown.get("io", 0.0),
+        "compute_time": breakdown.get("compute", 0.0),
+        "comm_time": breakdown.get("comm", 0.0),
+        "io_requests_per_proc": io_stats.get("io_requests_per_proc", 0.0),
+        "io_bytes_per_proc": io_stats.get("bytes_read_per_proc", 0.0)
+        + io_stats.get("bytes_written_per_proc", 0.0),
+    }
+
+
+def sweep_gaxpy(
+    points: Iterable[SweepPoint],
+    params: Optional[MachineParameters] = None,
+    mode: ExecutionMode | str = ExecutionMode.ESTIMATE,
+    config: Optional[RunConfig] = None,
+) -> List[Dict[str, float]]:
+    """Evaluate many sweep points and return one record per point."""
+    records = []
+    for point in points:
+        record = run_gaxpy_point(point, params=params, mode=mode, config=config)
+        record["version"] = point.version  # type: ignore[assignment]
+        records.append(record)
+    return records

@@ -1,0 +1,86 @@
+"""Run-level configuration shared across the library.
+
+The configuration object bundles the knobs a user can turn when running an
+out-of-core program: where Local Array Files live, whether execution should
+really touch the filesystem or only account costs, and how verbose the
+library should be.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["ExecutionMode", "RunConfig", "default_config"]
+
+
+class ExecutionMode(enum.Enum):
+    """How a compiled node program is evaluated.
+
+    ``EXECUTE``
+        The node program is executed for real: Local Array Files are created on
+        disk, slabs are read and written, and the arithmetic is performed with
+        NumPy.  Simulated time is accumulated alongside, and the numerical
+        result can be verified against a dense reference.
+
+    ``ESTIMATE``
+        Only the cost model runs.  I/O requests, bytes moved, floating point
+        operations and messages are derived analytically from the compiled
+        schedule and converted to seconds using the machine model.  No files
+        are touched and no arithmetic is performed.  This is how the
+        paper-scale experiments (1K x 1K and 2K x 2K arrays on up to 64
+        processors) are regenerated quickly.
+    """
+
+    EXECUTE = "execute"
+    ESTIMATE = "estimate"
+
+
+@dataclasses.dataclass
+class RunConfig:
+    """Configuration for one run of the out-of-core runtime.
+
+    Parameters
+    ----------
+    scratch_dir:
+        Directory that holds the Local Array Files of all simulated
+        processors.  Defaults to a per-process temporary directory.
+    mode:
+        :class:`ExecutionMode` selecting real execution or analytic estimation.
+    verify:
+        When true (and ``mode == EXECUTE``) kernels compare their out-of-core
+        result against an in-core dense reference computed with NumPy.
+    keep_files:
+        When false, Local Array Files are deleted when the owning virtual
+        machine shuts down.
+    seed:
+        Seed for workload generators so experiments are reproducible.
+    """
+
+    scratch_dir: Path = dataclasses.field(default_factory=lambda: Path(tempfile.gettempdir()) / "repro-laf")
+    mode: ExecutionMode = ExecutionMode.EXECUTE
+    verify: bool = True
+    keep_files: bool = False
+    seed: int = 1994  # year of the technical report
+
+    def __post_init__(self) -> None:
+        self.scratch_dir = Path(self.scratch_dir)
+        if isinstance(self.mode, str):  # accept plain strings for convenience
+            self.mode = ExecutionMode(self.mode)
+
+    def ensure_scratch_dir(self) -> Path:
+        """Create the scratch directory if needed and return it."""
+        os.makedirs(self.scratch_dir, exist_ok=True)
+        return self.scratch_dir
+
+    def with_mode(self, mode: ExecutionMode | str) -> "RunConfig":
+        """Return a copy of this configuration with a different execution mode."""
+        return dataclasses.replace(self, mode=ExecutionMode(mode) if isinstance(mode, str) else mode)
+
+
+def default_config() -> RunConfig:
+    """Return a fresh default configuration."""
+    return RunConfig()

@@ -1,0 +1,78 @@
+"""The out-of-core compiler (the paper's primary contribution).
+
+Compilation proceeds in the two phases of Figure 7 of the paper:
+
+1. **In-core phase** (:mod:`repro.core.analysis`) — partition arrays using the
+   distribution directives, compute local bounds, classify how each array is
+   accessed by the loop nest and detect the communication the statement needs.
+2. **Out-of-core phase** — strip-mine the local computation into slabs sized
+   by the node memory budget (:mod:`repro.core.stripmine`), estimate the I/O
+   cost of every candidate slabbing (:mod:`repro.core.cost_model`), reorganize
+   the data accesses by picking the cheapest candidate
+   (:mod:`repro.core.reorganize`), divide the memory budget between the
+   competing out-of-core arrays (:mod:`repro.core.memory_alloc`), and emit the
+   node + message-passing + I/O program (:mod:`repro.core.codegen`,
+   :mod:`repro.core.node_program`).
+
+:mod:`repro.core.pipeline` drives the whole sequence and returns a
+:class:`~repro.core.pipeline.CompiledProgram`.
+"""
+
+from repro.core.ir import (
+    ArrayRef,
+    Constant,
+    FullRange,
+    Loop,
+    LoopIndex,
+    LoopKind,
+    ProgramIR,
+    ReductionStatement,
+    build_gaxpy_ir,
+)
+from repro.core.analysis import ArrayRole, InCorePhaseResult, analyze_program
+from repro.core.stripmine import SlabPlanEntry, slab_elements_from_ratio, slab_elements_from_bytes
+from repro.core.cost_model import ArrayIOCost, PlanCost, CostModel
+from repro.core.memory_alloc import (
+    AllocationPolicy,
+    EqualAllocation,
+    ProportionalAllocation,
+    SearchAllocation,
+)
+from repro.core.reorganize import AccessPlan, ReorganizationDecision, reorganize
+from repro.core.node_program import NodeProgram, NodeOp
+from repro.core.codegen import generate_node_program
+from repro.core.pipeline import CompiledProgram, compile_program, compile_gaxpy
+
+__all__ = [
+    "ArrayRef",
+    "Constant",
+    "FullRange",
+    "Loop",
+    "LoopIndex",
+    "LoopKind",
+    "ProgramIR",
+    "ReductionStatement",
+    "build_gaxpy_ir",
+    "ArrayRole",
+    "InCorePhaseResult",
+    "analyze_program",
+    "SlabPlanEntry",
+    "slab_elements_from_ratio",
+    "slab_elements_from_bytes",
+    "ArrayIOCost",
+    "PlanCost",
+    "CostModel",
+    "AllocationPolicy",
+    "EqualAllocation",
+    "ProportionalAllocation",
+    "SearchAllocation",
+    "AccessPlan",
+    "ReorganizationDecision",
+    "reorganize",
+    "NodeProgram",
+    "NodeOp",
+    "generate_node_program",
+    "CompiledProgram",
+    "compile_program",
+    "compile_gaxpy",
+]

@@ -1,0 +1,232 @@
+"""The in-core compilation phase.
+
+This is phase one of Figure 7: using the distribution directives the
+compiler partitions the arrays, computes local bounds, and analyzes the array
+operation to classify access patterns and detect communication.  The result
+feeds the out-of-core phase (strip-mining, cost estimation, reorganization).
+
+Access-pattern classification
+-----------------------------
+Within a reduction statement each referenced array plays one of three roles,
+derived purely from its symbolic subscripts (the paper: "use index variables
+to analyze access patterns"):
+
+``RESULT``
+    The left-hand side array (``c`` in GAXPY).  Written once; its distributed
+    dimension indexed by an outer sequential loop determines the *owner* that
+    stores each result column.
+
+``STREAMED``
+    An operand with a full-range subscript in one dimension and the reduction
+    index in another (``a(:, k)``).  Its entire local part participates in
+    producing every result column, which is what makes its I/O cost dominant
+    and is exactly the access the paper's reorganization targets.
+
+``COEFFICIENT``
+    An operand subscripted only by loop indices (``b(k, j)``): one element per
+    innermost iteration, streamed once per sweep of the loops that index it.
+
+Communication detection
+-----------------------
+The reduction runs over a loop index that subscripts a *distributed*
+dimension of the streamed array, so each processor only produces a partial
+sum and a global sum (reduction) is required; the result column is then
+stored by its owner (owner-computes rule applied to the LHS).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import CompilationError
+from repro.core.ir import (
+    ArrayRef,
+    FullRange,
+    Loop,
+    LoopIndex,
+    LoopKind,
+    ProgramIR,
+    ReductionStatement,
+)
+
+__all__ = ["ArrayRole", "ArrayAccessInfo", "InCorePhaseResult", "analyze_program"]
+
+
+class ArrayRole(enum.Enum):
+    """Role an array plays in the reduction statement."""
+
+    RESULT = "result"
+    STREAMED = "streamed"
+    COEFFICIENT = "coefficient"
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayAccessInfo:
+    """Per-array facts gathered by the in-core phase."""
+
+    name: str
+    role: ArrayRole
+    ref: ArrayRef
+    #: dimension subscripted by the reduction index (None when not used)
+    reduce_dim: Optional[int]
+    #: dimension subscripted by the outer sequential loop index (None when not used)
+    outer_dim: Optional[int]
+    #: dimensions accessed with a full-range subscript
+    full_dims: Tuple[int, ...]
+    #: the array's distributed dimensions (from its descriptor)
+    distributed_dims: Tuple[int, ...]
+    #: maximum local element count over processors
+    max_local_elements: int
+
+    def is_out_of_core(self) -> bool:
+        return True  # refined by the caller via the descriptor; kept for readability
+
+
+@dataclasses.dataclass
+class InCorePhaseResult:
+    """Everything the out-of-core phase needs from the in-core phase."""
+
+    program: ProgramIR
+    access: Dict[str, ArrayAccessInfo]
+    #: name of the streamed array (``a``), the coefficient array (``b``) and result (``c``)
+    streamed: str
+    coefficient: str
+    result: str
+    #: the outer sequential loop driving result columns and the reduction loop
+    outer_loop: Loop
+    reduce_loop: Loop
+    #: True when the reduction needs an inter-processor global sum
+    needs_global_sum: bool
+    #: True when storing a result column requires identifying its owner
+    needs_owner_store: bool
+    #: floating point operations per processor for the whole computation
+    flops_per_proc: float
+
+    def roles(self) -> Dict[str, ArrayRole]:
+        return {name: info.role for name, info in self.access.items()}
+
+    def describe(self) -> str:
+        lines = [f"in-core phase of {self.program.name}"]
+        for name, info in self.access.items():
+            lines.append(
+                f"  {name}: role={info.role.value}, reduce_dim={info.reduce_dim}, "
+                f"outer_dim={info.outer_dim}, full_dims={list(info.full_dims)}, "
+                f"distributed_dims={list(info.distributed_dims)}"
+            )
+        lines.append(f"  global sum required: {self.needs_global_sum}")
+        lines.append(f"  owner store required: {self.needs_owner_store}")
+        lines.append(f"  flops per processor: {self.flops_per_proc:.3e}")
+        return "\n".join(lines)
+
+
+def _classify_operand(ref: ArrayRef, reduce_index: str) -> ArrayRole:
+    if ref.full_range_dims() and ref.uses_index(reduce_index):
+        return ArrayRole.STREAMED
+    return ArrayRole.COEFFICIENT
+
+
+def _single(values: Tuple[int, ...], what: str, ref: ArrayRef) -> Optional[int]:
+    if not values:
+        return None
+    if len(values) > 1:
+        raise CompilationError(
+            f"{what} appears in more than one dimension of {ref.describe()}; "
+            "the compiler handles one occurrence per reference"
+        )
+    return values[0]
+
+
+def analyze_program(program: ProgramIR) -> InCorePhaseResult:
+    """Run the in-core phase on ``program`` and return its result."""
+    statement: ReductionStatement = program.statement
+    reduce_loop = program.loop(statement.reduce_index)
+
+    # The outer sequential loop that drives result columns: the sequential loop
+    # whose index subscripts the result reference.
+    outer_loop: Optional[Loop] = None
+    for loop in program.sequential_loops():
+        if statement.result.uses_index(loop.index):
+            outer_loop = loop
+            break
+    if outer_loop is None:
+        # A single FORALL with no sequential driver (e.g. a pure elementwise
+        # statement); treat the reduction loop as the driver with one sweep.
+        outer_loop = Loop(index="__once__", extent=1, kind=LoopKind.SEQUENTIAL)
+
+    access: Dict[str, ArrayAccessInfo] = {}
+    streamed_name: Optional[str] = None
+    coefficient_name: Optional[str] = None
+
+    def build_info(ref: ArrayRef, role: ArrayRole) -> ArrayAccessInfo:
+        descriptor = program.arrays[ref.array]
+        reduce_dim = _single(ref.dims_with_index(statement.reduce_index), "the reduction index", ref)
+        outer_dim = _single(ref.dims_with_index(outer_loop.index), "the outer loop index", ref)
+        return ArrayAccessInfo(
+            name=ref.array,
+            role=role,
+            ref=ref,
+            reduce_dim=reduce_dim,
+            outer_dim=outer_dim,
+            full_dims=ref.full_range_dims(),
+            distributed_dims=descriptor.distributed_dims(),
+            max_local_elements=max(descriptor.local_size(r) for r in range(descriptor.nprocs)),
+        )
+
+    access[statement.result.array] = build_info(statement.result, ArrayRole.RESULT)
+    for ref in statement.operands:
+        role = _classify_operand(ref, statement.reduce_index)
+        info = build_info(ref, role)
+        if role is ArrayRole.STREAMED:
+            if streamed_name is not None and streamed_name != ref.array:
+                raise CompilationError(
+                    "the compiler handles one streamed operand per statement; "
+                    f"found both {streamed_name!r} and {ref.array!r}"
+                )
+            streamed_name = ref.array
+        else:
+            coefficient_name = ref.array
+        access[ref.array] = info
+
+    if streamed_name is None:
+        raise CompilationError(
+            "no streamed operand (full-range + reduction-index subscript) found; "
+            "the out-of-core reorganization does not apply"
+        )
+    if coefficient_name is None:
+        # Degenerate but legal: a reduction of a single streamed array.
+        coefficient_name = streamed_name
+
+    result_name = statement.result.array
+
+    # Communication detection.
+    streamed_info = access[streamed_name]
+    needs_global_sum = (
+        streamed_info.reduce_dim is not None
+        and streamed_info.reduce_dim in streamed_info.distributed_dims
+        and program.nprocs() > 1
+    )
+    result_info = access[result_name]
+    needs_owner_store = (
+        result_info.outer_dim is not None
+        and result_info.outer_dim in result_info.distributed_dims
+        and program.nprocs() > 1
+    )
+
+    # Work estimate: one multiply and one add per element of the streamed
+    # array's local part, for every iteration of the outer loop.
+    flops_per_proc = 2.0 * outer_loop.extent * streamed_info.max_local_elements
+
+    return InCorePhaseResult(
+        program=program,
+        access=access,
+        streamed=streamed_name,
+        coefficient=coefficient_name,
+        result=result_name,
+        outer_loop=outer_loop,
+        reduce_loop=reduce_loop,
+        needs_global_sum=needs_global_sum,
+        needs_owner_store=needs_owner_store,
+        flops_per_proc=flops_per_proc,
+    )

@@ -1,0 +1,305 @@
+"""Intermediate representation of data-parallel programs.
+
+The IR covers the class of programs the paper's optimization targets:
+perfectly nested loops (sequential ``DO`` loops and parallel ``FORALL``
+loops) around a *reduction statement* — an array assignment whose right-hand
+side is a sum over one loop index of products of array references.  The
+paper's GAXPY matrix multiplication
+
+.. code-block:: fortran
+
+    do j = 1, n
+        forall (k = 1:n)
+            temp(1:n, k) = b(k, j) * a(1:n, k)
+        end forall
+        c(1:n, j) = SUM(temp, 2)
+    end do
+
+is represented as two loops (sequential ``j``, forall ``k``) and the
+reduction statement ``c(:, j) = sum_k  a(:, k) * b(k, j)``.
+
+Subscripts are symbolic: :class:`FullRange` (``:``), :class:`LoopIndex` (a
+loop variable) or :class:`Constant`.  The analysis phase classifies array
+access patterns purely from these subscripts, which is all the paper's
+Figure 14 algorithm needs ("use index variables to analyze access
+patterns").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CompilationError
+from repro.hpf.array_desc import ArrayDescriptor
+
+__all__ = [
+    "Subscript",
+    "FullRange",
+    "LoopIndex",
+    "Constant",
+    "ArrayRef",
+    "LoopKind",
+    "Loop",
+    "ReductionStatement",
+    "ProgramIR",
+    "build_gaxpy_ir",
+]
+
+
+# ---------------------------------------------------------------------------
+# subscripts and array references
+# ---------------------------------------------------------------------------
+class Subscript:
+    """Base class of symbolic subscripts."""
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class FullRange(Subscript):
+    """The ``:`` subscript: the statement touches the whole extent."""
+
+    def describe(self) -> str:
+        return ":"
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopIndex(Subscript):
+    """A loop-variable subscript, e.g. ``a(:, k)`` has ``LoopIndex('k')`` in dim 1."""
+
+    name: str
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Constant(Subscript):
+    """A constant subscript (zero-based)."""
+
+    value: int
+
+    def describe(self) -> str:
+        return str(self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayRef:
+    """A reference to an array with one symbolic subscript per dimension."""
+
+    array: str
+    subscripts: Tuple[Subscript, ...]
+
+    def __init__(self, array: str, subscripts: Sequence[Subscript]):
+        object.__setattr__(self, "array", str(array))
+        object.__setattr__(self, "subscripts", tuple(subscripts))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.subscripts)
+
+    def dims_with_index(self, index: str) -> Tuple[int, ...]:
+        """Dimensions subscripted by loop variable ``index``."""
+        return tuple(
+            d for d, s in enumerate(self.subscripts) if isinstance(s, LoopIndex) and s.name == index
+        )
+
+    def full_range_dims(self) -> Tuple[int, ...]:
+        """Dimensions subscripted with ``:``."""
+        return tuple(d for d, s in enumerate(self.subscripts) if isinstance(s, FullRange))
+
+    def uses_index(self, index: str) -> bool:
+        return bool(self.dims_with_index(index))
+
+    def describe(self) -> str:
+        inner = ", ".join(s.describe() for s in self.subscripts)
+        return f"{self.array}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# loops and statements
+# ---------------------------------------------------------------------------
+class LoopKind(enum.Enum):
+    """Whether a loop is a sequential DO loop or a parallel FORALL."""
+
+    SEQUENTIAL = "do"
+    FORALL = "forall"
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop:
+    """One loop of the (perfect) nest, outermost first in :class:`ProgramIR`."""
+
+    index: str
+    extent: int
+    kind: LoopKind = LoopKind.SEQUENTIAL
+
+    def __post_init__(self) -> None:
+        if self.extent < 0:
+            raise CompilationError(f"loop {self.index!r} has negative extent {self.extent}")
+
+    def describe(self) -> str:
+        keyword = "FORALL" if self.kind is LoopKind.FORALL else "DO"
+        return f"{keyword} {self.index} = 1, {self.extent}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ReductionStatement:
+    """``result = reduce(op, over=index) of prod(operands)``.
+
+    ``result`` is the left-hand side reference, ``operands`` the right-hand
+    side references whose product is accumulated, ``reduce_index`` the loop
+    variable summed over, and ``op`` the (commutative, associative) reduction
+    operator — only ``"sum"`` is needed by the paper but the field keeps the
+    IR honest about the legality requirement for loop reordering.
+    """
+
+    result: ArrayRef
+    operands: Tuple[ArrayRef, ...]
+    reduce_index: str
+    op: str = "sum"
+
+    def __init__(
+        self,
+        result: ArrayRef,
+        operands: Sequence[ArrayRef],
+        reduce_index: str,
+        op: str = "sum",
+    ):
+        object.__setattr__(self, "result", result)
+        object.__setattr__(self, "operands", tuple(operands))
+        object.__setattr__(self, "reduce_index", str(reduce_index))
+        object.__setattr__(self, "op", str(op))
+        if not self.operands:
+            raise CompilationError("a reduction statement needs at least one operand")
+        if self.op not in {"sum", "max", "min", "prod"}:
+            raise CompilationError(f"unsupported reduction operator {self.op!r}")
+
+    def referenced_arrays(self) -> Tuple[str, ...]:
+        names = [self.result.array] + [ref.array for ref in self.operands]
+        seen: List[str] = []
+        for name in names:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        rhs = " * ".join(ref.describe() for ref in self.operands)
+        return f"{self.result.describe()} = {self.op}_{{{self.reduce_index}}} {rhs}"
+
+
+# ---------------------------------------------------------------------------
+# the program
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class ProgramIR:
+    """A data-parallel program in the restricted form the compiler handles."""
+
+    name: str
+    arrays: Dict[str, ArrayDescriptor]
+    loops: Tuple[Loop, ...]
+    statement: ReductionStatement
+
+    def __post_init__(self) -> None:
+        self.loops = tuple(self.loops)
+        loop_names = [loop.index for loop in self.loops]
+        if len(set(loop_names)) != len(loop_names):
+            raise CompilationError(f"duplicate loop indices in {loop_names}")
+        if self.statement.reduce_index not in loop_names:
+            raise CompilationError(
+                f"reduction index {self.statement.reduce_index!r} is not a loop of the nest"
+            )
+        for ref in (self.statement.result, *self.statement.operands):
+            if ref.array not in self.arrays:
+                raise CompilationError(f"statement references undeclared array {ref.array!r}")
+            descriptor = self.arrays[ref.array]
+            if ref.ndim != descriptor.ndim:
+                raise CompilationError(
+                    f"reference {ref.describe()} has {ref.ndim} subscripts but array "
+                    f"{ref.array!r} has {descriptor.ndim} dimensions"
+                )
+            for subscript in ref.subscripts:
+                if isinstance(subscript, LoopIndex) and subscript.name not in loop_names:
+                    raise CompilationError(
+                        f"reference {ref.describe()} uses unknown loop index {subscript.name!r}"
+                    )
+
+    # -- queries -------------------------------------------------------------
+    def loop(self, index: str) -> Loop:
+        for loop in self.loops:
+            if loop.index == index:
+                return loop
+        raise CompilationError(f"no loop with index {index!r}")
+
+    def loop_indices(self) -> Tuple[str, ...]:
+        return tuple(loop.index for loop in self.loops)
+
+    def sequential_loops(self) -> Tuple[Loop, ...]:
+        return tuple(l for l in self.loops if l.kind is LoopKind.SEQUENTIAL)
+
+    def forall_loops(self) -> Tuple[Loop, ...]:
+        return tuple(l for l in self.loops if l.kind is LoopKind.FORALL)
+
+    def out_of_core_arrays(self) -> Tuple[str, ...]:
+        return tuple(name for name, desc in self.arrays.items() if desc.out_of_core)
+
+    def nprocs(self) -> int:
+        return next(iter(self.arrays.values())).nprocs if self.arrays else 1
+
+    def describe(self) -> str:
+        lines = [f"program {self.name}"]
+        for name, desc in self.arrays.items():
+            lines.append(f"  array {desc.describe()}")
+        indent = "  "
+        for loop in self.loops:
+            lines.append(f"{indent}{loop.describe()}")
+            indent += "  "
+        lines.append(f"{indent}{self.statement.describe()}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# convenience constructor for the paper's running example
+# ---------------------------------------------------------------------------
+def build_gaxpy_ir(
+    n: int,
+    nprocs: int,
+    dtype="float32",
+    out_of_core: bool = True,
+    name: str = "gaxpy_matmul",
+) -> ProgramIR:
+    """Build the IR of the paper's GAXPY matrix multiplication (Figure 3).
+
+    Arrays ``a`` and ``c`` are column-block distributed, ``b`` is row-block
+    distributed, all over a one-dimensional arrangement of ``nprocs``
+    processors.
+    """
+    from repro.hpf.align import Alignment
+    from repro.hpf.processors import ProcessorGrid
+    from repro.hpf.template import Template
+
+    grid = ProcessorGrid("Pr", nprocs)
+    template = Template("d", n, grid, ["block"])
+    column_align = Alignment(template, ["*", ":"])
+    row_align = Alignment(template, [":", "*"])
+    arrays = {
+        "a": ArrayDescriptor("a", (n, n), column_align, dtype=dtype, out_of_core=out_of_core),
+        "b": ArrayDescriptor("b", (n, n), row_align, dtype=dtype, out_of_core=out_of_core),
+        "c": ArrayDescriptor("c", (n, n), column_align, dtype=dtype, out_of_core=out_of_core),
+    }
+    loops = (
+        Loop("j", n, LoopKind.SEQUENTIAL),
+        Loop("k", n, LoopKind.FORALL),
+    )
+    statement = ReductionStatement(
+        result=ArrayRef("c", [FullRange(), LoopIndex("j")]),
+        operands=(
+            ArrayRef("a", [FullRange(), LoopIndex("k")]),
+            ArrayRef("b", [LoopIndex("k"), LoopIndex("j")]),
+        ),
+        reduce_index="k",
+    )
+    return ProgramIR(name=name, arrays=arrays, loops=loops, statement=statement)

@@ -1,0 +1,224 @@
+"""Memory allocation for competing out-of-core arrays (Section 4.2.1).
+
+When several out-of-core arrays are staged simultaneously, the node memory
+budget must be divided between their In-core Local Arrays.  The paper
+compares dividing the memory equally against giving the most frequently
+accessed array a larger slab, and concludes the compiler should do the
+latter ("the compiler can determine which array requires more I/O accesses
+and accordingly allocate the available memory").
+
+Three policies are provided:
+
+* :class:`EqualAllocation` — the naive equal split,
+* :class:`ProportionalAllocation` — split proportionally to each array's
+  predicted data traffic under an equal-split probe (the paper's heuristic),
+* :class:`SearchAllocation` — a coarse search over split fractions that
+  minimises the cost model's predicted time (what a compiler with a little
+  more budget for compile-time analysis would do).
+
+All policies reserve one line (one column / row of the local array) for the
+result array, which is only written, and divide the remainder between the
+streamed and coefficient arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, TYPE_CHECKING
+
+from repro.exceptions import MemoryAllocationError
+from repro.core.analysis import InCorePhaseResult
+from repro.core.stripmine import build_plan_entry
+from repro.runtime.slab import SlabbingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.cost_model import CostModel
+
+__all__ = [
+    "AllocationPolicy",
+    "EqualAllocation",
+    "ProportionalAllocation",
+    "SearchAllocation",
+]
+
+
+def _local_geometry(analysis: InCorePhaseResult, name: str):
+    descriptor = analysis.program.arrays[name]
+    shapes = [descriptor.local_shape(r) for r in range(descriptor.nprocs)]
+    return max(shapes, key=lambda s: s[0] * s[1])
+
+
+def _result_reserve(analysis: InCorePhaseResult) -> int:
+    """Elements reserved for the result array's staging buffer: one local column."""
+    rows, _cols = _local_geometry(analysis, analysis.result)
+    return max(rows, 1)
+
+
+def _line_elements(analysis: InCorePhaseResult, name: str, strategy: SlabbingStrategy) -> int:
+    rows, cols = _local_geometry(analysis, name)
+    if strategy is SlabbingStrategy.COLUMN:
+        return max(rows, 1)
+    return max(cols, 1)
+
+
+class AllocationPolicy(abc.ABC):
+    """Split a memory budget (in elements) between the statement's arrays."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def split(
+        self,
+        analysis: InCorePhaseResult,
+        strategy: SlabbingStrategy,
+        budget_elements: int,
+        cost_model: "CostModel",
+    ) -> Dict[str, int]:
+        """Return slab sizes in elements for the streamed, coefficient and result arrays."""
+
+    # -- shared helpers -------------------------------------------------------
+    def _validate_budget(self, analysis: InCorePhaseResult, strategy: SlabbingStrategy,
+                         budget_elements: int) -> int:
+        minimum = (
+            _result_reserve(analysis)
+            + _line_elements(analysis, analysis.streamed, strategy)
+            + _line_elements(analysis, analysis.coefficient, SlabbingStrategy.COLUMN)
+        )
+        if budget_elements < minimum:
+            raise MemoryAllocationError(
+                f"memory budget of {budget_elements} elements is below the minimum of "
+                f"{minimum} (one slab line per array)"
+            )
+        return budget_elements
+
+    def _clamp(self, analysis: InCorePhaseResult, name: str, elements: int) -> int:
+        rows, cols = _local_geometry(analysis, name)
+        return max(1, min(elements, rows * cols))
+
+    def _package(
+        self,
+        analysis: InCorePhaseResult,
+        strategy: SlabbingStrategy,
+        streamed_elements: int,
+        coefficient_elements: int,
+    ) -> Dict[str, int]:
+        result = {
+            analysis.streamed: self._clamp(analysis, analysis.streamed, streamed_elements),
+            analysis.coefficient: self._clamp(analysis, analysis.coefficient, coefficient_elements),
+            analysis.result: self._clamp(analysis, analysis.result, _result_reserve(analysis)),
+        }
+        return result
+
+
+@dataclasses.dataclass
+class EqualAllocation(AllocationPolicy):
+    """Divide the budget equally between the streamed and coefficient arrays."""
+
+    name = "equal"
+
+    def split(self, analysis, strategy, budget_elements, cost_model) -> Dict[str, int]:
+        strategy = SlabbingStrategy.from_name(strategy)
+        budget_elements = self._validate_budget(analysis, strategy, budget_elements)
+        available = budget_elements - _result_reserve(analysis)
+        half = available // 2
+        return self._package(analysis, strategy, half, available - half)
+
+
+@dataclasses.dataclass
+class ProportionalAllocation(AllocationPolicy):
+    """Split proportionally to how much I/O each array's slab size controls.
+
+    Starting from an equal split, the policy probes the cost model twice —
+    once with the streamed array's slab doubled, once with the coefficient
+    array's slab doubled — and divides the budget in proportion to the I/O
+    time each enlargement saves.  This realises the paper's guidance ("the
+    compiler can determine which array requires more I/O accesses and
+    accordingly allocate the available memory"): for the row-slab GAXPY plan
+    the streamed array wins because enlarging its slab also cuts the number
+    of times the coefficient array is re-read.
+    """
+
+    name = "proportional"
+
+    def split(self, analysis, strategy, budget_elements, cost_model) -> Dict[str, int]:
+        strategy = SlabbingStrategy.from_name(strategy)
+        budget_elements = self._validate_budget(analysis, strategy, budget_elements)
+        available = budget_elements - _result_reserve(analysis)
+        baseline = EqualAllocation().split(analysis, strategy, budget_elements, cost_model)
+        baseline_cost = cost_model.estimate(
+            analysis, strategy, _entries_from_split(analysis, strategy, baseline)
+        )
+
+        def savings(array: str) -> float:
+            probe = dict(baseline)
+            probe[array] = self._clamp(analysis, array, probe[array] * 2)
+            probe_cost = cost_model.estimate(
+                analysis, strategy, _entries_from_split(analysis, strategy, probe)
+            )
+            return max(baseline_cost.io_time - probe_cost.io_time, 0.0)
+
+        streamed_gain = savings(analysis.streamed)
+        coefficient_gain = savings(analysis.coefficient)
+        total = streamed_gain + coefficient_gain
+        share = 0.5 if total <= 0 else streamed_gain / total
+        streamed_elements = max(
+            _line_elements(analysis, analysis.streamed, strategy), int(available * share)
+        )
+        coefficient_elements = max(
+            _line_elements(analysis, analysis.coefficient, SlabbingStrategy.COLUMN),
+            available - streamed_elements,
+        )
+        return self._package(analysis, strategy, streamed_elements, coefficient_elements)
+
+
+@dataclasses.dataclass
+class SearchAllocation(AllocationPolicy):
+    """Coarse search over split fractions, minimising the modelled total time."""
+
+    name = "search"
+    fractions: int = 9
+
+    def split(self, analysis, strategy, budget_elements, cost_model) -> Dict[str, int]:
+        strategy = SlabbingStrategy.from_name(strategy)
+        budget_elements = self._validate_budget(analysis, strategy, budget_elements)
+        available = budget_elements - _result_reserve(analysis)
+        best: Dict[str, int] | None = None
+        best_time = float("inf")
+        for step in range(1, self.fractions + 1):
+            fraction = step / (self.fractions + 1)
+            streamed_elements = max(
+                _line_elements(analysis, analysis.streamed, strategy), int(available * fraction)
+            )
+            coefficient_elements = max(
+                _line_elements(analysis, analysis.coefficient, SlabbingStrategy.COLUMN),
+                available - streamed_elements,
+            )
+            split = self._package(analysis, strategy, streamed_elements, coefficient_elements)
+            entries = _entries_from_split(analysis, strategy, split)
+            cost = cost_model.estimate(analysis, strategy, entries)
+            if cost.total_time < best_time:
+                best_time = cost.total_time
+                best = split
+        if best is None:  # pragma: no cover - fractions >= 1 always yields a candidate
+            raise MemoryAllocationError("search allocation produced no candidate")
+        return best
+
+
+def _entries_from_split(
+    analysis: InCorePhaseResult,
+    strategy: SlabbingStrategy,
+    split: Dict[str, int],
+):
+    """Build slab plan entries for a {array: slab_elements} split.
+
+    The streamed array uses the candidate strategy; the coefficient and result
+    arrays are always staged by whole local columns (their access order in
+    both of the paper's program versions).
+    """
+    entries = {}
+    for name, elements in split.items():
+        descriptor = analysis.program.arrays[name]
+        entry_strategy = strategy if name == analysis.streamed else SlabbingStrategy.COLUMN
+        entries[name] = build_plan_entry(descriptor, entry_strategy, elements)
+    return entries

@@ -1,0 +1,195 @@
+"""The compilation pipeline driver.
+
+``compile_program`` runs the full sequence of Figure 7 — in-core phase,
+strip-mining, cost estimation, data access reorganization, memory allocation
+and code generation — and returns a :class:`CompiledProgram` bundling every
+intermediate result so callers (executor, experiments, tests) can inspect the
+compiler's reasoning.
+
+``compile_gaxpy`` is a convenience wrapper that builds the paper's GAXPY
+program first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.exceptions import CompilationError
+from repro.core.analysis import InCorePhaseResult, analyze_program
+from repro.core.codegen import generate_node_program
+from repro.core.cost_model import CostModel, PlanCost
+from repro.core.ir import ProgramIR, build_gaxpy_ir
+from repro.core.memory_alloc import AllocationPolicy, ProportionalAllocation
+from repro.core.node_program import NodeProgram
+from repro.core.reorganize import (
+    AccessPlan,
+    ReorganizationDecision,
+    plan_from_slab_elements,
+    reorganize,
+)
+from repro.core.stripmine import slab_elements_from_ratio
+from repro.machine.parameters import MachineParameters, touchstone_delta
+from repro.runtime.slab import SlabbingStrategy
+
+__all__ = ["CompiledProgram", "compile_program", "compile_gaxpy"]
+
+
+@dataclasses.dataclass
+class CompiledProgram:
+    """Everything the compiler produced for one program."""
+
+    program: ProgramIR
+    analysis: InCorePhaseResult
+    decision: Optional[ReorganizationDecision]
+    plan: AccessPlan
+    node_program: NodeProgram
+    params: MachineParameters
+    nprocs: int
+    compile_seconds: float
+
+    @property
+    def strategy(self) -> SlabbingStrategy:
+        return self.plan.strategy
+
+    @property
+    def predicted_cost(self) -> PlanCost:
+        return self.plan.cost
+
+    def describe(self) -> str:
+        lines = [
+            f"compiled {self.program.name} for {self.nprocs} processors on {self.params.name}",
+            f"  chosen strategy: {self.plan.strategy.value} slabs of {self.analysis.streamed}",
+            f"  predicted time: {self.plan.cost.total_time:.2f}s "
+            f"(io {self.plan.cost.io_time:.2f}s, compute {self.plan.cost.compute_time:.2f}s, "
+            f"comm {self.plan.cost.comm_time:.2f}s)",
+            f"  compile time: {self.compile_seconds * 1e3:.2f} ms",
+        ]
+        if self.decision is not None:
+            lines.append("  " + self.decision.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def compile_program(
+    program: ProgramIR,
+    params: Optional[MachineParameters] = None,
+    *,
+    memory_budget_bytes: Optional[int] = None,
+    slab_ratio: Optional[float] = None,
+    slab_elements: Optional[Dict[str, int]] = None,
+    policy: Optional[AllocationPolicy] = None,
+    force_strategy: Optional[SlabbingStrategy | str] = None,
+    strategies: Sequence[SlabbingStrategy | str] = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
+) -> CompiledProgram:
+    """Compile a program for out-of-core execution.
+
+    Exactly one of the slab-size specifications must be given:
+
+    * ``memory_budget_bytes`` — the compiler divides the budget between the
+      arrays with ``policy`` (default: proportional allocation) and picks the
+      cheapest strategy (unless ``force_strategy`` is given);
+    * ``slab_ratio`` — every array gets a slab of ``ratio x`` its local size
+      (the convention of the paper's Figure 10 / Table 1 sweeps);
+    * ``slab_elements`` — explicit per-array slab sizes in elements
+      (the convention of Table 2).
+    """
+    params = params or touchstone_delta()
+    start = time.perf_counter()
+    analysis = analyze_program(program)
+    nprocs = program.nprocs()
+    cost_model = CostModel(params, nprocs)
+
+    specified = sum(x is not None for x in (memory_budget_bytes, slab_ratio, slab_elements))
+    if specified != 1:
+        raise CompilationError(
+            "specify exactly one of memory_budget_bytes, slab_ratio or slab_elements"
+        )
+
+    decision: Optional[ReorganizationDecision] = None
+    if memory_budget_bytes is not None:
+        decision = reorganize(
+            analysis,
+            params,
+            nprocs,
+            memory_budget_bytes,
+            policy=policy or ProportionalAllocation(),
+            strategies=strategies,
+        )
+        plan = (
+            decision.candidate(force_strategy) if force_strategy is not None else decision.chosen
+        )
+    else:
+        if slab_ratio is not None:
+            sizes = {
+                name: slab_elements_from_ratio(program.arrays[name], slab_ratio)
+                for name in (analysis.streamed, analysis.coefficient, analysis.result)
+            }
+        else:
+            sizes = dict(slab_elements or {})
+            # Default the result array's staging buffer to one local column.
+            if analysis.result not in sizes:
+                result_desc = program.arrays[analysis.result]
+                rows = max(result_desc.local_shape(0)[0], 1)
+                sizes[analysis.result] = rows
+        candidates = [
+            plan_from_slab_elements(analysis, strategy, sizes, cost_model)
+            for strategy in strategies
+        ]
+        if force_strategy is not None:
+            wanted = SlabbingStrategy.from_name(force_strategy)
+            matching = [p for p in candidates if p.strategy is wanted]
+            if not matching:
+                matching = [plan_from_slab_elements(analysis, wanted, sizes, cost_model)]
+            plan = matching[0]
+        else:
+            reference = max(candidates, key=lambda p: p.cost.io_time)
+            dominant = reference.cost.dominant_array()
+            plan = min(
+                candidates,
+                key=lambda p: (p.cost.arrays[dominant].total_elements, p.cost.io_time),
+            )
+            decision = ReorganizationDecision(
+                candidates=candidates,
+                chosen=plan,
+                incore_cost=cost_model.estimate_incore(analysis),
+                dominant_array=dominant,
+            )
+
+    node_program = generate_node_program(analysis, plan)
+    elapsed = time.perf_counter() - start
+    return CompiledProgram(
+        program=program,
+        analysis=analysis,
+        decision=decision,
+        plan=plan,
+        node_program=node_program,
+        params=params,
+        nprocs=nprocs,
+        compile_seconds=elapsed,
+    )
+
+
+def compile_gaxpy(
+    n: int,
+    nprocs: int,
+    params: Optional[MachineParameters] = None,
+    *,
+    dtype="float32",
+    memory_budget_bytes: Optional[int] = None,
+    slab_ratio: Optional[float] = None,
+    slab_elements: Optional[Dict[str, int]] = None,
+    policy: Optional[AllocationPolicy] = None,
+    force_strategy: Optional[SlabbingStrategy | str] = None,
+) -> CompiledProgram:
+    """Build and compile the paper's out-of-core GAXPY matrix multiplication."""
+    program = build_gaxpy_ir(n, nprocs, dtype=dtype)
+    return compile_program(
+        program,
+        params,
+        memory_budget_bytes=memory_budget_bytes,
+        slab_ratio=slab_ratio,
+        slab_elements=slab_elements,
+        policy=policy,
+        force_strategy=force_strategy,
+    )

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between front-end (HPF), compilation, runtime and machine
+model failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HPFSyntaxError",
+    "HPFSemanticError",
+    "DistributionError",
+    "AlignmentError",
+    "CompilationError",
+    "CostModelError",
+    "MemoryAllocationError",
+    "RuntimeExecutionError",
+    "IOEngineError",
+    "CollectiveError",
+    "MachineConfigurationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class HPFSyntaxError(ReproError):
+    """Raised by the mini-HPF lexer/parser on malformed source text.
+
+    Carries the source line/column when available so tools can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+
+
+class HPFSemanticError(ReproError):
+    """Raised when a syntactically valid program violates HPF semantics.
+
+    Examples: aligning an array with an undeclared template, distributing a
+    template onto an undeclared processor arrangement, or referencing an
+    undeclared array inside a ``FORALL``.
+    """
+
+
+class DistributionError(ReproError):
+    """Raised for invalid data-distribution requests.
+
+    Examples: a global index outside the template extent, a BLOCK distribution
+    over zero processors, or asking for the local bounds of a rank outside the
+    processor arrangement.
+    """
+
+
+class AlignmentError(ReproError):
+    """Raised when an ALIGN directive cannot be applied to an array."""
+
+
+class CompilationError(ReproError):
+    """Raised when the out-of-core compiler cannot translate a program."""
+
+
+class CostModelError(ReproError):
+    """Raised when the I/O cost model receives an inconsistent query."""
+
+
+class MemoryAllocationError(ReproError):
+    """Raised when the per-array memory allocator cannot satisfy a budget."""
+
+
+class RuntimeExecutionError(ReproError):
+    """Raised when executing a compiled node program fails."""
+
+
+class IOEngineError(ReproError):
+    """Raised for invalid Local Array File operations (bad extents, closed files)."""
+
+
+class CollectiveError(ReproError):
+    """Raised for malformed collective communication calls."""
+
+
+class MachineConfigurationError(ReproError):
+    """Raised for invalid machine-model parameters (negative bandwidth etc.)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for inconsistent sweep configurations."""

@@ -1,0 +1,91 @@
+"""Figure 10: effect of slab-size variation.
+
+The paper multiplies two 1K x 1K real matrices out-of-core with the
+column-slab (naively compiled) program on 4, 16, 32 and 64 processors while
+varying the slab ratio (slab size / out-of-core local array size) from 1/8
+to 1, and plots the total time.  The observation: a smaller slab ratio means
+more slabs, hence more I/O requests, hence more time — even though the total
+data volume is unchanged.
+
+``run_figure10`` regenerates the same series (time as a function of slab
+ratio, one series per processor count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepPoint, run_gaxpy_point
+from repro.config import ExecutionMode
+from repro.machine.parameters import MachineParameters, touchstone_delta
+
+__all__ = ["Figure10Config", "run_figure10"]
+
+
+@dataclasses.dataclass
+class Figure10Config:
+    """Configuration of the Figure 10 sweep (defaults = the paper's setup)."""
+
+    n: int = 1024
+    processor_counts: Sequence[int] = (4, 16, 32, 64)
+    slab_ratios: Sequence[float] = (1.0, 0.5, 0.25, 0.125)
+    dtype: str = "float32"
+    mode: ExecutionMode | str = ExecutionMode.ESTIMATE
+
+    def scaled_down(self) -> "Figure10Config":
+        """A small configuration for integration tests / execute-mode demos."""
+        return Figure10Config(
+            n=64,
+            processor_counts=(2, 4),
+            slab_ratios=(1.0, 0.5, 0.25),
+            dtype="float32",
+            mode=ExecutionMode.EXECUTE,
+        )
+
+
+def run_figure10(
+    config: Optional[Figure10Config] = None,
+    params: Optional[MachineParameters] = None,
+) -> Dict[str, object]:
+    """Run the Figure 10 sweep and return the series plus a printable table.
+
+    Returns a dictionary with
+
+    * ``series`` — ``{nprocs: [(slab_ratio, seconds), ...]}``,
+    * ``records`` — the raw sweep records, and
+    * ``table`` — a text table with one row per slab ratio and one column per
+      processor count (the transposition of the figure's series).
+    """
+    config = config or Figure10Config()
+    params = params or touchstone_delta()
+
+    series: Dict[int, List[Tuple[float, float]]] = {}
+    records = []
+    for nprocs in config.processor_counts:
+        series[nprocs] = []
+        for ratio in config.slab_ratios:
+            point = SweepPoint(
+                n=config.n, nprocs=nprocs, version="column", slab_ratio=ratio, dtype=config.dtype
+            )
+            record = run_gaxpy_point(point, params=params, mode=config.mode)
+            record["version"] = "column"
+            records.append(record)
+            series[nprocs].append((ratio, record["time"]))
+
+    header = ["slab ratio"] + [f"{p} procs" for p in config.processor_counts]
+    ratio_set = list(config.slab_ratios)
+    rows = []
+    for ratio in ratio_set:
+        row: List[object] = [f"{ratio:g}"]
+        for nprocs in config.processor_counts:
+            value = next(t for r, t in series[nprocs] if r == ratio)
+            row.append(f"{value:.2f}")
+        rows.append(row)
+    table = format_table(
+        header,
+        rows,
+        title=f"Figure 10: column-slab GAXPY, {config.n}x{config.n} reals, time in seconds",
+    )
+    return {"series": series, "records": records, "table": table, "config": config}

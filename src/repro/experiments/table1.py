@@ -1,0 +1,143 @@
+"""Table 1: column-slab vs. row-slab vs. in-core performance.
+
+The paper's Table 1 multiplies two 1K x 1K real matrices on 4, 16, 32 and 64
+processors, reporting the total time of the column-slab and row-slab
+out-of-core programs for slab ratios 1/8, 1/4, 1/2 and 1, plus the in-core
+baseline.  The two headline observations are:
+
+* the row-slab version is *much* faster than the column-slab version at every
+  configuration (an order of magnitude less I/O), and
+* both out-of-core versions slow down as the slab ratio shrinks.
+
+``run_table1`` regenerates the same table layout (rows = slab ratios,
+column pairs = column-slab / row-slab per processor count, final row =
+in-core).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepPoint, run_gaxpy_point
+from repro.config import ExecutionMode
+from repro.machine.parameters import MachineParameters, touchstone_delta
+
+__all__ = ["Table1Config", "run_table1"]
+
+#: The times published in the paper's Table 1, for side-by-side comparison
+#: in EXPERIMENTS.md.  Keyed by (slab_ratio, nprocs, version).
+PAPER_TABLE1 = {
+    (0.125, 4, "column"): 1045.84, (0.125, 4, "row"): 239.97,
+    (0.125, 16, "column"): 897.59, (0.125, 16, "row"): 161.02,
+    (0.125, 32, "column"): 857.62, (0.125, 32, "row"): 97.08,
+    (0.125, 64, "column"): 803.57, (0.125, 64, "row"): 90.29,
+    (0.25, 4, "column"): 979.20, (0.25, 4, "row"): 226.08,
+    (0.25, 16, "column"): 864.08, (0.25, 16, "row"): 118.20,
+    (0.25, 32, "column"): 807.99, (0.25, 32, "row"): 92.43,
+    (0.25, 64, "column"): 783.79, (0.25, 64, "row"): 75.56,
+    (0.5, 4, "column"): 958.17, (0.5, 4, "row"): 205.91,
+    (0.5, 16, "column"): 802.69, (0.5, 16, "row"): 96.79,
+    (0.5, 32, "column"): 788.47, (0.5, 32, "row"): 80.45,
+    (0.5, 64, "column"): 698.29, (0.5, 64, "row"): 66.70,
+    (1.0, 4, "column"): 923.11, (1.0, 4, "row"): 194.15,
+    (1.0, 16, "column"): 714.15, (1.0, 16, "row"): 84.77,
+    (1.0, 32, "column"): 680.40, (1.0, 32, "row"): 66.94,
+    (1.0, 64, "column"): 620.70, (1.0, 64, "row"): 60.11,
+    ("incore", 4): 140.91, ("incore", 16): 40.40,
+    ("incore", 32): 20.14, ("incore", 64): 9.58,
+}
+
+
+@dataclasses.dataclass
+class Table1Config:
+    """Configuration of the Table 1 sweep (defaults = the paper's setup)."""
+
+    n: int = 1024
+    processor_counts: Sequence[int] = (4, 16, 32, 64)
+    slab_ratios: Sequence[float] = (0.125, 0.25, 0.5, 1.0)
+    dtype: str = "float32"
+    mode: ExecutionMode | str = ExecutionMode.ESTIMATE
+
+    def scaled_down(self) -> "Table1Config":
+        return Table1Config(
+            n=64,
+            processor_counts=(2, 4),
+            slab_ratios=(0.25, 1.0),
+            dtype="float32",
+            mode=ExecutionMode.EXECUTE,
+        )
+
+
+def run_table1(
+    config: Optional[Table1Config] = None,
+    params: Optional[MachineParameters] = None,
+) -> Dict[str, object]:
+    """Run the Table 1 sweep.
+
+    Returns a dictionary with
+
+    * ``cells`` — ``{(slab_ratio, nprocs, version): seconds}`` including the
+      ``("incore", nprocs)`` baseline entries,
+    * ``speedups`` — ``{(slab_ratio, nprocs): column_time / row_time}``,
+    * ``table`` — the formatted text table in the paper's layout, and
+    * ``records`` — the raw sweep records.
+    """
+    config = config or Table1Config()
+    params = params or touchstone_delta()
+
+    cells: Dict[object, float] = {}
+    records: List[Dict[str, float]] = []
+    for nprocs in config.processor_counts:
+        for ratio in config.slab_ratios:
+            for version in ("column", "row"):
+                point = SweepPoint(
+                    n=config.n, nprocs=nprocs, version=version,
+                    slab_ratio=ratio, dtype=config.dtype,
+                )
+                record = run_gaxpy_point(point, params=params, mode=config.mode)
+                record["version"] = version
+                records.append(record)
+                cells[(ratio, nprocs, version)] = record["time"]
+        incore_point = SweepPoint(n=config.n, nprocs=nprocs, version="incore", dtype=config.dtype)
+        incore_record = run_gaxpy_point(incore_point, params=params, mode=config.mode)
+        incore_record["version"] = "incore"
+        records.append(incore_record)
+        cells[("incore", nprocs)] = incore_record["time"]
+
+    speedups = {
+        (ratio, nprocs): cells[(ratio, nprocs, "column")] / cells[(ratio, nprocs, "row")]
+        for nprocs in config.processor_counts
+        for ratio in config.slab_ratios
+        if cells[(ratio, nprocs, "row")] > 0
+    }
+
+    header: List[str] = ["Slab Ratio"]
+    for nprocs in config.processor_counts:
+        header += [f"{nprocs}P col", f"{nprocs}P row"]
+    rows: List[List[object]] = []
+    for ratio in config.slab_ratios:
+        row: List[object] = [f"{ratio:g}"]
+        for nprocs in config.processor_counts:
+            row.append(f"{cells[(ratio, nprocs, 'column')]:.2f}")
+            row.append(f"{cells[(ratio, nprocs, 'row')]:.2f}")
+        rows.append(row)
+    incore_row: List[object] = ["In-core"]
+    for nprocs in config.processor_counts:
+        incore_row.append(f"{cells[('incore', nprocs)]:.2f}")
+        incore_row.append("")
+    rows.append(incore_row)
+    table = format_table(
+        header,
+        rows,
+        title=f"Table 1: GAXPY matrix multiplication, {config.n}x{config.n} reals, time in seconds",
+    )
+    return {
+        "cells": cells,
+        "speedups": speedups,
+        "table": table,
+        "records": records,
+        "config": config,
+        "paper": PAPER_TABLE1 if config.n == 1024 else None,
+    }

@@ -1,0 +1,147 @@
+"""Table 2: selecting slab sizes for multiple out-of-core arrays.
+
+The paper's Table 2 runs the row-slab GAXPY program on 2K x 2K arrays over
+16 processors and varies the slab sizes of arrays ``A`` and ``B``
+independently:
+
+* experiment 1 — the slab of ``A`` is fixed at 256 lines and the slab of
+  ``B`` grows from 256 to 2048 lines;
+* experiment 2 — the slab of ``B`` is fixed at 256 lines and the slab of
+  ``A`` grows from 256 to 2048 lines.
+
+(One "line" is one row of the local part of ``A`` or one column of the local
+part of ``B``; with a 2K x 2K array on 16 processors both are 128 elements,
+so equal line counts mean equal memory.)  The paper's conclusion: for the
+same total memory, giving the extra memory to ``A`` (experiment 2) beats
+giving it to ``B`` (experiment 1), so the compiler should allocate memory in
+proportion to how much I/O each array generates rather than equally.
+
+``run_table2`` regenerates both experiments and reports, for each row, the
+slab sizes, the total memory and the predicted/executed time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepPoint, run_gaxpy_point
+from repro.config import ExecutionMode
+from repro.machine.parameters import MachineParameters, touchstone_delta
+
+__all__ = ["Table2Config", "run_table2"]
+
+#: The times published in the paper's Table 2 (seconds), for EXPERIMENTS.md.
+PAPER_TABLE2 = {
+    ("vary_b", 256): 826.94, ("vary_b", 512): 548.13,
+    ("vary_b", 1024): 507.01, ("vary_b", 2048): 493.04,
+    ("vary_a", 256): 826.94, ("vary_a", 512): 510.02,
+    ("vary_a", 1024): 492.87, ("vary_a", 2048): 452.29,
+}
+
+
+@dataclasses.dataclass
+class Table2Config:
+    """Configuration of the Table 2 sweep (defaults = the paper's setup)."""
+
+    n: int = 2048
+    nprocs: int = 16
+    fixed_lines: int = 256
+    varied_lines: Sequence[int] = (256, 512, 1024, 2048)
+    dtype: str = "float32"
+    mode: ExecutionMode | str = ExecutionMode.ESTIMATE
+
+    def scaled_down(self) -> "Table2Config":
+        return Table2Config(
+            n=64,
+            nprocs=4,
+            fixed_lines=4,
+            varied_lines=(4, 8, 16),
+            dtype="float32",
+            mode=ExecutionMode.EXECUTE,
+        )
+
+    def lines_to_elements(self, array: str, lines: int) -> int:
+        """Convert a line count into elements of the named array's slab.
+
+        One line of ``a`` is one row of its local part (``n / nprocs``
+        columns wide... i.e. ``n / nprocs`` elements); one line of ``b`` is
+        one column of its local part (``n / nprocs`` elements tall).
+        """
+        per_line = max(self.n // self.nprocs, 1)
+        return int(lines) * per_line
+
+
+def run_table2(
+    config: Optional[Table2Config] = None,
+    params: Optional[MachineParameters] = None,
+) -> Dict[str, object]:
+    """Run the Table 2 sweep.
+
+    Returns a dictionary with ``rows`` (one record per configuration, fields
+    ``experiment``, ``slab_a_lines``, ``slab_b_lines``, ``total_lines``,
+    ``time``), the formatted ``table``, and ``best`` per experiment.
+    """
+    config = config or Table2Config()
+    params = params or touchstone_delta()
+
+    rows: List[Dict[str, float | str]] = []
+
+    def evaluate(slab_a_lines: int, slab_b_lines: int, experiment: str) -> Dict[str, float | str]:
+        slab_elements = {
+            "a": config.lines_to_elements("a", slab_a_lines),
+            "b": config.lines_to_elements("b", slab_b_lines),
+        }
+        point = SweepPoint(
+            n=config.n,
+            nprocs=config.nprocs,
+            version="row",
+            slab_elements=slab_elements,
+            dtype=config.dtype,
+        )
+        record = run_gaxpy_point(point, params=params, mode=config.mode)
+        return {
+            "experiment": experiment,
+            "slab_a_lines": float(slab_a_lines),
+            "slab_b_lines": float(slab_b_lines),
+            "total_lines": float(slab_a_lines + slab_b_lines),
+            "time": record["time"],
+            "io_time": record["io_time"],
+            "io_requests_per_proc": record["io_requests_per_proc"],
+        }
+
+    # Experiment 1: slab A fixed, slab B varies.
+    for lines in config.varied_lines:
+        rows.append(evaluate(config.fixed_lines, lines, "vary_b"))
+    # Experiment 2: slab B fixed, slab A varies.
+    for lines in config.varied_lines:
+        rows.append(evaluate(lines, config.fixed_lines, "vary_a"))
+
+    header = ["experiment", "slab A", "slab B", "total memory (lines)", "time (s)"]
+    table_rows = [
+        [r["experiment"], f"{r['slab_a_lines']:.0f}", f"{r['slab_b_lines']:.0f}",
+         f"{r['total_lines']:.0f}", f"{r['time']:.2f}"]
+        for r in rows
+    ]
+    table = format_table(
+        header,
+        table_rows,
+        title=(
+            f"Table 2: row-slab GAXPY, {config.n}x{config.n} reals, "
+            f"{config.nprocs} processors, varying slab sizes"
+        ),
+    )
+    best = {
+        experiment: min(
+            (r for r in rows if r["experiment"] == experiment), key=lambda r: r["time"]
+        )
+        for experiment in ("vary_b", "vary_a")
+    }
+    return {
+        "rows": rows,
+        "table": table,
+        "best": best,
+        "config": config,
+        "paper": PAPER_TABLE2 if config.n == 2048 else None,
+    }

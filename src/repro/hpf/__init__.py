@@ -1,0 +1,50 @@
+"""Mini-HPF front end.
+
+This subpackage implements the subset of High Performance Fortran needed to
+express the programs compiled in the paper:
+
+* ``PROCESSORS`` arrangements (:mod:`repro.hpf.processors`),
+* ``TEMPLATE`` declarations (:mod:`repro.hpf.template`),
+* ``DISTRIBUTE`` directives with BLOCK / CYCLIC / CYCLIC(k) patterns
+  (:mod:`repro.hpf.distribution`),
+* ``ALIGN`` directives mapping array dimensions onto template dimensions
+  (:mod:`repro.hpf.align`),
+* global array descriptors combining the above (:mod:`repro.hpf.array_desc`),
+* a lexer/parser for a small HPF-like surface syntax
+  (:mod:`repro.hpf.lexer`, :mod:`repro.hpf.parser`) producing an AST
+  (:mod:`repro.hpf.ast_nodes`), and
+* a front-end driver translating the AST into the compiler IR
+  (:mod:`repro.hpf.frontend`).
+"""
+
+from repro.hpf.processors import ProcessorGrid
+from repro.hpf.template import Template
+from repro.hpf.distribution import (
+    Distribution,
+    BlockDistribution,
+    CyclicDistribution,
+    BlockCyclicDistribution,
+    ReplicatedDistribution,
+    make_distribution,
+)
+from repro.hpf.align import Alignment, AlignmentSpec
+from repro.hpf.array_desc import ArrayDescriptor
+from repro.hpf.parser import parse_program
+from repro.hpf.frontend import compile_source, frontend_to_ir
+
+__all__ = [
+    "ProcessorGrid",
+    "Template",
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "ReplicatedDistribution",
+    "make_distribution",
+    "Alignment",
+    "AlignmentSpec",
+    "ArrayDescriptor",
+    "parse_program",
+    "compile_source",
+    "frontend_to_ir",
+]

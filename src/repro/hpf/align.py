@@ -1,0 +1,137 @@
+"""The HPF ``ALIGN`` directive.
+
+An alignment maps each dimension of an array onto either a template dimension
+(identity alignment) or collapses it (``*``), meaning every processor holds
+the full extent of that dimension locally.
+
+The paper's matrix-multiplication program uses::
+
+    !hpf$ align (*, :) with d :: a, c, temp     ! columns distributed
+    !hpf$ align (:, *) with d :: b              ! rows distributed
+
+With a one-dimensional BLOCK-distributed template ``d(n)``, the first form
+produces a *column-block* distribution (dimension 0 — the rows — is collapsed
+and dimension 1 — the columns — follows ``d``); the second form produces a
+*row-block* distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import AlignmentError
+from repro.hpf.template import Template
+
+__all__ = ["AlignmentSpec", "Alignment", "COLLAPSED"]
+
+#: Sentinel used in alignment specifications for collapsed dimensions.
+COLLAPSED = "*"
+
+
+@dataclasses.dataclass(frozen=True)
+class AlignmentSpec:
+    """Alignment request for one array dimension.
+
+    ``target`` is the zero-based template dimension the array dimension aligns
+    with, or ``None`` for a collapsed dimension.  ``offset`` supports shifted
+    alignments (``align a(i) with d(i + offset)``); the paper only needs
+    ``offset = 0`` but the general form is implemented for completeness.
+    """
+
+    target: Optional[int]
+    offset: int = 0
+
+    @property
+    def collapsed(self) -> bool:
+        return self.target is None
+
+    def describe(self) -> str:
+        if self.collapsed:
+            return COLLAPSED
+        if self.offset:
+            return f"dim{self.target}{self.offset:+d}"
+        return f"dim{self.target}"
+
+
+class Alignment:
+    """A complete alignment of an array with a template.
+
+    Parameters
+    ----------
+    template:
+        The target template.
+    specs:
+        One entry per array dimension.  Accepted forms per entry:
+
+        * ``"*"`` — collapsed dimension,
+        * ``":"`` — align with the next unused template dimension in order
+          (the HPF shorthand used in the paper),
+        * an integer — align with that template dimension explicitly,
+        * an :class:`AlignmentSpec` instance.
+    """
+
+    def __init__(self, template: Template, specs: Sequence[AlignmentSpec | str | int]):
+        self.template = template
+        resolved: list[AlignmentSpec] = []
+        next_template_dim = 0
+        for spec in specs:
+            if isinstance(spec, AlignmentSpec):
+                resolved.append(spec)
+                if spec.target is not None:
+                    next_template_dim = max(next_template_dim, spec.target + 1)
+                continue
+            if isinstance(spec, int):
+                resolved.append(AlignmentSpec(target=spec))
+                next_template_dim = max(next_template_dim, spec + 1)
+                continue
+            text = str(spec).strip()
+            if text == COLLAPSED:
+                resolved.append(AlignmentSpec(target=None))
+            elif text == ":":
+                if next_template_dim >= template.ndim:
+                    raise AlignmentError(
+                        "more ':' alignment entries than template dimensions "
+                        f"(template {template.name!r} has {template.ndim})"
+                    )
+                resolved.append(AlignmentSpec(target=next_template_dim))
+                next_template_dim += 1
+            else:
+                raise AlignmentError(f"unrecognized alignment entry {spec!r}")
+        self.specs: Tuple[AlignmentSpec, ...] = tuple(resolved)
+
+        used = [s.target for s in self.specs if s.target is not None]
+        for target in used:
+            if not 0 <= target < template.ndim:
+                raise AlignmentError(
+                    f"alignment targets template dimension {target} but template "
+                    f"{template.name!r} has only {template.ndim} dimensions"
+                )
+        if len(set(used)) != len(used):
+            raise AlignmentError("two array dimensions aligned with the same template dimension")
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.specs)
+
+    def spec(self, dim: int) -> AlignmentSpec:
+        return self.specs[dim]
+
+    def collapsed_dims(self) -> Tuple[int, ...]:
+        return tuple(i for i, s in enumerate(self.specs) if s.collapsed)
+
+    def distributed_dims(self) -> Tuple[int, ...]:
+        """Array dimensions aligned with a *distributed* template dimension."""
+        out = []
+        for i, s in enumerate(self.specs):
+            if s.target is not None and self.template.is_distributed(s.target):
+                out.append(i)
+        return tuple(out)
+
+    def describe(self) -> str:
+        entries = ", ".join(s.describe() for s in self.specs)
+        return f"ALIGN ({entries}) WITH {self.template.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Alignment({self.describe()!r})"

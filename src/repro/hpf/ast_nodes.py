@@ -1,0 +1,137 @@
+"""Abstract syntax tree of the mini-HPF surface language.
+
+The AST mirrors the source constructs one to one; the front end
+(:mod:`repro.hpf.frontend`) resolves names, applies the directives and lowers
+the tree into the compiler IR (:mod:`repro.core.ir`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ParameterDecl",
+    "ArrayDecl",
+    "ProcessorsDirective",
+    "TemplateDirective",
+    "DistributeDirective",
+    "AlignDirective",
+    "SubscriptExpr",
+    "ArrayRefExpr",
+    "ReductionAssignment",
+    "LoopNode",
+    "ProgramNode",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterDecl:
+    """``parameter (name = value, ...)`` — compile-time integer constants."""
+
+    values: Dict[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayDecl:
+    """``real a(n, n)`` — an array declaration; extents are names or literals."""
+
+    name: str
+    type_name: str
+    extents: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorsDirective:
+    """``!hpf$ processors Pr(nprocs)``"""
+
+    name: str
+    extents: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class TemplateDirective:
+    """``!hpf$ template d(n)``"""
+
+    name: str
+    extents: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributeDirective:
+    """``!hpf$ distribute d(block) onto Pr``"""
+
+    template: str
+    patterns: Tuple[str, ...]
+    processors: str
+
+
+@dataclasses.dataclass(frozen=True)
+class AlignDirective:
+    """``!hpf$ align a(*, :) with d``"""
+
+    array: str
+    entries: Tuple[str, ...]
+    template: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SubscriptExpr:
+    """One subscript: ``:``, an identifier, or an integer literal."""
+
+    kind: str          # "full", "index", "constant"
+    value: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.kind == "full":
+            return ":"
+        return str(self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayRefExpr:
+    """``a(:, k)`` — an array reference with symbolic subscripts."""
+
+    array: str
+    subscripts: Tuple[SubscriptExpr, ...]
+
+    def describe(self) -> str:
+        return f"{self.array}({', '.join(s.describe() for s in self.subscripts)})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ReductionAssignment:
+    """``c(:, j) = sum(a(:, k) * b(k, j))``"""
+
+    target: ArrayRefExpr
+    operands: Tuple[ArrayRefExpr, ...]
+    reduction: str      # "sum", "max", ...
+
+    def describe(self) -> str:
+        rhs = " * ".join(op.describe() for op in self.operands)
+        return f"{self.target.describe()} = {self.reduction}({rhs})"
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopNode:
+    """``do j = 1, n`` or ``forall (k = 1 : n)`` with a nested body."""
+
+    kind: str            # "do" or "forall"
+    index: str
+    lower: str
+    upper: str
+    body: Tuple[object, ...]   # LoopNode or ReductionAssignment
+
+
+@dataclasses.dataclass
+class ProgramNode:
+    """A whole parsed program."""
+
+    name: str
+    parameters: Dict[str, int]
+    arrays: List[ArrayDecl]
+    processors: List[ProcessorsDirective]
+    templates: List[TemplateDirective]
+    distributes: List[DistributeDirective]
+    aligns: List[AlignDirective]
+    body: Tuple[object, ...]

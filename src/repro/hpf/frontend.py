@@ -1,0 +1,157 @@
+"""Front-end driver: mini-HPF source text to compiler IR.
+
+The front end resolves parameter names, applies the ``PROCESSORS``,
+``TEMPLATE``, ``DISTRIBUTE`` and ``ALIGN`` directives to build array
+descriptors, and lowers the loop nest with its reduction assignment into the
+:class:`~repro.core.ir.ProgramIR` the out-of-core compiler consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import HPFSemanticError
+from repro.hpf.align import Alignment
+from repro.hpf.array_desc import ArrayDescriptor
+from repro.hpf.ast_nodes import LoopNode, ProgramNode, ReductionAssignment, SubscriptExpr
+from repro.hpf.parser import parse_program
+from repro.hpf.processors import ProcessorGrid
+from repro.hpf.template import DimDistributionSpec, Template
+
+__all__ = ["frontend_to_ir", "compile_source"]
+
+
+def _resolve_extent(value: str, parameters: Dict[str, int]) -> int:
+    if value.isdigit():
+        return int(value)
+    if value in parameters:
+        return parameters[value]
+    raise HPFSemanticError(f"unknown extent {value!r} (not a literal or a parameter)")
+
+
+def _lower_subscript(sub: SubscriptExpr, loop_indices: Tuple[str, ...]):
+    from repro.core.ir import Constant, FullRange, LoopIndex
+
+    if sub.kind == "full":
+        return FullRange()
+    if sub.kind == "constant":
+        return Constant(int(sub.value) - 1)  # one-based source, zero-based IR
+    if sub.value not in loop_indices:
+        raise HPFSemanticError(f"subscript uses unknown loop index {sub.value!r}")
+    return LoopIndex(sub.value)
+
+
+def frontend_to_ir(program: ProgramNode, dtype_default: str = "float32", out_of_core: bool = True):
+    """Lower a parsed mini-HPF program into the compiler IR."""
+    from repro.core.ir import ArrayRef, Loop, LoopKind, ProgramIR, ReductionStatement
+
+    parameters = dict(program.parameters)
+
+    # Processor arrangements.
+    if not program.processors:
+        raise HPFSemanticError("the program declares no PROCESSORS arrangement")
+    grids: Dict[str, ProcessorGrid] = {}
+    for directive in program.processors:
+        shape = tuple(_resolve_extent(e, parameters) for e in directive.extents)
+        grids[directive.name.lower()] = ProcessorGrid(directive.name, shape)
+
+    # Templates + their distributions.
+    template_extents: Dict[str, Tuple[int, ...]] = {
+        t.name.lower(): tuple(_resolve_extent(e, parameters) for e in t.extents)
+        for t in program.templates
+    }
+    templates: Dict[str, Template] = {}
+    for directive in program.distributes:
+        key = directive.template.lower()
+        if key not in template_extents:
+            raise HPFSemanticError(f"DISTRIBUTE names undeclared template {directive.template!r}")
+        grid = grids.get(directive.processors.lower())
+        if grid is None:
+            raise HPFSemanticError(
+                f"DISTRIBUTE names undeclared processor arrangement {directive.processors!r}"
+            )
+        specs = [DimDistributionSpec(pattern.lower()) for pattern in directive.patterns]
+        templates[key] = Template(directive.template, template_extents[key], grid, specs)
+    for name in template_extents:
+        if name not in templates:
+            raise HPFSemanticError(f"template {name!r} is never distributed")
+
+    # Arrays: declaration + alignment.
+    align_of = {a.array.lower(): a for a in program.aligns}
+    dtype_map = {"real": dtype_default, "double": "float64", "integer": "int32"}
+    descriptors: Dict[str, ArrayDescriptor] = {}
+    for decl in program.arrays:
+        key = decl.name.lower()
+        if key not in align_of:
+            raise HPFSemanticError(f"array {decl.name!r} has no ALIGN directive")
+        align_directive = align_of[key]
+        template = templates.get(align_directive.template.lower())
+        if template is None:
+            raise HPFSemanticError(
+                f"ALIGN of {decl.name!r} names undeclared template {align_directive.template!r}"
+            )
+        shape = tuple(_resolve_extent(e, parameters) for e in decl.extents)
+        alignment = Alignment(template, list(align_directive.entries))
+        descriptors[decl.name] = ArrayDescriptor(
+            decl.name, shape, alignment,
+            dtype=dtype_map.get(decl.type_name, dtype_default),
+            out_of_core=out_of_core,
+        )
+
+    # Loop nest: must be a perfect nest ending in one reduction assignment.
+    loops: List[Loop] = []
+    node = program.body
+    statement: ReductionAssignment | None = None
+    current: Tuple[object, ...] = node
+    while True:
+        if len(current) != 1:
+            raise HPFSemanticError(
+                "the compiler handles a perfect loop nest with a single statement; "
+                f"found {len(current)} constructs at one nesting level"
+            )
+        item = current[0]
+        if isinstance(item, LoopNode):
+            extent = _resolve_extent(item.upper, parameters) - _resolve_extent(item.lower, parameters) + 1
+            kind = LoopKind.FORALL if item.kind == "forall" else LoopKind.SEQUENTIAL
+            loops.append(Loop(item.index, extent, kind))
+            current = item.body
+            continue
+        if isinstance(item, ReductionAssignment):
+            statement = item
+            break
+        raise HPFSemanticError(f"unsupported construct {type(item).__name__} in the loop nest")
+    if statement is None:  # pragma: no cover - loop above always sets or raises
+        raise HPFSemanticError("no reduction assignment found")
+
+    loop_indices = tuple(loop.index for loop in loops)
+    forall_loops = [loop for loop in loops if loop.kind is LoopKind.FORALL]
+    if not forall_loops:
+        raise HPFSemanticError("the loop nest contains no FORALL loop to reduce over")
+    reduce_index = forall_loops[-1].index
+
+    def lower_ref(ref) -> "ArrayRef":
+        if ref.array not in descriptors:
+            raise HPFSemanticError(f"statement references undeclared array {ref.array!r}")
+        return ArrayRef(ref.array, [_lower_subscript(s, loop_indices) for s in ref.subscripts])
+
+    ir_statement = ReductionStatement(
+        result=lower_ref(statement.target),
+        operands=[lower_ref(op) for op in statement.operands],
+        reduce_index=reduce_index,
+        op=statement.reduction,
+    )
+    return ProgramIR(name=program.name, arrays=descriptors, loops=tuple(loops), statement=ir_statement)
+
+
+def compile_source(source: str, params=None, **compile_kwargs):
+    """Parse, lower and compile mini-HPF source text in one call.
+
+    Keyword arguments are forwarded to :func:`repro.core.pipeline.compile_program`
+    (one of ``memory_budget_bytes``, ``slab_ratio`` or ``slab_elements`` is
+    required).
+    """
+    from repro.core.pipeline import compile_program
+
+    ast = parse_program(source)
+    program_ir = frontend_to_ir(ast)
+    return compile_program(program_ir, params, **compile_kwargs)

@@ -1,0 +1,118 @@
+"""Lexer for the mini-HPF surface syntax.
+
+The front end accepts a small, HPF-flavoured language sufficient to write
+the programs the compiler handles — the paper's Figure 3 looks like this::
+
+    program gaxpy
+      parameter (n = 1024, nprocs = 16)
+      real a(n, n), b(n, n), c(n, n)
+    !hpf$ processors Pr(nprocs)
+    !hpf$ template d(n)
+    !hpf$ distribute d(block) onto Pr
+    !hpf$ align a(*, :) with d
+    !hpf$ align c(*, :) with d
+    !hpf$ align b(:, *) with d
+      do j = 1, n
+        forall (k = 1 : n)
+          c(:, j) = sum(a(:, k) * b(k, j))
+        end forall
+      end do
+    end program
+
+The lexer is line oriented: ``!hpf$`` prefixes mark directive lines (any
+other ``!`` comment is skipped), and each line is broken into identifier,
+number and punctuation tokens with positions for error reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterator, List
+
+from repro.exceptions import HPFSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+#: token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"
+DIRECTIVE = "DIRECTIVE"
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<NUMBER>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<PUNCT>\*|:|,|\(|\)|=|\+|-|/)
+  | (?P<SKIP>[ \t]+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_ident(self, *names: str) -> bool:
+        return self.kind == IDENT and (not names or self.text.lower() in {n.lower() for n in names})
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def _tokenize_line(line: str, lineno: int, tokens: List[Token]) -> None:
+    for match in _TOKEN_RE.finditer(line):
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() + 1
+        if kind == "SKIP":
+            continue
+        if kind == "BAD":
+            raise HPFSyntaxError(f"unexpected character {text!r}", lineno, column)
+        tokens.append(Token(kind, text, lineno, column))
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a mini-HPF program into a flat token list.
+
+    Directive lines (``!hpf$ ...``) produce a :data:`DIRECTIVE` marker token
+    followed by the directive's own tokens; ordinary comment lines are
+    dropped; every line ends with a :data:`NEWLINE` token and the stream is
+    terminated by :data:`EOF`.
+    """
+    tokens: List[Token] = []
+    for lineno, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        lower = stripped.lower()
+        if lower.startswith("!hpf$"):
+            tokens.append(Token(DIRECTIVE, "!hpf$", lineno, line.lower().index("!hpf$") + 1))
+            _tokenize_line(stripped[len("!hpf$"):], lineno, tokens)
+        elif stripped.startswith("!") or stripped.lower().startswith("c "):
+            continue  # plain comment
+        else:
+            # strip trailing comments
+            if "!" in line:
+                line = line[: line.index("!")]
+                if not line.strip():
+                    continue
+            _tokenize_line(line, lineno, tokens)
+        tokens.append(Token(NEWLINE, "\n", lineno, len(raw_line) + 1))
+    last_line = tokens[-1].line + 1 if tokens else 1
+    tokens.append(Token(EOF, "", last_line, 1))
+    return tokens

@@ -1,0 +1,311 @@
+"""Recursive-descent parser for the mini-HPF surface language.
+
+Grammar (informally)::
+
+    program     ::= "program" IDENT NL { declaration | directive } { loop } "end" ...
+    declaration ::= "parameter" "(" IDENT "=" NUMBER { "," IDENT "=" NUMBER } ")" NL
+                  | TYPE array_decl { "," array_decl } NL
+    array_decl  ::= IDENT "(" extent { "," extent } ")"
+    directive   ::= "!hpf$" ( processors | template | distribute | align ) NL
+    loop        ::= "do" IDENT "=" extent "," extent NL { loop | statement } "end" "do" NL
+                  | "forall" "(" IDENT "=" extent ":" extent ")" NL { loop | statement }
+                    "end" "forall" NL
+    statement   ::= arrayref "=" IDENT "(" arrayref { "*" arrayref } ")" NL
+    arrayref    ::= IDENT "(" subscript { "," subscript } ")"
+    subscript   ::= ":" | IDENT | NUMBER
+
+Only the constructs the out-of-core compiler understands are accepted;
+anything else raises :class:`~repro.exceptions.HPFSyntaxError` with the
+offending line and column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import HPFSyntaxError
+from repro.hpf.ast_nodes import (
+    AlignDirective,
+    ArrayDecl,
+    ArrayRefExpr,
+    DistributeDirective,
+    LoopNode,
+    ProcessorsDirective,
+    ProgramNode,
+    ReductionAssignment,
+    SubscriptExpr,
+    TemplateDirective,
+)
+from repro.hpf.lexer import DIRECTIVE, EOF, IDENT, NEWLINE, NUMBER, PUNCT, Token, tokenize
+
+__all__ = ["parse_program"]
+
+_TYPE_NAMES = {"real", "integer", "double", "logical", "complex"}
+_REDUCTIONS = {"sum", "max", "min", "prod", "product"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind is not EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> HPFSyntaxError:
+        token = token or self.peek()
+        return HPFSyntaxError(message, token.line, token.column)
+
+    def expect_ident(self, *names: str) -> Token:
+        token = self.advance()
+        if token.kind != IDENT or (names and token.text.lower() not in {n.lower() for n in names}):
+            expected = " or ".join(names) if names else "an identifier"
+            raise self.error(f"expected {expected}, found {token.text!r}", token)
+        return token
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.advance()
+        if not token.is_punct(text):
+            raise self.error(f"expected {text!r}, found {token.text!r}", token)
+        return token
+
+    def expect_newline(self) -> None:
+        token = self.advance()
+        if token.kind not in (NEWLINE, EOF):
+            raise self.error(f"expected end of line, found {token.text!r}", token)
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind == NEWLINE:
+            self.advance()
+
+    def at_ident(self, *names: str) -> bool:
+        return self.peek().is_ident(*names)
+
+    # -- extents / subscripts ---------------------------------------------------
+    def parse_extent(self) -> str:
+        token = self.advance()
+        if token.kind in (IDENT, NUMBER):
+            return token.text
+        raise self.error(f"expected an extent (name or number), found {token.text!r}", token)
+
+    def parse_name_list(self) -> Tuple[str, ...]:
+        self.expect_punct("(")
+        extents = [self.parse_extent()]
+        while self.peek().is_punct(","):
+            self.advance()
+            extents.append(self.parse_extent())
+        self.expect_punct(")")
+        return tuple(extents)
+
+    def parse_subscript(self) -> SubscriptExpr:
+        token = self.advance()
+        if token.is_punct(":"):
+            return SubscriptExpr("full")
+        if token.kind == IDENT:
+            return SubscriptExpr("index", token.text)
+        if token.kind == NUMBER:
+            return SubscriptExpr("constant", token.text)
+        raise self.error(f"expected a subscript, found {token.text!r}", token)
+
+    def parse_array_ref(self) -> ArrayRefExpr:
+        name = self.expect_ident()
+        self.expect_punct("(")
+        subscripts = [self.parse_subscript()]
+        while self.peek().is_punct(","):
+            self.advance()
+            subscripts.append(self.parse_subscript())
+        self.expect_punct(")")
+        return ArrayRefExpr(name.text, tuple(subscripts))
+
+    # -- declarations -----------------------------------------------------------
+    def parse_parameter(self) -> dict:
+        self.expect_ident("parameter")
+        self.expect_punct("(")
+        values = {}
+        while True:
+            name = self.expect_ident()
+            self.expect_punct("=")
+            number = self.advance()
+            if number.kind != NUMBER:
+                raise self.error(f"expected an integer value, found {number.text!r}", number)
+            values[name.text] = int(number.text)
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct(")")
+        self.expect_newline()
+        return values
+
+    def parse_array_decls(self) -> List[ArrayDecl]:
+        type_token = self.advance()
+        type_name = type_token.text.lower()
+        decls = []
+        while True:
+            name = self.expect_ident()
+            extents = self.parse_name_list()
+            decls.append(ArrayDecl(name.text, type_name, extents))
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_newline()
+        return decls
+
+    # -- directives --------------------------------------------------------------
+    def parse_directive(self, program: ProgramNode) -> None:
+        self.advance()  # the DIRECTIVE marker
+        keyword = self.expect_ident(
+            "processors", "template", "distribute", "align"
+        ).text.lower()
+        if keyword == "processors":
+            name = self.expect_ident()
+            extents = self.parse_name_list()
+            program.processors.append(ProcessorsDirective(name.text, extents))
+        elif keyword == "template":
+            name = self.expect_ident()
+            extents = self.parse_name_list()
+            program.templates.append(TemplateDirective(name.text, extents))
+        elif keyword == "distribute":
+            template = self.expect_ident()
+            patterns = self.parse_name_list()
+            self.expect_ident("onto", "on")
+            processors = self.expect_ident()
+            program.distributes.append(
+                DistributeDirective(template.text, patterns, processors.text)
+            )
+        else:  # align
+            array = self.expect_ident()
+            self.expect_punct("(")
+            entries = [self._parse_align_entry()]
+            while self.peek().is_punct(","):
+                self.advance()
+                entries.append(self._parse_align_entry())
+            self.expect_punct(")")
+            self.expect_ident("with")
+            template = self.expect_ident()
+            program.aligns.append(AlignDirective(array.text, tuple(entries), template.text))
+        self.expect_newline()
+
+    def _parse_align_entry(self) -> str:
+        token = self.advance()
+        if token.is_punct("*"):
+            return "*"
+        if token.is_punct(":"):
+            return ":"
+        raise self.error(f"expected '*' or ':' in an align directive, found {token.text!r}", token)
+
+    # -- loops and statements ------------------------------------------------------
+    def parse_loop(self) -> LoopNode:
+        if self.at_ident("do"):
+            self.advance()
+            index = self.expect_ident()
+            self.expect_punct("=")
+            lower = self.parse_extent()
+            self.expect_punct(",")
+            upper = self.parse_extent()
+            self.expect_newline()
+            body = self.parse_body(terminator="do")
+            return LoopNode("do", index.text, lower, upper, tuple(body))
+        if self.at_ident("forall"):
+            self.advance()
+            self.expect_punct("(")
+            index = self.expect_ident()
+            self.expect_punct("=")
+            lower = self.parse_extent()
+            self.expect_punct(":")
+            upper = self.parse_extent()
+            self.expect_punct(")")
+            self.expect_newline()
+            body = self.parse_body(terminator="forall")
+            return LoopNode("forall", index.text, lower, upper, tuple(body))
+        raise self.error("expected 'do' or 'forall'")
+
+    def parse_statement(self) -> ReductionAssignment:
+        target = self.parse_array_ref()
+        self.expect_punct("=")
+        head = self.expect_ident()
+        if head.text.lower() not in _REDUCTIONS:
+            raise self.error(
+                f"only reduction assignments (sum/min/max/prod) are supported, found "
+                f"{head.text!r}", head,
+            )
+        self.expect_punct("(")
+        operands = [self.parse_array_ref()]
+        while self.peek().is_punct("*"):
+            self.advance()
+            operands.append(self.parse_array_ref())
+        self.expect_punct(")")
+        self.expect_newline()
+        reduction = "sum" if head.text.lower() == "sum" else head.text.lower()
+        return ReductionAssignment(target, tuple(operands), reduction)
+
+    def parse_body(self, terminator: str) -> List[object]:
+        body: List[object] = []
+        while True:
+            self.skip_newlines()
+            if self.at_ident("end"):
+                self.advance()
+                if self.peek().kind == IDENT:
+                    closing = self.advance()
+                    if closing.text.lower() not in (terminator, "program"):
+                        raise self.error(
+                            f"mismatched end: expected 'end {terminator}', found "
+                            f"'end {closing.text}'", closing,
+                        )
+                self.expect_newline()
+                return body
+            if self.peek().kind == EOF:
+                raise self.error(f"missing 'end {terminator}'")
+            if self.at_ident("do", "forall"):
+                body.append(self.parse_loop())
+            else:
+                body.append(self.parse_statement())
+
+    # -- the program -----------------------------------------------------------------
+    def parse_program(self) -> ProgramNode:
+        self.skip_newlines()
+        self.expect_ident("program")
+        name = self.expect_ident()
+        self.expect_newline()
+        program = ProgramNode(
+            name=name.text, parameters={}, arrays=[], processors=[], templates=[],
+            distributes=[], aligns=[], body=(),
+        )
+        body: List[object] = []
+        while True:
+            self.skip_newlines()
+            token = self.peek()
+            if token.kind == EOF:
+                break
+            if token.kind == DIRECTIVE:
+                self.parse_directive(program)
+            elif token.is_ident("parameter"):
+                program.parameters.update(self.parse_parameter())
+            elif token.kind == IDENT and token.text.lower() in _TYPE_NAMES:
+                program.arrays.extend(self.parse_array_decls())
+            elif token.is_ident("end"):
+                self.advance()
+                if self.peek().kind == IDENT:
+                    self.advance()
+                self.skip_newlines()
+                break
+            elif token.is_ident("do", "forall"):
+                body.append(self.parse_loop())
+            else:
+                raise self.error(f"unexpected {token.text!r} at program level", token)
+        program.body = tuple(body)
+        return program
+
+
+def parse_program(source: str) -> ProgramNode:
+    """Parse mini-HPF source text into a :class:`~repro.hpf.ast_nodes.ProgramNode`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,95 @@
+"""Processor arrangements (the HPF ``PROCESSORS`` directive).
+
+A :class:`ProcessorGrid` names a logical, possibly multi-dimensional
+arrangement of abstract processors.  Templates are distributed onto a
+processor grid; at runtime each abstract processor is realised by one
+simulated compute node of the machine model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence, Tuple
+
+from repro.exceptions import DistributionError
+
+__all__ = ["ProcessorGrid"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorGrid:
+    """A named logical arrangement of processors.
+
+    Parameters
+    ----------
+    name:
+        The HPF name of the arrangement (``Pr`` in the paper's example).
+    shape:
+        Extent along each dimension.  The paper uses one-dimensional
+        arrangements (``processors Pr(nprocs)``); multi-dimensional grids are
+        supported because BLOCK distributions of multi-dimensional templates
+        need them.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+
+    def __init__(self, name: str, shape: Sequence[int] | int):
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        if not shape:
+            raise DistributionError("a processor grid needs at least one dimension")
+        for extent in shape:
+            if extent < 1:
+                raise DistributionError(f"processor grid {name!r} has non-positive extent {extent}")
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "shape", shape)
+
+    # -- basic geometry -----------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the arrangement."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of abstract processors."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    def ranks(self) -> Iterator[int]:
+        """Iterate over the linearised ranks ``0 .. size-1``."""
+        return iter(range(self.size))
+
+    # -- rank <-> coordinate conversion ------------------------------------
+    def coordinates(self, rank: int) -> Tuple[int, ...]:
+        """Return the grid coordinates of a linearised ``rank`` (row-major)."""
+        if not 0 <= rank < self.size:
+            raise DistributionError(f"rank {rank} outside processor grid of size {self.size}")
+        coords = []
+        remaining = rank
+        for extent in reversed(self.shape):
+            coords.append(remaining % extent)
+            remaining //= extent
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Return the linearised rank of grid ``coords`` (row-major)."""
+        coords = tuple(int(c) for c in coords)
+        if len(coords) != self.ndim:
+            raise DistributionError(
+                f"coordinate tuple {coords} has {len(coords)} dimensions, grid has {self.ndim}"
+            )
+        rank = 0
+        for coordinate, extent in zip(coords, self.shape):
+            if not 0 <= coordinate < extent:
+                raise DistributionError(f"coordinate {coordinate} outside extent {extent}")
+            rank = rank * extent + coordinate
+        return rank
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(str(s) for s in self.shape)
+        return f"PROCESSORS {self.name}({dims})"

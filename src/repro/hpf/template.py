@@ -1,0 +1,143 @@
+"""HPF ``TEMPLATE`` declarations and the ``DISTRIBUTE`` directive.
+
+A template is an abstract index space that arrays are aligned with.  The
+``DISTRIBUTE`` directive maps each template dimension either onto one
+dimension of a processor grid (with a BLOCK / CYCLIC / CYCLIC(k) pattern) or
+marks it as not distributed (``*``).
+
+The paper's example uses the simplest possible case::
+
+    !hpf$ template d(n)
+    !hpf$ distribute d(block) on Pr
+
+i.e. a one-dimensional template of extent ``n`` distributed BLOCK onto a
+one-dimensional processor arrangement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import DistributionError
+from repro.hpf.distribution import Distribution, make_distribution
+from repro.hpf.processors import ProcessorGrid
+
+__all__ = ["DimDistributionSpec", "Template"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DimDistributionSpec:
+    """Distribution request for one template dimension.
+
+    ``kind`` is ``"block"``, ``"cyclic"`` or ``"*"`` (not distributed);
+    ``block`` is the block size for CYCLIC(k).
+    """
+
+    kind: str = "block"
+    block: Optional[int] = None
+
+    def is_distributed(self) -> bool:
+        return self.kind.strip().lower() not in {"*", "replicated", "collapsed", "none"}
+
+    def describe(self) -> str:
+        if not self.is_distributed():
+            return "*"
+        if self.kind.lower() == "cyclic" and self.block and self.block > 1:
+            return f"cyclic({self.block})"
+        return self.kind.lower()
+
+
+class Template:
+    """An HPF template together with its distribution onto a processor grid.
+
+    Parameters
+    ----------
+    name:
+        Template name (``d`` in the paper).
+    shape:
+        Extent of each template dimension.
+    grid:
+        Processor arrangement the template is distributed onto.
+    dist_specs:
+        One :class:`DimDistributionSpec` per template dimension.  The number of
+        *distributed* dimensions must equal the number of grid dimensions; they
+        are matched in order (first distributed template dimension onto the
+        first grid dimension, and so on), which is the HPF default.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[int] | int,
+        grid: ProcessorGrid,
+        dist_specs: Sequence[DimDistributionSpec | str] | None = None,
+    ):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.name = str(name)
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise DistributionError(f"template {name!r} has negative extent in {self.shape}")
+        self.grid = grid
+
+        if dist_specs is None:
+            # Default: distribute every dimension BLOCK, which requires the grid
+            # to have the same rank as the template.
+            dist_specs = [DimDistributionSpec("block") for _ in self.shape]
+        normalized: List[DimDistributionSpec] = []
+        for spec in dist_specs:
+            if isinstance(spec, str):
+                spec = DimDistributionSpec(spec)
+            normalized.append(spec)
+        if len(normalized) != len(self.shape):
+            raise DistributionError(
+                f"template {name!r} has {len(self.shape)} dimensions but "
+                f"{len(normalized)} distribution specifications"
+            )
+        self.dist_specs: Tuple[DimDistributionSpec, ...] = tuple(normalized)
+
+        distributed_dims = [i for i, s in enumerate(self.dist_specs) if s.is_distributed()]
+        if len(distributed_dims) != grid.ndim:
+            raise DistributionError(
+                f"template {name!r} distributes {len(distributed_dims)} dimensions but the "
+                f"processor grid {grid.name!r} has {grid.ndim} dimensions"
+            )
+        # template dim -> grid dim (None when not distributed)
+        self._grid_dim_of: List[Optional[int]] = [None] * len(self.shape)
+        for grid_dim, template_dim in enumerate(distributed_dims):
+            self._grid_dim_of[template_dim] = grid_dim
+
+        # Concrete per-dimension distributions.
+        self._distributions: List[Distribution] = []
+        for dim, spec in enumerate(self.dist_specs):
+            if spec.is_distributed():
+                nprocs = grid.shape[self._grid_dim_of[dim]]  # type: ignore[index]
+                self._distributions.append(
+                    make_distribution(spec.kind, self.shape[dim], nprocs, spec.block)
+                )
+            else:
+                self._distributions.append(make_distribution("*", self.shape[dim], 1))
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def distribution(self, dim: int) -> Distribution:
+        """Concrete :class:`Distribution` of template dimension ``dim``."""
+        return self._distributions[dim]
+
+    def grid_dim(self, dim: int) -> Optional[int]:
+        """Grid dimension that template dimension ``dim`` is distributed onto."""
+        return self._grid_dim_of[dim]
+
+    def is_distributed(self, dim: int) -> bool:
+        return self.dist_specs[dim].is_distributed()
+
+    def describe(self) -> str:
+        dims = ", ".join(spec.describe() for spec in self.dist_specs)
+        return f"DISTRIBUTE {self.name}({dims}) ONTO {self.grid.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Template({self.name!r}, shape={self.shape}, {self.describe()!r})"

@@ -1,0 +1,43 @@
+"""Out-of-core kernels.
+
+The kernels are the *executable* counterparts of the node programs the
+compiler generates: they drive the out-of-core runtime (Local Array Files,
+slabs, global sums) exactly in the order the generated schedule prescribes,
+performing the real arithmetic with NumPy so results can be verified against
+dense references.
+
+* :mod:`repro.kernels.gaxpy` — the paper's GAXPY matrix multiplication in its
+  column-slab, row-slab and in-core forms, plus a dense reference.
+* :mod:`repro.kernels.transpose` — out-of-core transpose (an additional
+  workload exercising redistribution-style all-to-all communication).
+* :mod:`repro.kernels.elementwise` — out-of-core elementwise array operations
+  (the simplest class of data-parallel statement, no communication).
+"""
+
+from repro.kernels.gaxpy import (
+    GaxpyInputs,
+    GaxpyRunResult,
+    generate_gaxpy_inputs,
+    gaxpy_reference,
+    run_gaxpy_column_slab,
+    run_gaxpy_row_slab,
+    run_gaxpy_incore,
+    run_compiled_gaxpy,
+)
+from repro.kernels.elementwise import ElementwiseResult, run_elementwise
+from repro.kernels.transpose import TransposeResult, run_transpose
+
+__all__ = [
+    "GaxpyInputs",
+    "GaxpyRunResult",
+    "generate_gaxpy_inputs",
+    "gaxpy_reference",
+    "run_gaxpy_column_slab",
+    "run_gaxpy_row_slab",
+    "run_gaxpy_incore",
+    "run_compiled_gaxpy",
+    "ElementwiseResult",
+    "run_elementwise",
+    "TransposeResult",
+    "run_transpose",
+]

@@ -1,0 +1,403 @@
+"""Out-of-core GAXPY matrix multiplication (the paper's running example).
+
+Three executable versions are provided, mirroring the paper:
+
+* :func:`run_gaxpy_column_slab` — the straightforward extension of in-core
+  compilation (Figure 9): column slabs of the streamed array are re-fetched
+  for every result column.
+* :func:`run_gaxpy_row_slab` — the reorganized version (Figure 12): row slabs
+  of the streamed array are fetched once each and the loops are reordered
+  around them.
+* :func:`run_gaxpy_incore` — the in-core baseline: each local array is read
+  from disk once and kept in memory.
+
+All three operate on a :class:`~repro.runtime.vm.VirtualMachine`, perform the
+real arithmetic with NumPy (in ``EXECUTE`` mode), charge every I/O transfer,
+global sum and floating point operation to the machine model, and can verify
+the product against a dense reference.
+
+The functions are generic over the statement's array names — they take a
+:class:`~repro.core.pipeline.CompiledProgram` and read the roles (streamed /
+coefficient / result) from its analysis — so they serve as the execution
+engine for any program of the GAXPY class, not just the literal ``a``, ``b``,
+``c`` of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import RuntimeExecutionError
+from repro.core.pipeline import CompiledProgram
+from repro.runtime.collectives import global_sum
+from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, row_slabs
+from repro.runtime.vm import OutOfCoreArray, VirtualMachine
+
+__all__ = [
+    "GaxpyInputs",
+    "GaxpyRunResult",
+    "generate_gaxpy_inputs",
+    "gaxpy_reference",
+    "run_gaxpy_column_slab",
+    "run_gaxpy_row_slab",
+    "run_gaxpy_incore",
+    "run_compiled_gaxpy",
+]
+
+
+# ---------------------------------------------------------------------------
+# inputs and reference
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class GaxpyInputs:
+    """Dense input operands for one GAXPY run."""
+
+    streamed: np.ndarray     # the matrix whose columns are combined (A)
+    coefficient: np.ndarray  # the matrix providing the combination weights (B)
+
+    @property
+    def n(self) -> int:
+        return self.streamed.shape[0]
+
+
+def generate_gaxpy_inputs(n: int, dtype="float32", seed: int = 1994) -> GaxpyInputs:
+    """Generate reproducible dense operands of size ``n x n``."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(dtype)
+    b = rng.standard_normal((n, n)).astype(dtype)
+    return GaxpyInputs(streamed=a, coefficient=b)
+
+
+def gaxpy_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense GAXPY product ``C = A B`` computed column by column (equation 1)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    c = np.zeros((n, b.shape[1]), dtype=np.float64)
+    for j in range(b.shape[1]):
+        c[:, j] = a @ b[:, j]
+    return c
+
+
+# ---------------------------------------------------------------------------
+# run results
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class GaxpyRunResult:
+    """Outcome of one out-of-core GAXPY execution."""
+
+    strategy: str
+    simulated_seconds: float
+    time_breakdown: Dict[str, float]
+    io_statistics: Dict[str, float]
+    result: Optional[np.ndarray] = None
+    verified: Optional[bool] = None
+    max_abs_error: Optional[float] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"gaxpy [{self.strategy}]: {self.simulated_seconds:.2f} simulated seconds",
+            f"  io:      {self.time_breakdown.get('io', 0.0):.2f}s "
+            f"({self.io_statistics.get('io_requests_per_proc', 0):.0f} requests/proc, "
+            f"{self.io_statistics.get('bytes_read_per_proc', 0) / 1e6:.2f} MB read/proc)",
+            f"  compute: {self.time_breakdown.get('compute', 0.0):.2f}s",
+            f"  comm:    {self.time_breakdown.get('comm', 0.0):.2f}s",
+        ]
+        if self.verified is not None:
+            lines.append(f"  verified against dense reference: {self.verified} "
+                         f"(max |error| = {self.max_abs_error:.2e})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+def _uniform_local_shape(descriptor) -> Tuple[int, int]:
+    shapes = {descriptor.local_shape(r) for r in range(descriptor.nprocs)}
+    if len(shapes) != 1:
+        raise RuntimeExecutionError(
+            f"the executable kernels require identical local shapes on every processor; "
+            f"array {descriptor.name!r} has {sorted(shapes)} "
+            "(choose an extent divisible by the number of processors)"
+        )
+    return next(iter(shapes))
+
+
+def _setup_arrays(
+    vm: VirtualMachine,
+    compiled: CompiledProgram,
+    inputs: Optional[GaxpyInputs],
+    result_order: str,
+    streamed_order: str,
+) -> Tuple[OutOfCoreArray, OutOfCoreArray, OutOfCoreArray]:
+    analysis = compiled.analysis
+    arrays = compiled.program.arrays
+    s_desc = arrays[analysis.streamed]
+    b_desc = arrays[analysis.coefficient]
+    c_desc = arrays[analysis.result]
+    for desc in (s_desc, b_desc, c_desc):
+        _uniform_local_shape(desc)
+    streamed_dense = inputs.streamed if inputs is not None else None
+    coefficient_dense = inputs.coefficient if inputs is not None else None
+    ooc_s = vm.create_array(s_desc, initial=streamed_dense, storage_order=streamed_order)
+    ooc_b = vm.create_array(b_desc, initial=coefficient_dense, storage_order="F")
+    ooc_c = vm.create_array(c_desc, initial=None if not vm.perform_io else
+                            np.zeros(c_desc.shape, dtype=c_desc.dtype), storage_order=result_order)
+    return ooc_s, ooc_b, ooc_c
+
+
+def _finish(
+    vm: VirtualMachine,
+    compiled: CompiledProgram,
+    strategy: str,
+    ooc_c: OutOfCoreArray,
+    inputs: Optional[GaxpyInputs],
+    verify: bool,
+) -> GaxpyRunResult:
+    result_dense: Optional[np.ndarray] = None
+    verified: Optional[bool] = None
+    max_err: Optional[float] = None
+    if vm.perform_io:
+        result_dense = vm.to_dense(ooc_c)
+        if verify and inputs is not None:
+            reference = gaxpy_reference(inputs.streamed, inputs.coefficient)
+            max_err = float(np.max(np.abs(result_dense.astype(np.float64) - reference)))
+            scale = float(np.max(np.abs(reference))) or 1.0
+            verified = bool(max_err <= 1e-3 * scale)
+    return GaxpyRunResult(
+        strategy=strategy,
+        simulated_seconds=vm.elapsed(),
+        time_breakdown=vm.time_breakdown(),
+        io_statistics=vm.io_statistics(),
+        result=result_dense,
+        verified=verified,
+        max_abs_error=max_err,
+    )
+
+
+def _charge_compute_all(vm: VirtualMachine, flops_per_proc: float) -> None:
+    for rank in range(vm.nprocs):
+        vm.machine.charge_compute(rank, flops_per_proc)
+
+
+# ---------------------------------------------------------------------------
+# column-slab version (Figure 9)
+# ---------------------------------------------------------------------------
+def run_gaxpy_column_slab(
+    vm: VirtualMachine,
+    compiled: CompiledProgram,
+    inputs: Optional[GaxpyInputs] = None,
+    verify: bool = True,
+) -> GaxpyRunResult:
+    """Execute the column-slab (naive) out-of-core GAXPY node program."""
+    analysis = compiled.analysis
+    plan = compiled.plan if compiled.plan.strategy is SlabbingStrategy.COLUMN else (
+        compiled.decision.candidate(SlabbingStrategy.COLUMN) if compiled.decision else compiled.plan
+    )
+    s_entry = plan.entry(analysis.streamed)
+    b_entry = plan.entry(analysis.coefficient)
+    c_entry = plan.entry(analysis.result)
+
+    ooc_s, ooc_b, ooc_c = _setup_arrays(vm, compiled, inputs, result_order="F", streamed_order="F")
+    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
+    s_shape = _uniform_local_shape(s_desc)
+    b_shape = _uniform_local_shape(ooc_b.descriptor)
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    n_rows = c_desc.shape[0]
+    itemsize = c_desc.itemsize
+
+    s_slabs = column_slabs(s_shape, s_entry.lines_per_slab)
+    b_slabs = column_slabs(b_shape, b_entry.lines_per_slab)
+    c_slabs = column_slabs(c_shape, c_entry.lines_per_slab)
+    c_slab_of_col = {}
+    for slab in c_slabs:
+        for col in range(slab.col_start, slab.col_stop):
+            c_slab_of_col[col] = slab
+
+    perform = vm.perform_io
+    c_buffers: Dict[int, np.ndarray] = {
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+    } if perform else {}
+
+    global_col = 0
+    for b_slab in b_slabs:
+        b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+        for m in range(b_slab.ncols):
+            j = global_col
+            global_col += 1
+            if perform:
+                temp = {rank: np.zeros(n_rows, dtype=np.float64) for rank in range(nprocs)}
+            for s_slab in s_slabs:
+                for rank in range(nprocs):
+                    a_block = ooc_s.local(rank).fetch_slab(s_slab)
+                    vm.machine.charge_compute(rank, 2.0 * s_slab.nelements)
+                    if perform:
+                        coeff = b_data[rank][s_slab.col_start:s_slab.col_stop, m]
+                        temp[rank] += a_block.astype(np.float64) @ coeff.astype(np.float64)
+            column = global_sum(
+                vm.machine,
+                temp if perform else None,
+                shape=(n_rows,),
+                itemsize=itemsize,
+            )
+            if perform:
+                owner = c_desc.owner_of_dim(1, j)
+                local_j = c_desc.global_to_local((0, j))[1]
+                c_buffers[owner][:, local_j] = column.astype(c_desc.dtype)
+                c_slab = c_slab_of_col[local_j]
+                if local_j == c_slab.col_stop - 1:
+                    ooc_c.local(owner).store_slab(
+                        c_slab, c_buffers[owner][:, c_slab.col_slice]
+                    )
+            else:
+                owner = c_desc.owner_of_dim(1, j)
+                local_j = c_desc.global_to_local((0, j))[1]
+                c_slab = c_slab_of_col[local_j]
+                if local_j == c_slab.col_stop - 1:
+                    ooc_c.local(owner).store_slab(c_slab, None)
+
+    return _finish(vm, compiled, "column-slab", ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# row-slab version (Figure 12)
+# ---------------------------------------------------------------------------
+def run_gaxpy_row_slab(
+    vm: VirtualMachine,
+    compiled: CompiledProgram,
+    inputs: Optional[GaxpyInputs] = None,
+    verify: bool = True,
+) -> GaxpyRunResult:
+    """Execute the reorganized (row-slab) out-of-core GAXPY node program."""
+    analysis = compiled.analysis
+    plan = compiled.plan if compiled.plan.strategy is SlabbingStrategy.ROW else (
+        compiled.decision.candidate(SlabbingStrategy.ROW) if compiled.decision else compiled.plan
+    )
+    s_entry = plan.entry(analysis.streamed)
+    b_entry = plan.entry(analysis.coefficient)
+
+    ooc_s, ooc_b, ooc_c = _setup_arrays(vm, compiled, inputs, result_order="C", streamed_order="C")
+    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
+    s_shape = _uniform_local_shape(s_desc)
+    b_shape = _uniform_local_shape(ooc_b.descriptor)
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    itemsize = c_desc.itemsize
+
+    s_slabs = row_slabs(s_shape, s_entry.lines_per_slab)
+    b_slabs = column_slabs(b_shape, b_entry.lines_per_slab)
+
+    perform = vm.perform_io
+
+    for s_slab in s_slabs:
+        a_data = {rank: ooc_s.local(rank).fetch_slab(s_slab) for rank in range(nprocs)}
+        c_buffer: Dict[int, np.ndarray] = {}
+        if perform:
+            c_buffer = {
+                rank: np.zeros((s_slab.nrows, c_shape[1]), dtype=c_desc.dtype)
+                for rank in range(nprocs)
+            }
+        global_col = 0
+        for b_slab in b_slabs:
+            b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+            for m in range(b_slab.ncols):
+                j = global_col
+                global_col += 1
+                contributions = None
+                if perform:
+                    contributions = {}
+                for rank in range(nprocs):
+                    vm.machine.charge_compute(rank, 2.0 * s_slab.nelements)
+                    if perform:
+                        coeff = b_data[rank][:, m].astype(np.float64)
+                        contributions[rank] = a_data[rank].astype(np.float64) @ coeff
+                subcolumn = global_sum(
+                    vm.machine,
+                    contributions,
+                    shape=(s_slab.nrows,),
+                    itemsize=itemsize,
+                )
+                owner = c_desc.owner_of_dim(1, j)
+                local_j = c_desc.global_to_local((0, j))[1]
+                if perform:
+                    c_buffer[owner][:, local_j] = subcolumn.astype(c_desc.dtype)
+        # the row slab of the result is complete on every owner: flush it
+        c_row_slab = Slab(
+            index=s_slab.index,
+            row_start=s_slab.row_start,
+            row_stop=s_slab.row_stop,
+            col_start=0,
+            col_stop=c_shape[1],
+        )
+        for rank in range(nprocs):
+            ooc_c.local(rank).store_slab(c_row_slab, c_buffer.get(rank) if perform else None)
+
+    return _finish(vm, compiled, "row-slab", ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# in-core baseline
+# ---------------------------------------------------------------------------
+def run_gaxpy_incore(
+    vm: VirtualMachine,
+    compiled: CompiledProgram,
+    inputs: Optional[GaxpyInputs] = None,
+    verify: bool = True,
+) -> GaxpyRunResult:
+    """Execute the in-core baseline: read every local array once, keep it in memory."""
+    analysis = compiled.analysis
+    ooc_s, ooc_b, ooc_c = _setup_arrays(vm, compiled, inputs, result_order="F", streamed_order="F")
+    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    n_rows = c_desc.shape[0]
+    n_cols = c_desc.shape[1]
+    itemsize = c_desc.itemsize
+    perform = vm.perform_io
+
+    a_data = {rank: ooc_s.local(rank).fetch_all() for rank in range(nprocs)}
+    b_data = {rank: ooc_b.local(rank).fetch_all() for rank in range(nprocs)}
+    c_local = {
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+    } if perform else {}
+
+    flops_per_proc = analysis.flops_per_proc
+    per_column_flops = flops_per_proc / max(n_cols, 1)
+    for j in range(n_cols):
+        contributions = None
+        if perform:
+            contributions = {
+                rank: a_data[rank].astype(np.float64) @ b_data[rank][:, j].astype(np.float64)
+                for rank in range(nprocs)
+            }
+        for rank in range(nprocs):
+            vm.machine.charge_compute(rank, per_column_flops)
+        column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)
+        if perform:
+            owner = c_desc.owner_of_dim(1, j)
+            local_j = c_desc.global_to_local((0, j))[1]
+            c_local[owner][:, local_j] = column.astype(c_desc.dtype)
+
+    for rank in range(nprocs):
+        ooc_c.local(rank).store_all(c_local.get(rank) if perform else None)
+
+    return _finish(vm, compiled, "in-core", ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# dispatcher
+# ---------------------------------------------------------------------------
+def run_compiled_gaxpy(
+    vm: VirtualMachine,
+    compiled: CompiledProgram,
+    inputs: Optional[GaxpyInputs] = None,
+    verify: bool = True,
+) -> GaxpyRunResult:
+    """Execute a compiled GAXPY-class program with the strategy the compiler chose."""
+    if compiled.plan.strategy is SlabbingStrategy.ROW:
+        return run_gaxpy_row_slab(vm, compiled, inputs, verify)
+    return run_gaxpy_column_slab(vm, compiled, inputs, verify)

@@ -1,0 +1,182 @@
+"""The :class:`Machine`: a complete simulated distributed-memory computer.
+
+A machine bundles, for ``P`` processors:
+
+* one :class:`~repro.machine.processor.ProcessorModel` per compute node,
+* one :class:`~repro.machine.disk.DiskModel` per logical disk (the paper's
+  data storage model pairs each processor with a logical disk holding its
+  Local Array File),
+* a shared :class:`~repro.machine.network.NetworkModel`,
+* a :class:`~repro.machine.clock.ClockSet` of per-processor clocks, and
+* a :class:`~repro.machine.metrics.MetricsSet` of per-processor counters.
+
+The machine exposes *charge* methods used by the runtime: they update the
+appropriate cost model, counters and clock together so the three views can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import MachineConfigurationError
+from repro.machine.clock import ClockSet
+from repro.machine.disk import DiskModel
+from repro.machine.metrics import MetricsSet
+from repro.machine.network import NetworkModel
+from repro.machine.parameters import MachineParameters, get_preset, touchstone_delta
+from repro.machine.processor import ProcessorModel
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated distributed-memory machine with ``nprocs`` compute nodes."""
+
+    def __init__(self, nprocs: int, params: MachineParameters | str | None = None):
+        if nprocs < 1:
+            raise MachineConfigurationError(f"a machine needs at least one processor, got {nprocs}")
+        if params is None:
+            params = touchstone_delta()
+        elif isinstance(params, str):
+            params = get_preset(params)
+        self.nprocs = int(nprocs)
+        self.params = params
+        self.processors: List[ProcessorModel] = [
+            ProcessorModel(params=params.processor, rank=r) for r in range(nprocs)
+        ]
+        self.disks: List[DiskModel] = [DiskModel(params=params.disk) for _ in range(nprocs)]
+        self.network = NetworkModel(params=params.network)
+        self.clocks = ClockSet(nprocs)
+        self.metrics = MetricsSet(nprocs)
+
+    # ------------------------------------------------------------------
+    # charge methods (cost + counters + clock updated together)
+    # ------------------------------------------------------------------
+    def charge_read(self, rank: int, nbytes: int, nrequests: int = 1) -> float:
+        """Charge processor ``rank`` for reading ``nbytes`` from its logical disk.
+
+        For shared-disk machines (Delta/Paragon style) the whole machine is
+        assumed to be doing I/O concurrently, so the contention factor is the
+        number of processors.
+        """
+        seconds = self.disks[rank].read(nbytes, nrequests, contention=self.nprocs)
+        self.metrics[rank].record_read(nbytes, nrequests)
+        self.clocks[rank].advance(seconds, "io")
+        return seconds
+
+    def charge_write(self, rank: int, nbytes: int, nrequests: int = 1) -> float:
+        """Charge processor ``rank`` for writing ``nbytes`` to its logical disk."""
+        seconds = self.disks[rank].write(nbytes, nrequests, contention=self.nprocs)
+        self.metrics[rank].record_write(nbytes, nrequests)
+        self.clocks[rank].advance(seconds, "io")
+        return seconds
+
+    def charge_compute(self, rank: int, flops: float) -> float:
+        """Charge processor ``rank`` for ``flops`` floating point operations."""
+        seconds = self.processors[rank].compute(flops)
+        self.metrics[rank].record_compute(flops)
+        self.clocks[rank].advance(seconds, "compute")
+        return seconds
+
+    def charge_copy(self, rank: int, nbytes: int) -> float:
+        """Charge processor ``rank`` for a local memory copy (packing/unpacking)."""
+        seconds = self.processors[rank].copy(nbytes)
+        self.clocks[rank].advance(seconds, "compute")
+        return seconds
+
+    def charge_send(self, src: int, dst: int, nbytes: int) -> float:
+        """Charge a point-to-point message from ``src`` to ``dst``.
+
+        Both endpoints advance by the message time (blocking send/recv pair).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        seconds = self.network.send(nbytes)
+        for rank in {src, dst}:
+            self.metrics[rank].record_messages(1, nbytes)
+            self.clocks[rank].advance(seconds, "comm")
+        return seconds
+
+    def charge_global_sum(self, nbytes: int, nelements: Optional[int] = None) -> float:
+        """Charge every processor for a global sum (all-reduce) of ``nbytes``.
+
+        All clocks are synchronized first (a blocking collective makes the
+        slowest processor set the pace) and then advanced by the collective
+        time.
+        """
+        self.clocks.synchronize()
+        seconds = self.network.global_sum(nbytes, self.nprocs, nelements)
+        rounds = self.network.params.collective_rounds(self.nprocs)
+        for rank in range(self.nprocs):
+            self.metrics[rank].record_collective(rounds, rounds * nbytes)
+            self.clocks[rank].advance(seconds, "comm")
+        return seconds
+
+    def charge_broadcast(self, nbytes: int) -> float:
+        """Charge every processor for a broadcast of ``nbytes``."""
+        self.clocks.synchronize()
+        seconds = self.network.broadcast(nbytes, self.nprocs)
+        rounds = self.network.params.collective_rounds(self.nprocs)
+        for rank in range(self.nprocs):
+            self.metrics[rank].record_collective(rounds, rounds * nbytes)
+            self.clocks[rank].advance(seconds, "comm")
+        return seconds
+
+    def charge_all_to_all(self, nbytes_per_pair: int) -> float:
+        """Charge every processor for a personalized all-to-all exchange."""
+        self.clocks.synchronize()
+        seconds = self.network.all_to_all(nbytes_per_pair, self.nprocs)
+        exchanges = max(self.nprocs - 1, 0)
+        for rank in range(self.nprocs):
+            self.metrics[rank].record_collective(exchanges, exchanges * nbytes_per_pair)
+            self.clocks[rank].advance(seconds, "comm")
+        return seconds
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.nprocs:
+            raise MachineConfigurationError(f"rank {rank} outside machine of {self.nprocs} processors")
+        return rank
+
+    @property
+    def memory_per_node(self) -> int:
+        """Node memory budget available for In-core Local Arrays (bytes)."""
+        return self.params.processor.memory_bytes
+
+    def elapsed(self) -> float:
+        """Simulated wall-clock time of the run so far."""
+        return self.clocks.elapsed()
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Critical-path time breakdown (max over processors per category)."""
+        return self.clocks.breakdown()
+
+    def io_statistics(self) -> Dict[str, float]:
+        """The paper's I/O metrics, reported per processor (maximum)."""
+        agg = self.metrics.max_per_processor()
+        return {
+            "io_requests_per_proc": agg["io_requests"],
+            "io_read_requests_per_proc": agg["io_read_requests"],
+            "io_write_requests_per_proc": agg["io_write_requests"],
+            "bytes_read_per_proc": agg["bytes_read"],
+            "bytes_written_per_proc": agg["bytes_written"],
+        }
+
+    def reset(self) -> None:
+        """Clear all clocks, counters and cost-model statistics."""
+        for disk in self.disks:
+            disk.reset()
+        for proc in self.processors:
+            proc.reset()
+        self.network.reset()
+        self.clocks.reset()
+        self.metrics.reset()
+
+    def describe(self) -> str:
+        return f"Machine(nprocs={self.nprocs}, {self.params.describe()})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,85 @@
+"""Disk / I/O subsystem cost model.
+
+A :class:`DiskModel` is attached to each simulated processor's *logical disk*
+(the paper's data storage model gives every processor its own logical disk
+holding its Local Array File; the mapping onto physical disks is the file
+system's business and outside the model).  It converts I/O requests into
+simulated seconds and keeps per-disk counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import IOEngineError
+from repro.machine.parameters import DiskParameters
+
+__all__ = ["DiskModel"]
+
+
+@dataclasses.dataclass
+class DiskModel:
+    """Cost model and counters for one logical disk."""
+
+    params: DiskParameters
+    read_requests: int = 0
+    write_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+
+    def read(self, nbytes: int, nrequests: int = 1, contention: int = 1) -> float:
+        """Account for reading ``nbytes`` in ``nrequests`` requests; return seconds.
+
+        ``contention`` is the number of processors concurrently sharing the
+        I/O subsystem (only affects shared-disk parameter sets).
+        """
+        self._check(nbytes, nrequests)
+        seconds = self.params.read_time(nbytes, nrequests, contention)
+        self.read_requests += nrequests
+        self.bytes_read += nbytes
+        self.busy_time += seconds
+        return seconds
+
+    def write(self, nbytes: int, nrequests: int = 1, contention: int = 1) -> float:
+        """Account for writing ``nbytes`` in ``nrequests`` requests; return seconds."""
+        self._check(nbytes, nrequests)
+        seconds = self.params.write_time(nbytes, nrequests, contention)
+        self.write_requests += nrequests
+        self.bytes_written += nbytes
+        self.busy_time += seconds
+        return seconds
+
+    @staticmethod
+    def _check(nbytes: int, nrequests: int) -> None:
+        if nbytes < 0:
+            raise IOEngineError(f"negative byte count {nbytes}")
+        if nrequests < 0:
+            raise IOEngineError(f"negative request count {nrequests}")
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return self.read_requests + self.write_requests
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def reset(self) -> None:
+        """Clear all counters (the cost parameters are kept)."""
+        self.read_requests = 0
+        self.write_requests = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time = 0.0
+
+    def snapshot(self) -> dict:
+        """Return counters as a plain dictionary (for reports and tests)."""
+        return {
+            "read_requests": self.read_requests,
+            "write_requests": self.write_requests,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "busy_time": self.busy_time,
+        }

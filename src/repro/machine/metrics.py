@@ -1,0 +1,134 @@
+"""Per-processor operation counters and aggregated metrics.
+
+The paper measures I/O cost with two hardware-independent metrics:
+
+* the **number of I/O requests per processor**, and
+* the **total amount of data fetched from disk per processor**.
+
+:class:`OperationCounters` records exactly those, plus the compute and
+communication counters needed to reconstruct the full simulated time.
+:class:`MetricsSet` holds one counter object per processor and provides the
+aggregations used in reports (per-processor maximum, totals, means).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List
+
+__all__ = ["OperationCounters", "MetricsSet"]
+
+
+@dataclasses.dataclass
+class OperationCounters:
+    """Raw operation counts for one simulated processor."""
+
+    rank: int = 0
+    io_read_requests: int = 0
+    io_write_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flops: float = 0.0
+    messages: int = 0
+    bytes_communicated: int = 0
+    collectives: int = 0
+
+    # -- recording helpers ----------------------------------------------------
+    def record_read(self, nbytes: int, nrequests: int = 1) -> None:
+        self.io_read_requests += nrequests
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int, nrequests: int = 1) -> None:
+        self.io_write_requests += nrequests
+        self.bytes_written += nbytes
+
+    def record_compute(self, flops: float) -> None:
+        self.flops += flops
+
+    def record_messages(self, nmessages: int, nbytes: int) -> None:
+        self.messages += nmessages
+        self.bytes_communicated += nbytes
+
+    def record_collective(self, nmessages: int, nbytes: int) -> None:
+        self.collectives += 1
+        self.record_messages(nmessages, nbytes)
+
+    # -- derived --------------------------------------------------------------
+    @property
+    def io_requests(self) -> int:
+        """Total I/O requests (the paper's first metric)."""
+        return self.io_read_requests + self.io_write_requests
+
+    @property
+    def io_bytes(self) -> int:
+        """Total bytes moved to/from disk (the paper's second metric)."""
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "OperationCounters") -> "OperationCounters":
+        """Return a new counter object with the sums of both operands."""
+        return OperationCounters(
+            rank=self.rank,
+            io_read_requests=self.io_read_requests + other.io_read_requests,
+            io_write_requests=self.io_write_requests + other.io_write_requests,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            flops=self.flops + other.flops,
+            messages=self.messages + other.messages,
+            bytes_communicated=self.bytes_communicated + other.bytes_communicated,
+            collectives=self.collectives + other.collectives,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "io_read_requests": self.io_read_requests,
+            "io_write_requests": self.io_write_requests,
+            "io_requests": self.io_requests,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "io_bytes": self.io_bytes,
+            "flops": self.flops,
+            "messages": self.messages,
+            "bytes_communicated": self.bytes_communicated,
+            "collectives": self.collectives,
+        }
+
+
+class MetricsSet:
+    """Counters for all processors of a machine, with report aggregations."""
+
+    def __init__(self, nprocs: int):
+        self.counters: List[OperationCounters] = [OperationCounters(rank=r) for r in range(nprocs)]
+
+    def __getitem__(self, rank: int) -> OperationCounters:
+        return self.counters[rank]
+
+    def __iter__(self) -> Iterable[OperationCounters]:
+        return iter(self.counters)
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.counters)
+
+    # -- aggregations -----------------------------------------------------------
+    def max_per_processor(self) -> Dict[str, float]:
+        """Per-field maximum over processors (critical-path view)."""
+        keys = self.counters[0].as_dict().keys()
+        return {k: max(c.as_dict()[k] for c in self.counters) for k in keys}
+
+    def total(self) -> Dict[str, float]:
+        """Per-field sum over processors."""
+        keys = self.counters[0].as_dict().keys()
+        return {k: sum(c.as_dict()[k] for c in self.counters) for k in keys}
+
+    def mean(self) -> Dict[str, float]:
+        """Per-field mean over processors."""
+        totals = self.total()
+        return {k: v / self.nprocs for k, v in totals.items()}
+
+    def reset(self) -> None:
+        for counters in self.counters:
+            rank = counters.rank
+            counters.__init__(rank=rank)  # type: ignore[misc]

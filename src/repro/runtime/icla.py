@@ -1,0 +1,93 @@
+"""In-core Local Arrays (ICLAs).
+
+The ICLA is the node-memory buffer a slab of the out-of-core local array is
+staged into.  Its size is fixed at compile time from the memory budget; the
+runtime object tracks which slab currently occupies the buffer so repeated
+requests for the same slab can be served from memory (simple reuse, the
+degenerate form of the caching/prefetching strategies the paper mentions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import RuntimeExecutionError
+from repro.runtime.slab import Slab
+
+__all__ = ["InCoreLocalArray"]
+
+
+class InCoreLocalArray:
+    """A bounded in-memory buffer holding one slab of an out-of-core local array."""
+
+    def __init__(self, capacity_elements: int, dtype: np.dtype | str = np.float64):
+        capacity_elements = int(capacity_elements)
+        if capacity_elements < 1:
+            raise RuntimeExecutionError(
+                f"ICLA capacity must be at least one element, got {capacity_elements}"
+            )
+        self.capacity_elements = capacity_elements
+        self.dtype = np.dtype(dtype)
+        self._data: Optional[np.ndarray] = None
+        self._slab: Optional[Slab] = None
+        self.loads = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_elements * self.dtype.itemsize
+
+    @property
+    def current_slab(self) -> Optional[Slab]:
+        return self._slab
+
+    @property
+    def data(self) -> Optional[np.ndarray]:
+        return self._data
+
+    def holds(self, slab: Slab) -> bool:
+        """True when ``slab`` is already resident in the buffer."""
+        return self._slab == slab and self._data is not None
+
+    def load(self, slab: Slab, data: np.ndarray) -> np.ndarray:
+        """Place ``data`` (the contents of ``slab``) into the buffer.
+
+        Raises when the slab does not fit in the declared capacity — that
+        would mean the compiler's strip-mining violated the memory budget.
+        """
+        data = np.asarray(data, dtype=self.dtype)
+        if data.shape != slab.shape:
+            raise RuntimeExecutionError(
+                f"ICLA load: data shape {data.shape} does not match {slab.describe()}"
+            )
+        if slab.nelements > self.capacity_elements:
+            raise RuntimeExecutionError(
+                f"{slab.describe()} has {slab.nelements} elements which exceeds the "
+                f"ICLA capacity of {self.capacity_elements}"
+            )
+        self._data = data
+        self._slab = slab
+        self.loads += 1
+        return data
+
+    def get(self, slab: Slab) -> np.ndarray:
+        """Return the resident data for ``slab``; raises if a different slab is resident."""
+        if not self.holds(slab):
+            raise RuntimeExecutionError(
+                f"ICLA does not hold {slab.describe()} "
+                f"(resident: {self._slab.describe() if self._slab else 'nothing'})"
+            )
+        self.hits += 1
+        return self._data  # type: ignore[return-value]
+
+    def invalidate(self) -> None:
+        """Drop the resident slab (e.g. after the underlying file was rewritten)."""
+        self._data = None
+        self._slab = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        resident = self._slab.describe() if self._slab else "empty"
+        return f"InCoreLocalArray(capacity={self.capacity_elements}, resident={resident})"

@@ -1,0 +1,183 @@
+"""Local Array Files (LAFs).
+
+The data storage model of the paper stores the out-of-core local array of
+each processor in a separate file owned by that processor: its Local Array
+File.  The node program explicitly reads slabs from and writes slabs into the
+LAF.
+
+Here a LAF is a real file on the host filesystem holding the local array in
+either column-major (``'F'``) or row-major (``'C'``) element order.  The
+storage order is chosen by the compiler so that the slabs it plans to read
+are contiguous on disk — this is the "reorganizing data storage on disks"
+part of the paper's optimization.  Access goes through NumPy memory maps,
+and every access reports how many contiguous file extents it touched so the
+I/O engine can charge request counts faithfully.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import IOEngineError
+from repro.runtime.slab import Slab
+
+__all__ = ["LocalArrayFile"]
+
+
+class LocalArrayFile:
+    """One processor's on-disk local array.
+
+    Parameters
+    ----------
+    path:
+        File path.  Parent directories are created on demand.
+    shape:
+        Local array shape ``(rows, cols)``.
+    dtype:
+        Element type.
+    order:
+        ``'F'`` (column-major, default — natural for the paper's
+        column-oriented Fortran programs) or ``'C'`` (row-major).
+    create:
+        When true the file is created (zero-filled) if it does not exist.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        shape: Tuple[int, int],
+        dtype: np.dtype | str = np.float64,
+        order: str = "F",
+        create: bool = True,
+    ):
+        self.path = Path(path)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.shape[0] < 0 or self.shape[1] < 0:
+            raise IOEngineError(f"negative local array shape {shape}")
+        self.dtype = np.dtype(dtype)
+        order = str(order).upper()
+        if order not in ("F", "C"):
+            raise IOEngineError(f"storage order must be 'F' or 'C', got {order!r}")
+        self.order = order
+        self._closed = False
+        if create:
+            self._ensure_file()
+
+    # ------------------------------------------------------------------
+    # file management
+    # ------------------------------------------------------------------
+    @property
+    def nelements(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.nelements * self.dtype.itemsize
+
+    def _ensure_file(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists() or self.path.stat().st_size != self.nbytes:
+            with open(self.path, "wb") as handle:
+                if self.nbytes:
+                    handle.truncate(self.nbytes)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IOEngineError(f"local array file {self.path} is closed")
+
+    def _memmap(self, mode: str) -> np.memmap:
+        self._check_open()
+        self._ensure_file()
+        return np.memmap(self.path, dtype=self.dtype, mode=mode, shape=self.shape, order=self.order)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def close(self) -> None:
+        """Mark the file closed; further access raises :class:`IOEngineError`."""
+        self._closed = True
+
+    def delete(self) -> None:
+        """Close and remove the backing file (ignored if already gone)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # whole-array access
+    # ------------------------------------------------------------------
+    def write_full(self, data: np.ndarray) -> None:
+        """Write the entire local array to the file."""
+        data = np.asarray(data, dtype=self.dtype)
+        if data.shape != self.shape:
+            raise IOEngineError(
+                f"write_full: data shape {data.shape} does not match LAF shape {self.shape}"
+            )
+        mm = self._memmap("r+")
+        mm[...] = data
+        mm.flush()
+        del mm
+
+    def read_full(self) -> np.ndarray:
+        """Read the entire local array from the file."""
+        mm = self._memmap("r")
+        out = np.array(mm)
+        del mm
+        return out
+
+    # ------------------------------------------------------------------
+    # slab access
+    # ------------------------------------------------------------------
+    def _check_slab(self, slab: Slab) -> None:
+        if slab.row_stop > self.shape[0] or slab.col_stop > self.shape[1]:
+            raise IOEngineError(f"{slab.describe()} exceeds local shape {self.shape}")
+
+    def read_slab(self, slab: Slab) -> np.ndarray:
+        """Read one slab; returns a freshly allocated array of the slab shape."""
+        self._check_slab(slab)
+        if slab.nelements == 0:
+            return np.zeros(slab.shape, dtype=self.dtype)
+        mm = self._memmap("r")
+        out = np.array(mm[slab.row_slice, slab.col_slice])
+        del mm
+        return out
+
+    def write_slab(self, slab: Slab, data: np.ndarray) -> None:
+        """Write one slab back to the file."""
+        self._check_slab(slab)
+        data = np.asarray(data, dtype=self.dtype)
+        if data.shape != slab.shape:
+            raise IOEngineError(
+                f"write_slab: data shape {data.shape} does not match {slab.describe()}"
+            )
+        if slab.nelements == 0:
+            return
+        mm = self._memmap("r+")
+        mm[slab.row_slice, slab.col_slice] = data
+        mm.flush()
+        del mm
+
+    def contiguous_chunks(self, slab: Slab) -> int:
+        """Number of contiguous file extents the slab occupies in this file."""
+        self._check_slab(slab)
+        return slab.contiguous_chunks(self.shape, self.order)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scratch_path(directory: str | os.PathLike, array_name: str, rank: int) -> Path:
+        """Conventional LAF path for ``array_name`` on processor ``rank``."""
+        unique = uuid.uuid4().hex[:8]
+        return Path(directory) / f"laf_{array_name}_p{rank}_{unique}.dat"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocalArrayFile({self.path.name}, shape={self.shape}, dtype={self.dtype.name}, "
+            f"order={self.order!r})"
+        )

@@ -1,0 +1,91 @@
+"""Initial redistribution of out-of-core data.
+
+Section 2.3 of the paper: the way data first arrives on disk (from archival
+storage, a satellite feed or the network) usually does not conform to the
+distribution the program declares, so before the computation starts the data
+must be *redistributed* — read from disk in its arrival layout, exchanged
+between processors, and written into each processor's Local Array File.  The
+cost is amortised when the array is reused across many iterations.
+
+The arrival layout modelled here is the common one for archival data: the
+global array striped **row-wise** across the processors' disks in arrival
+order (processor ``p`` holds rows ``p*N/P .. (p+1)*N/P - 1`` of the global
+array, row-major).  :func:`redistribute_to_descriptor` converts that layout
+into the block distribution demanded by an :class:`ArrayDescriptor`,
+charging reads of the arrival files, an all-to-all exchange and writes of the
+Local Array Files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import RuntimeExecutionError
+from repro.hpf.array_desc import ArrayDescriptor
+from repro.hpf.distribution import BlockDistribution
+from repro.runtime.vm import OutOfCoreArray, VirtualMachine
+
+__all__ = ["arrival_layout_rows", "redistribute_to_descriptor", "redistribution_cost"]
+
+
+def arrival_layout_rows(nrows: int, nprocs: int) -> BlockDistribution:
+    """The arrival-order striping of global rows across processors."""
+    return BlockDistribution(nrows, nprocs)
+
+
+def redistribution_cost(descriptor: ArrayDescriptor) -> dict:
+    """Analytic cost of redistributing one array (per-processor counts).
+
+    Every processor reads its arrival stripe once, exchanges the parts that
+    belong elsewhere (modelled as an all-to-all of the stripe), and writes its
+    local array file once.
+    """
+    nprocs = descriptor.nprocs
+    stripe_bytes = descriptor.nbytes // nprocs if nprocs else 0
+    local_bytes = max(descriptor.local_nbytes(r) for r in range(nprocs))
+    return {
+        "read_bytes_per_proc": stripe_bytes,
+        "read_requests_per_proc": 1,
+        "alltoall_bytes_per_pair": stripe_bytes // max(nprocs, 1),
+        "write_bytes_per_proc": local_bytes,
+        "write_requests_per_proc": 1,
+    }
+
+
+def redistribute_to_descriptor(
+    vm: VirtualMachine,
+    descriptor: ArrayDescriptor,
+    arrival_data: Optional[np.ndarray] = None,
+    storage_order: str = "F",
+    icla_elements: Optional[int] = None,
+) -> OutOfCoreArray:
+    """Create an out-of-core array from data in arrival (row-striped) layout.
+
+    In ``EXECUTE`` mode ``arrival_data`` must be the dense global array; the
+    function charges the redistribution traffic and then materialises the
+    correctly distributed Local Array Files.  In ``ESTIMATE`` mode only the
+    costs are charged.
+    """
+    if vm.perform_io and arrival_data is None:
+        raise RuntimeExecutionError("redistribution needs the arrival data in EXECUTE mode")
+    costs = redistribution_cost(descriptor)
+    # 1. read the arrival stripes
+    for rank in range(vm.nprocs):
+        vm.machine.charge_read(rank, costs["read_bytes_per_proc"], costs["read_requests_per_proc"])
+    # 2. exchange the pieces that belong to other processors
+    vm.machine.charge_all_to_all(costs["alltoall_bytes_per_pair"])
+    # 3. write the local array files in the program's distribution
+    array = vm.create_array(
+        descriptor,
+        initial=arrival_data,
+        storage_order=storage_order,
+        icla_elements=icla_elements,
+        charge_initial_write=False,
+    )
+    for rank in range(vm.nprocs):
+        vm.machine.charge_write(
+            rank, costs["write_bytes_per_proc"], costs["write_requests_per_proc"]
+        )
+    return array

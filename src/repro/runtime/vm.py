@@ -1,0 +1,227 @@
+"""The virtual machine: simulated processors + their Local Array Files.
+
+A :class:`VirtualMachine` owns
+
+* a :class:`~repro.machine.cluster.Machine` (cost model, clocks, counters),
+* a :class:`~repro.runtime.io_engine.IOEngine` bound to the run's execution
+  mode, and
+* the out-of-core arrays created for a program run, each realised as one
+  Local Array File per processor.
+
+It is the object kernels and the executor talk to; experiment harnesses
+create one per configuration point.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import ExecutionMode, RunConfig, default_config
+from repro.exceptions import RuntimeExecutionError
+from repro.hpf.array_desc import ArrayDescriptor
+from repro.machine.cluster import Machine
+from repro.machine.parameters import MachineParameters
+from repro.runtime.icla import InCoreLocalArray
+from repro.runtime.io_engine import IOAccounting, IOEngine
+from repro.runtime.laf import LocalArrayFile
+from repro.runtime.ocla import OutOfCoreLocalArray
+from repro.runtime.slab import SlabbingStrategy
+
+__all__ = ["OutOfCoreArray", "VirtualMachine"]
+
+
+class OutOfCoreArray:
+    """A distributed out-of-core array: one OCLA (and LAF) per processor."""
+
+    def __init__(self, descriptor: ArrayDescriptor, locals_: Dict[int, OutOfCoreLocalArray]):
+        self.descriptor = descriptor
+        self.locals = locals_
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    @property
+    def nprocs(self) -> int:
+        return self.descriptor.nprocs
+
+    def local(self, rank: int) -> OutOfCoreLocalArray:
+        try:
+            return self.locals[rank]
+        except KeyError as exc:
+            raise RuntimeExecutionError(
+                f"array {self.name!r} has no local part on rank {rank}"
+            ) from exc
+
+    def __getitem__(self, rank: int) -> OutOfCoreLocalArray:
+        return self.local(rank)
+
+    def __iter__(self):
+        return iter(self.locals.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OutOfCoreArray({self.descriptor.describe()})"
+
+
+class VirtualMachine:
+    """Simulated machine plus the on-disk state of one program run."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        params: MachineParameters | str | None = None,
+        config: Optional[RunConfig] = None,
+        accounting: IOAccounting | str = IOAccounting.PER_SLAB,
+    ):
+        self.config = config or default_config()
+        self.machine = Machine(nprocs, params)
+        self.perform_io = self.config.mode is ExecutionMode.EXECUTE
+        self.engine = IOEngine(self.machine, accounting=accounting, perform_io=self.perform_io)
+        self.arrays: Dict[str, OutOfCoreArray] = {}
+        self._scratch: Optional[Path] = None
+        if self.perform_io:
+            base = self.config.ensure_scratch_dir()
+            self._scratch = Path(base) / f"vm_{id(self):x}"
+            self._scratch.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.machine.nprocs
+
+    @property
+    def memory_per_node(self) -> int:
+        return self.machine.memory_per_node
+
+    # ------------------------------------------------------------------
+    # array management
+    # ------------------------------------------------------------------
+    def create_array(
+        self,
+        descriptor: ArrayDescriptor,
+        initial: Optional[np.ndarray] = None,
+        storage_order: str = "F",
+        icla_elements: Optional[int] = None,
+        charge_initial_write: bool = False,
+    ) -> OutOfCoreArray:
+        """Create the Local Array Files of a distributed out-of-core array.
+
+        Parameters
+        ----------
+        descriptor:
+            The array's HPF descriptor (shape, alignment, distribution).
+        initial:
+            Optional dense global array used to initialise the LAFs (scattered
+            according to the distribution).  Required for input arrays in
+            ``EXECUTE`` mode, ignored in ``ESTIMATE`` mode.
+        storage_order:
+            On-disk element order of every LAF (``'F'`` or ``'C'``); the
+            compiler picks this to match the slabbing it selected.
+        icla_elements:
+            Capacity of the reuse buffer attached to each OCLA (optional).
+        charge_initial_write:
+            When true the initial scatter is charged to the machine (used when
+            an experiment wants to include the initial data staging cost).
+        """
+        if descriptor.name in self.arrays:
+            raise RuntimeExecutionError(f"array {descriptor.name!r} already exists in this VM")
+        if descriptor.ndim != 2:
+            raise RuntimeExecutionError(
+                f"the out-of-core runtime stores two-dimensional arrays; "
+                f"{descriptor.name!r} has {descriptor.ndim} dimensions"
+            )
+        locals_: Dict[int, OutOfCoreLocalArray] = {}
+        scattered: Optional[Dict[int, np.ndarray]] = None
+        if self.perform_io and initial is not None:
+            scattered = descriptor.scatter(initial)
+        for rank in range(descriptor.nprocs):
+            local_shape = descriptor.local_shape(rank)
+            if self.perform_io:
+                path = LocalArrayFile.scratch_path(self._scratch, descriptor.name, rank)
+                laf = LocalArrayFile(path, local_shape, descriptor.dtype, order=storage_order)
+                if scattered is not None:
+                    laf.write_full(scattered[rank])
+            else:
+                laf = LocalArrayFile(
+                    Path("/nonexistent") / f"{descriptor.name}_{rank}.dat",
+                    local_shape,
+                    descriptor.dtype,
+                    order=storage_order,
+                    create=False,
+                )
+            icla = (
+                InCoreLocalArray(icla_elements, descriptor.dtype)
+                if icla_elements is not None
+                else None
+            )
+            locals_[rank] = OutOfCoreLocalArray(descriptor, rank, laf, self.engine, icla)
+            if charge_initial_write:
+                self.machine.charge_write(rank, descriptor.local_nbytes(rank), 1)
+        array = OutOfCoreArray(descriptor, locals_)
+        self.arrays[descriptor.name] = array
+        return array
+
+    def get_array(self, name: str) -> OutOfCoreArray:
+        try:
+            return self.arrays[name]
+        except KeyError as exc:
+            raise RuntimeExecutionError(f"unknown out-of-core array {name!r}") from exc
+
+    def to_dense(self, array: OutOfCoreArray | str) -> np.ndarray:
+        """Gather an out-of-core array back into a dense global array.
+
+        Used for verification only; not charged to the machine.
+        """
+        if isinstance(array, str):
+            array = self.get_array(array)
+        if not self.perform_io:
+            raise RuntimeExecutionError("to_dense is only available in EXECUTE mode")
+        locals_ = {rank: ocla.laf.read_full() for rank, ocla in array.locals.items()}
+        return array.descriptor.gather(locals_)
+
+    # ------------------------------------------------------------------
+    # reporting and lifecycle
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Simulated wall-clock seconds of the run so far."""
+        return self.machine.elapsed()
+
+    def time_breakdown(self) -> Dict[str, float]:
+        return self.machine.time_breakdown()
+
+    def io_statistics(self) -> Dict[str, float]:
+        return self.machine.io_statistics()
+
+    def reset_costs(self) -> None:
+        """Clear clocks and counters but keep arrays and files."""
+        self.machine.reset()
+
+    def cleanup(self) -> None:
+        """Delete all Local Array Files (unless the config asks to keep them)."""
+        for array in self.arrays.values():
+            for ocla in array:
+                if self.perform_io and not self.config.keep_files:
+                    ocla.laf.delete()
+                else:
+                    ocla.laf.close()
+        self.arrays.clear()
+        if (
+            self.perform_io
+            and not self.config.keep_files
+            and self._scratch is not None
+            and self._scratch.exists()
+        ):
+            shutil.rmtree(self._scratch, ignore_errors=True)
+
+    def __enter__(self) -> "VirtualMachine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualMachine(nprocs={self.nprocs}, mode={self.config.mode.value})"

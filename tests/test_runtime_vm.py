@@ -1,0 +1,226 @@
+"""Tests for the virtual machine, collectives, redistribution and prefetching."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExecutionMode, RunConfig
+from repro.exceptions import CollectiveError, RuntimeExecutionError
+from repro.hpf import Alignment, ArrayDescriptor, ProcessorGrid, Template
+from repro.machine import Machine
+from repro.runtime import VirtualMachine, global_sum, broadcast, point_to_point
+from repro.runtime.prefetch import NoPrefetch, OverlapPrefetch
+from repro.runtime.redistribution import (
+    arrival_layout_rows,
+    redistribute_to_descriptor,
+    redistribution_cost,
+)
+
+
+def make_descriptor(n=16, p=4, column=True, name="x", dtype=np.float32):
+    grid = ProcessorGrid("Pr", p)
+    template = Template("d", n, grid, ["block"])
+    align = Alignment(template, ["*", ":"] if column else [":", "*"])
+    return ArrayDescriptor(name, (n, n), align, dtype=dtype)
+
+
+# ---------------------------------------------------------------------------
+# collectives
+# ---------------------------------------------------------------------------
+class TestCollectives:
+    def test_global_sum_values_and_cost(self):
+        machine = Machine(4)
+        contributions = {r: np.full(8, float(r)) for r in range(4)}
+        total = global_sum(machine, contributions, shape=(8,), itemsize=8)
+        np.testing.assert_allclose(total, np.full(8, 6.0))
+        assert machine.network.collectives == 1
+        assert all(machine.metrics[r].collectives == 1 for r in range(4))
+
+    def test_global_sum_estimate_mode(self):
+        machine = Machine(4)
+        assert global_sum(machine, None, shape=(8,), itemsize=8) is None
+        assert machine.network.collectives == 1
+
+    def test_global_sum_missing_contribution(self):
+        machine = Machine(3)
+        with pytest.raises(CollectiveError):
+            global_sum(machine, {0: np.zeros(4), 1: np.zeros(4)}, shape=(4,), itemsize=8)
+
+    def test_global_sum_shape_mismatch(self):
+        machine = Machine(2)
+        with pytest.raises(CollectiveError):
+            global_sum(machine, {0: np.zeros(4), 1: np.zeros(5)}, shape=(4,), itemsize=8)
+
+    def test_broadcast(self):
+        machine = Machine(4)
+        data = np.arange(6.0)
+        out = broadcast(machine, data, shape=(6,), itemsize=8)
+        np.testing.assert_array_equal(out, data)
+        with pytest.raises(CollectiveError):
+            broadcast(machine, np.zeros(3), shape=(6,), itemsize=8)
+
+    def test_point_to_point(self):
+        machine = Machine(3)
+        payload = np.ones(4)
+        out = point_to_point(machine, 0, 2, payload, nbytes=32)
+        np.testing.assert_array_equal(out, payload)
+        assert machine.metrics[0].messages == 1
+        assert machine.metrics[2].messages == 1
+
+
+# ---------------------------------------------------------------------------
+# VirtualMachine
+# ---------------------------------------------------------------------------
+class TestVirtualMachine:
+    def test_create_scatter_gather(self, tmp_path):
+        desc = make_descriptor()
+        dense = np.arange(256, dtype=np.float32).reshape(16, 16)
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            array = vm.create_array(desc, initial=dense)
+            np.testing.assert_array_equal(vm.to_dense(array), dense)
+            assert vm.get_array("x") is array
+
+    def test_duplicate_array_name_rejected(self, tmp_path):
+        desc = make_descriptor()
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            vm.create_array(desc, initial=np.zeros((16, 16), dtype=np.float32))
+            with pytest.raises(RuntimeExecutionError):
+                vm.create_array(desc, initial=np.zeros((16, 16), dtype=np.float32))
+
+    def test_unknown_array(self, tmp_path):
+        with VirtualMachine(2, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            with pytest.raises(RuntimeExecutionError):
+                vm.get_array("nope")
+
+    def test_non_2d_rejected(self, tmp_path):
+        grid = ProcessorGrid("Pr", 2)
+        template = Template("d", 8, grid, ["block"])
+        desc = ArrayDescriptor("v", (8,), Alignment(template, [":"]))
+        with VirtualMachine(2, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            with pytest.raises(RuntimeExecutionError):
+                vm.create_array(desc)
+
+    def test_estimate_mode_creates_no_files(self, tmp_path):
+        desc = make_descriptor()
+        config = RunConfig(scratch_dir=tmp_path, mode=ExecutionMode.ESTIMATE)
+        vm = VirtualMachine(4, "delta", config)
+        array = vm.create_array(desc)
+        assert not any(tmp_path.iterdir())
+        with pytest.raises(RuntimeExecutionError):
+            vm.to_dense(array)
+        vm.cleanup()
+
+    def test_cleanup_removes_files(self, tmp_path):
+        desc = make_descriptor()
+        config = RunConfig(scratch_dir=tmp_path)
+        vm = VirtualMachine(4, "delta", config)
+        vm.create_array(desc, initial=np.zeros((16, 16), dtype=np.float32))
+        files = list(tmp_path.rglob("*.dat"))
+        assert len(files) == 4
+        vm.cleanup()
+        assert not list(tmp_path.rglob("*.dat"))
+
+    def test_keep_files(self, tmp_path):
+        desc = make_descriptor()
+        config = RunConfig(scratch_dir=tmp_path, keep_files=True)
+        vm = VirtualMachine(4, "delta", config)
+        vm.create_array(desc, initial=np.zeros((16, 16), dtype=np.float32))
+        vm.cleanup()
+        assert len(list(tmp_path.rglob("*.dat"))) == 4
+
+    def test_initial_write_charging(self, tmp_path):
+        desc = make_descriptor()
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            vm.create_array(desc, initial=np.zeros((16, 16), dtype=np.float32),
+                            charge_initial_write=True)
+            assert vm.machine.metrics[0].io_write_requests == 1
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            vm.create_array(desc, initial=np.zeros((16, 16), dtype=np.float32))
+            assert vm.machine.metrics[0].io_write_requests == 0
+
+    def test_reset_costs_keeps_data(self, tmp_path):
+        desc = make_descriptor()
+        dense = np.ones((16, 16), dtype=np.float32)
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            array = vm.create_array(desc, initial=dense)
+            vm.machine.charge_read(0, 100, 1)
+            vm.reset_costs()
+            assert vm.elapsed() == 0.0
+            np.testing.assert_array_equal(vm.to_dense(array), dense)
+
+
+# ---------------------------------------------------------------------------
+# redistribution
+# ---------------------------------------------------------------------------
+class TestRedistribution:
+    def test_arrival_layout(self):
+        dist = arrival_layout_rows(16, 4)
+        assert dist.local_size(0) == 4
+
+    def test_cost_fields(self):
+        desc = make_descriptor()
+        cost = redistribution_cost(desc)
+        assert cost["read_bytes_per_proc"] == desc.nbytes // 4
+        assert cost["write_bytes_per_proc"] == desc.local_nbytes(0)
+
+    def test_execute_mode_produces_correct_distribution(self, tmp_path):
+        desc = make_descriptor()
+        dense = np.arange(256, dtype=np.float32).reshape(16, 16)
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            array = redistribute_to_descriptor(vm, desc, dense)
+            np.testing.assert_array_equal(vm.to_dense(array), dense)
+            # reads + all-to-all + writes were charged
+            assert vm.machine.metrics[0].io_read_requests >= 1
+            assert vm.machine.metrics[0].io_write_requests >= 1
+            assert vm.machine.network.collectives >= 1
+
+    def test_execute_mode_requires_data(self, tmp_path):
+        desc = make_descriptor()
+        with VirtualMachine(4, "delta", RunConfig(scratch_dir=tmp_path)) as vm:
+            with pytest.raises(RuntimeExecutionError):
+                redistribute_to_descriptor(vm, desc, None)
+
+    def test_estimate_mode_charges_only(self, tmp_path):
+        desc = make_descriptor()
+        config = RunConfig(scratch_dir=tmp_path, mode=ExecutionMode.ESTIMATE)
+        vm = VirtualMachine(4, "delta", config)
+        redistribute_to_descriptor(vm, desc)
+        assert vm.elapsed() > 0
+        vm.cleanup()
+
+
+# ---------------------------------------------------------------------------
+# prefetching
+# ---------------------------------------------------------------------------
+class TestPrefetch:
+    def test_no_prefetch_charges_full_read(self):
+        machine = Machine(2)
+        policy = NoPrefetch()
+        policy.begin_compute(0, 100.0)
+        visible = policy.charge_read(machine, 0, 1_000_000, 1)
+        expected = machine.params.disk.read_time(1_000_000, 1, contention=2)
+        assert visible == pytest.approx(expected)
+
+    def test_overlap_hides_reads_behind_compute(self):
+        machine = Machine(2)
+        policy = OverlapPrefetch(efficiency=1.0)
+        policy.begin_compute(0, 1000.0)
+        visible = policy.charge_read(machine, 0, 1_000_000, 1)
+        assert visible == pytest.approx(0.0)
+        # counters still see the full traffic
+        assert machine.metrics[0].bytes_read == 1_000_000
+
+    def test_partial_overlap(self):
+        machine = Machine(1)
+        policy = OverlapPrefetch(efficiency=0.5)
+        full = machine.params.disk.read_time(10_000_000, 1, contention=1)
+        policy.begin_compute(0, full)  # only half the window may be used
+        visible = policy.charge_read(machine, 0, 10_000_000, 1)
+        assert visible == pytest.approx(full * 0.5, rel=1e-6)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(RuntimeExecutionError):
+            OverlapPrefetch(efficiency=1.5)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(RuntimeExecutionError):
+            NoPrefetch().begin_compute(0, -1.0)
