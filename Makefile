@@ -1,0 +1,21 @@
+# Tier-1: the correctness gate every PR must keep green.
+# Tier-2: perf trajectory, tracked in BENCH_*.json across PRs.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-reset
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Measures the fixed EXECUTE-mode GAXPY sweep and appends to
+# BENCH_fastpath.json (the stored baseline is kept; the run fails if any
+# *charged* statistic drifts from it — the fast path may only change host
+# time).  The script guards its own sys.path, so no install is needed.
+bench:
+	$(PYTHON) -m benchmarks.bench_fastpath --json BENCH_fastpath.json
+
+# Re-record the baseline (after an intentional change to the benchmark
+# configuration, never to paper over a perf regression).
+bench-reset:
+	$(PYTHON) -m benchmarks.bench_fastpath --json BENCH_fastpath.json --reset-baseline

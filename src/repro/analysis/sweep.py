@@ -14,12 +14,13 @@ be evaluated in two modes:
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 from typing import Dict, Iterable, List, Optional
 
 from repro.config import ExecutionMode, RunConfig
 from repro.exceptions import ExperimentError
-from repro.core.pipeline import CompiledProgram, compile_gaxpy
+from repro.core.pipeline import CompiledProgram, compile_gaxpy_cached
 from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.runtime.executor import NodeProgramExecutor
 from repro.runtime.slab import SlabbingStrategy
@@ -51,13 +52,20 @@ class SweepPoint:
 
 
 def _compile_point(point: SweepPoint, params: MachineParameters) -> CompiledProgram:
+    """Compile one sweep point (LRU-cached on the full point configuration).
+
+    Sweeps frequently revisit a configuration — the same point in estimate
+    and execute mode, or many seeds over one grid — so compilation goes
+    through :func:`repro.core.pipeline.compile_gaxpy_cached`, which is keyed
+    on ``(n, nprocs, version, slab configuration, dtype, machine params)``.
+    """
     force = None
     if point.version == "column":
         force = SlabbingStrategy.COLUMN
     elif point.version == "row":
         force = SlabbingStrategy.ROW
     ratio = point.slab_ratio if point.version != "incore" else 1.0
-    return compile_gaxpy(
+    return compile_gaxpy_cached(
         point.n,
         point.nprocs,
         params,
@@ -154,11 +162,30 @@ def sweep_gaxpy(
     params: Optional[MachineParameters] = None,
     mode: ExecutionMode | str = ExecutionMode.ESTIMATE,
     config: Optional[RunConfig] = None,
+    workers: int = 1,
 ) -> List[Dict[str, float]]:
-    """Evaluate many sweep points and return one record per point."""
-    records = []
-    for point in points:
-        record = run_gaxpy_point(point, params=params, mode=mode, config=config)
+    """Evaluate many sweep points and return one record per point.
+
+    ``workers > 1`` evaluates points concurrently in a thread pool.  Each
+    point owns its virtual machine, scratch directory and cost counters, so
+    the records are per-field identical to a sequential sweep and returned
+    in input order.  Threads pay off in ``EXECUTE`` mode, where the heavy
+    work — BLAS kernels and file I/O — releases the GIL; ``ESTIMATE``-mode
+    points are pure-Python accounting, so leave ``workers=1`` there.
+    """
+    points = list(points)
+    if workers > 1 and len(points) > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            records = list(
+                pool.map(
+                    lambda point: run_gaxpy_point(point, params=params, mode=mode, config=config),
+                    points,
+                )
+            )
+    else:
+        records = [
+            run_gaxpy_point(point, params=params, mode=mode, config=config) for point in points
+        ]
+    for point, record in zip(points, records):
         record["version"] = point.version  # type: ignore[assignment]
-        records.append(record)
     return records

@@ -155,14 +155,14 @@ class CostModel:
         if strategy is SlabbingStrategy.COLUMN:
             # Column slabs of the streamed array: the whole local part is
             # re-fetched for every result column (equations 3 and 4).
-            costs[streamed] = ArrayIOCost(
+            streamed_cost = ArrayIOCost(
                 array=streamed,
                 fetch_requests=n_outer * s_entry.num_slabs,
                 fetch_elements=n_outer * s_local,
                 write_requests=0.0,
                 write_elements=0.0,
             )
-            costs[coefficient] = ArrayIOCost(
+            coefficient_cost = ArrayIOCost(
                 array=coefficient,
                 fetch_requests=float(b_entry.num_slabs),
                 fetch_elements=b_local,
@@ -174,14 +174,14 @@ class CostModel:
             # once (equations 5 and 6); the coefficient array is re-read once
             # per streamed slab because the loops are reordered around the
             # slab loop.
-            costs[streamed] = ArrayIOCost(
+            streamed_cost = ArrayIOCost(
                 array=streamed,
                 fetch_requests=float(s_entry.num_slabs),
                 fetch_elements=s_local,
                 write_requests=0.0,
                 write_elements=0.0,
             )
-            costs[coefficient] = ArrayIOCost(
+            coefficient_cost = ArrayIOCost(
                 array=coefficient,
                 fetch_requests=float(s_entry.num_slabs * b_entry.num_slabs),
                 fetch_elements=float(s_entry.num_slabs) * b_local,
@@ -192,9 +192,20 @@ class CostModel:
             raise CostModelError(f"unsupported strategy {strategy!r}")
 
         if coefficient == streamed:
-            # Degenerate single-operand reduction: drop the duplicate entry.
-            costs.pop(coefficient, None)
-            costs[streamed] = dataclasses.replace(costs[streamed])
+            # Degenerate single-operand statement: the array is both streamed
+            # and re-read as the coefficient, so its entry must carry the sum
+            # of both access patterns (dropping the coefficient re-read here
+            # would undercharge the plan).
+            costs[streamed] = ArrayIOCost(
+                array=streamed,
+                fetch_requests=streamed_cost.fetch_requests + coefficient_cost.fetch_requests,
+                fetch_elements=streamed_cost.fetch_elements + coefficient_cost.fetch_elements,
+                write_requests=0.0,
+                write_elements=0.0,
+            )
+        else:
+            costs[streamed] = streamed_cost
+            costs[coefficient] = coefficient_cost
 
         costs[result] = ArrayIOCost(
             array=result,

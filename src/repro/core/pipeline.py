@@ -13,8 +13,11 @@ program first.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import time
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import CompilationError
 from repro.core.analysis import InCorePhaseResult, analyze_program
@@ -33,7 +36,7 @@ from repro.core.stripmine import slab_elements_from_ratio
 from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.runtime.slab import SlabbingStrategy
 
-__all__ = ["CompiledProgram", "compile_program", "compile_gaxpy"]
+__all__ = ["CompiledProgram", "compile_program", "compile_gaxpy", "compile_gaxpy_cached"]
 
 
 @dataclasses.dataclass
@@ -192,4 +195,56 @@ def compile_gaxpy(
         slab_elements=slab_elements,
         policy=policy,
         force_strategy=force_strategy,
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def _compile_gaxpy_cached(
+    n: int,
+    nprocs: int,
+    params: MachineParameters,
+    dtype: str,
+    slab_ratio: Optional[float],
+    slab_items: Optional[Tuple[Tuple[str, int], ...]],
+    force_name: Optional[str],
+) -> CompiledProgram:
+    return compile_gaxpy(
+        n,
+        nprocs,
+        params,
+        dtype=dtype,
+        slab_ratio=slab_ratio,
+        slab_elements=dict(slab_items) if slab_items is not None else None,
+        force_strategy=force_name,
+    )
+
+
+def compile_gaxpy_cached(
+    n: int,
+    nprocs: int,
+    params: Optional[MachineParameters] = None,
+    *,
+    dtype="float32",
+    slab_ratio: Optional[float] = None,
+    slab_elements: Optional[Dict[str, int]] = None,
+    force_strategy: Optional[SlabbingStrategy | str] = None,
+) -> CompiledProgram:
+    """LRU-cached :func:`compile_gaxpy` for sweep drivers.
+
+    Keyed on ``(n, nprocs, machine parameters, dtype, slab configuration,
+    forced strategy)``; sweeps that revisit a configuration (or evaluate the
+    same point in several modes) share one :class:`CompiledProgram`.  The
+    returned object is shared between callers — treat it as immutable.
+    Memory-budget compilation is not cached (allocation policies are not
+    hashable); use :func:`compile_gaxpy` directly for it.
+    """
+    params = params or touchstone_delta()
+    slab_items = (
+        tuple(sorted(slab_elements.items())) if slab_elements is not None else None
+    )
+    force_name = (
+        SlabbingStrategy.from_name(force_strategy).value if force_strategy is not None else None
+    )
+    return _compile_gaxpy_cached(
+        int(n), int(nprocs), params, np.dtype(dtype).name, slab_ratio, slab_items, force_name,
     )

@@ -223,24 +223,48 @@ def run_gaxpy_column_slab(
         rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
     } if perform else {}
 
+    # Fast path: the streamed array is read-only, so each slab is loaded from
+    # disk once into a float64 staging buffer; every later re-stream of the
+    # same slab is charged to the machine (identically to a real re-read) but
+    # served from memory.  The arithmetic for all columns of a coefficient
+    # slab is then one BLAS-3 GEMM per rank instead of ncols BLAS-2 matvecs.
+    a64: Dict[int, np.ndarray] = {}
+    products64: Dict[int, np.ndarray] = {}
+    if perform:
+        max_b_cols = max(slab.ncols for slab in b_slabs)
+        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in range(nprocs)}
+        products64 = {
+            rank: np.empty((n_rows, max_b_cols), dtype=np.float64) for rank in range(nprocs)
+        }
+    a_loaded: set = set()
+
     global_col = 0
     for b_slab in b_slabs:
         b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+        b64 = {
+            rank: b_data[rank].astype(np.float64) for rank in range(nprocs)
+        } if perform else {}
+        products: Optional[Dict[int, np.ndarray]] = None
         for m in range(b_slab.ncols):
             j = global_col
             global_col += 1
-            if perform:
-                temp = {rank: np.zeros(n_rows, dtype=np.float64) for rank in range(nprocs)}
             for s_slab in s_slabs:
                 for rank in range(nprocs):
-                    a_block = ooc_s.local(rank).fetch_slab(s_slab)
+                    if perform and (rank, s_slab.index) not in a_loaded:
+                        a64[rank][:, s_slab.col_slice] = ooc_s.local(rank).fetch_slab(s_slab)
+                        a_loaded.add((rank, s_slab.index))
+                    else:
+                        ooc_s.local(rank).charge_fetch(s_slab)
                     vm.machine.charge_compute(rank, 2.0 * s_slab.nelements)
-                    if perform:
-                        coeff = b_data[rank][s_slab.col_start:s_slab.col_stop, m]
-                        temp[rank] += a_block.astype(np.float64) @ coeff.astype(np.float64)
+            if perform and products is None:
+                products = {
+                    rank: np.matmul(a64[rank], b64[rank],
+                                    out=products64[rank][:, : b_slab.ncols])
+                    for rank in range(nprocs)
+                }
             column = global_sum(
                 vm.machine,
-                temp if perform else None,
+                {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
                 shape=(n_rows,),
                 itemsize=itemsize,
             )
@@ -293,10 +317,24 @@ def run_gaxpy_row_slab(
 
     perform = vm.perform_io
 
+    # Preallocated per-rank GEMM output buffers, reused across every
+    # (streamed slab, coefficient slab) pair.
+    products64: Dict[int, np.ndarray] = {}
+    if perform:
+        max_s_rows = max(slab.nrows for slab in s_slabs)
+        max_b_cols = max(slab.ncols for slab in b_slabs)
+        products64 = {
+            rank: np.empty((max_s_rows, max_b_cols), dtype=np.float64)
+            for rank in range(nprocs)
+        }
+
     for s_slab in s_slabs:
         a_data = {rank: ooc_s.local(rank).fetch_slab(s_slab) for rank in range(nprocs)}
         c_buffer: Dict[int, np.ndarray] = {}
+        a64: Dict[int, np.ndarray] = {}
         if perform:
+            # Hoisted conversions: one astype per fetched slab, not per column.
+            a64 = {rank: a_data[rank].astype(np.float64) for rank in range(nprocs)}
             c_buffer = {
                 rank: np.zeros((s_slab.nrows, c_shape[1]), dtype=c_desc.dtype)
                 for rank in range(nprocs)
@@ -304,20 +342,23 @@ def run_gaxpy_row_slab(
         global_col = 0
         for b_slab in b_slabs:
             b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+            products: Optional[Dict[int, np.ndarray]] = None
+            if perform:
+                # One BLAS-3 GEMM per rank covers every column of this
+                # coefficient slab against the resident streamed slab.
+                products = {
+                    rank: np.matmul(a64[rank], b_data[rank].astype(np.float64),
+                                    out=products64[rank][: s_slab.nrows, : b_slab.ncols])
+                    for rank in range(nprocs)
+                }
             for m in range(b_slab.ncols):
                 j = global_col
                 global_col += 1
-                contributions = None
-                if perform:
-                    contributions = {}
                 for rank in range(nprocs):
                     vm.machine.charge_compute(rank, 2.0 * s_slab.nelements)
-                    if perform:
-                        coeff = b_data[rank][:, m].astype(np.float64)
-                        contributions[rank] = a_data[rank].astype(np.float64) @ coeff
                 subcolumn = global_sum(
                     vm.machine,
-                    contributions,
+                    {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
                     shape=(s_slab.nrows,),
                     itemsize=itemsize,
                 )
@@ -365,15 +406,21 @@ def run_gaxpy_incore(
         rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
     } if perform else {}
 
+    # One whole-local-array GEMM per rank; the per-column loop below only
+    # charges costs and runs the (per-column) global sums.
+    products: Dict[int, np.ndarray] = {}
+    if perform:
+        products = {
+            rank: a_data[rank].astype(np.float64) @ b_data[rank].astype(np.float64)
+            for rank in range(nprocs)
+        }
+
     flops_per_proc = analysis.flops_per_proc
     per_column_flops = flops_per_proc / max(n_cols, 1)
     for j in range(n_cols):
         contributions = None
         if perform:
-            contributions = {
-                rank: a_data[rank].astype(np.float64) @ b_data[rank][:, j].astype(np.float64)
-                for rank in range(nprocs)
-            }
+            contributions = {rank: products[rank][:, j] for rank in range(nprocs)}
         for rank in range(nprocs):
             vm.machine.charge_compute(rank, per_column_flops)
         column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)

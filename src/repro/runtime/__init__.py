@@ -20,7 +20,7 @@ This subpackage implements the data storage model of the paper (Section 2.3):
 """
 
 from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, row_slabs, make_slabs
-from repro.runtime.laf import LocalArrayFile
+from repro.runtime.laf import LafHandleCache, LocalArrayFile
 from repro.runtime.icla import InCoreLocalArray
 from repro.runtime.ocla import OutOfCoreLocalArray
 from repro.runtime.io_engine import IOEngine, IOAccounting
@@ -34,6 +34,7 @@ __all__ = [
     "column_slabs",
     "row_slabs",
     "make_slabs",
+    "LafHandleCache",
     "LocalArrayFile",
     "InCoreLocalArray",
     "OutOfCoreLocalArray",

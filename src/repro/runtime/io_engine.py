@@ -82,11 +82,22 @@ class IOEngine:
             return 1
         return laf.contiguous_chunks(slab)
 
-    def read_slab(self, rank: int, laf: LocalArrayFile, slab: Slab) -> Optional[np.ndarray]:
-        """Read ``slab`` of processor ``rank``'s LAF; charge and return the data."""
+    def charge_read_slab(self, rank: int, laf: LocalArrayFile, slab: Slab) -> None:
+        """Charge the machine as if ``slab`` were read, without moving data.
+
+        Used by kernels that re-stream a slab they already hold in memory
+        (e.g. the column-slab GAXPY re-fetching the streamed array for every
+        result column): the simulated machine pays the full re-read — request
+        counts still derived from :meth:`LocalArrayFile.contiguous_chunks` —
+        while the host skips the redundant file access.
+        """
         nrequests = self._request_count(laf, slab)
         nbytes = slab.nbytes(laf.dtype.itemsize)
         self.machine.charge_read(rank, nbytes, nrequests)
+
+    def read_slab(self, rank: int, laf: LocalArrayFile, slab: Slab) -> Optional[np.ndarray]:
+        """Read ``slab`` of processor ``rank``'s LAF; charge and return the data."""
+        self.charge_read_slab(rank, laf, slab)
         if not self.perform_io:
             return None
         return laf.read_slab(slab)

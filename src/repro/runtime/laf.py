@@ -12,12 +12,24 @@ are contiguous on disk — this is the "reorganizing data storage on disks"
 part of the paper's optimization.  Access goes through NumPy memory maps,
 and every access reports how many contiguous file extents it touched so the
 I/O engine can charge request counts faithfully.
+
+Fast path: a LAF keeps one lazily opened, persistent ``np.memmap`` handle
+and reuses it across slab accesses instead of paying a file open plus memmap
+construction per access.  The handle is invalidated by :meth:`close` /
+:meth:`delete` (and flushed there, so writes can skip per-access ``flush``
+calls unless ``sync=True`` is requested).  A :class:`LafHandleCache` bounds
+how many handles are simultaneously open so runs with hundreds of LAFs do
+not exhaust file descriptors; evicted handles are flushed and transparently
+reopened on the next access.  None of this changes what the simulated
+machine is charged — accounting still goes through
+:meth:`contiguous_chunks` in the I/O engine.
 """
 
 from __future__ import annotations
 
 import os
 import uuid
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Tuple
 
@@ -26,7 +38,53 @@ import numpy as np
 from repro.exceptions import IOEngineError
 from repro.runtime.slab import Slab
 
-__all__ = ["LocalArrayFile"]
+__all__ = ["LafHandleCache", "LocalArrayFile"]
+
+
+class LafHandleCache:
+    """Bounded LRU registry of open :class:`LocalArrayFile` memmap handles.
+
+    A virtual machine creates one cache and hands it to every LAF it owns;
+    whenever a LAF opens or touches its persistent handle it is moved to the
+    most-recently-used end, and the least-recently-used handle is released
+    (flushed and dropped, the file kept intact) once more than ``capacity``
+    handles are open.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise IOEngineError(f"handle cache capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._open: "OrderedDict[int, LocalArrayFile]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def touch(self, laf: "LocalArrayFile") -> None:
+        """Record that ``laf``'s handle is open and was just used."""
+        key = id(laf)
+        if key in self._open:
+            self._open.move_to_end(key)
+            return
+        self._open[key] = laf
+        while len(self._open) > self.capacity:
+            _, victim = self._open.popitem(last=False)
+            self.evictions += 1
+            victim._release_handle(unregister=False)
+
+    def discard(self, laf: "LocalArrayFile") -> None:
+        """Forget ``laf`` (its handle was released by the file itself)."""
+        self._open.pop(id(laf), None)
+
+    def release_all(self) -> None:
+        """Flush and drop every open handle (files stay valid on disk)."""
+        while self._open:
+            _, victim = self._open.popitem(last=False)
+            victim._release_handle(unregister=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LafHandleCache(open={len(self._open)}/{self.capacity}, evictions={self.evictions})"
 
 
 class LocalArrayFile:
@@ -45,6 +103,9 @@ class LocalArrayFile:
         column-oriented Fortran programs) or ``'C'`` (row-major).
     create:
         When true the file is created (zero-filled) if it does not exist.
+    handle_cache:
+        Optional :class:`LafHandleCache` bounding the number of
+        simultaneously open memmap handles across many LAFs.
     """
 
     def __init__(
@@ -54,6 +115,7 @@ class LocalArrayFile:
         dtype: np.dtype | str = np.float64,
         order: str = "F",
         create: bool = True,
+        handle_cache: Optional[LafHandleCache] = None,
     ):
         self.path = Path(path)
         self.shape = (int(shape[0]), int(shape[1]))
@@ -65,6 +127,8 @@ class LocalArrayFile:
             raise IOEngineError(f"storage order must be 'F' or 'C', got {order!r}")
         self.order = order
         self._closed = False
+        self._mm: Optional[np.memmap] = None
+        self._handle_cache = handle_cache
         if create:
             self._ensure_file()
 
@@ -90,16 +154,44 @@ class LocalArrayFile:
         if self._closed:
             raise IOEngineError(f"local array file {self.path} is closed")
 
-    def _memmap(self, mode: str) -> np.memmap:
+    def _handle(self) -> np.memmap:
+        """The persistent read/write memmap, opened lazily and reused."""
         self._check_open()
-        self._ensure_file()
-        return np.memmap(self.path, dtype=self.dtype, mode=mode, shape=self.shape, order=self.order)
+        if self._mm is None:
+            self._ensure_file()
+            self._mm = np.memmap(
+                self.path, dtype=self.dtype, mode="r+", shape=self.shape, order=self.order
+            )
+        if self._handle_cache is not None:
+            self._handle_cache.touch(self)
+        return self._mm
+
+    def _release_handle(self, unregister: bool = True) -> None:
+        """Flush and drop the persistent handle; the file stays valid."""
+        mm, self._mm = self._mm, None
+        if mm is not None:
+            mm.flush()
+            del mm
+        if unregister and self._handle_cache is not None:
+            self._handle_cache.discard(self)
+
+    @property
+    def handle_open(self) -> bool:
+        """True while the persistent memmap handle is open."""
+        return self._mm is not None
+
+    def flush(self) -> None:
+        """Force buffered writes of the open handle to disk."""
+        if self._mm is not None:
+            self._mm.flush()
 
     def exists(self) -> bool:
         return self.path.exists()
 
     def close(self) -> None:
-        """Mark the file closed; further access raises :class:`IOEngineError`."""
+        """Flush, drop the handle and mark the file closed; further access raises."""
+        if not self._closed:
+            self._release_handle()
         self._closed = True
 
     def delete(self) -> None:
@@ -113,24 +205,32 @@ class LocalArrayFile:
     # ------------------------------------------------------------------
     # whole-array access
     # ------------------------------------------------------------------
-    def write_full(self, data: np.ndarray) -> None:
-        """Write the entire local array to the file."""
+    def write_full(self, data: np.ndarray, sync: bool = False) -> None:
+        """Write the entire local array to the file.
+
+        Writes land in the persistent memory map; ``sync=True`` forces them
+        to disk immediately, otherwise they are flushed at the latest in
+        :meth:`close` (or when the handle cache evicts the handle).
+        """
         data = np.asarray(data, dtype=self.dtype)
         if data.shape != self.shape:
             raise IOEngineError(
                 f"write_full: data shape {data.shape} does not match LAF shape {self.shape}"
             )
-        mm = self._memmap("r+")
+        if self.nelements == 0:
+            self._check_open()
+            return
+        mm = self._handle()
         mm[...] = data
-        mm.flush()
-        del mm
+        if sync:
+            mm.flush()
 
     def read_full(self) -> np.ndarray:
         """Read the entire local array from the file."""
-        mm = self._memmap("r")
-        out = np.array(mm)
-        del mm
-        return out
+        if self.nelements == 0:
+            self._check_open()
+            return np.zeros(self.shape, dtype=self.dtype)
+        return np.array(self._handle())
 
     # ------------------------------------------------------------------
     # slab access
@@ -143,14 +243,12 @@ class LocalArrayFile:
         """Read one slab; returns a freshly allocated array of the slab shape."""
         self._check_slab(slab)
         if slab.nelements == 0:
+            self._check_open()
             return np.zeros(slab.shape, dtype=self.dtype)
-        mm = self._memmap("r")
-        out = np.array(mm[slab.row_slice, slab.col_slice])
-        del mm
-        return out
+        return np.array(self._handle()[slab.row_slice, slab.col_slice])
 
-    def write_slab(self, slab: Slab, data: np.ndarray) -> None:
-        """Write one slab back to the file."""
+    def write_slab(self, slab: Slab, data: np.ndarray, sync: bool = False) -> None:
+        """Write one slab back to the file (flushed by ``close`` unless ``sync``)."""
         self._check_slab(slab)
         data = np.asarray(data, dtype=self.dtype)
         if data.shape != slab.shape:
@@ -158,11 +256,12 @@ class LocalArrayFile:
                 f"write_slab: data shape {data.shape} does not match {slab.describe()}"
             )
         if slab.nelements == 0:
+            self._check_open()
             return
-        mm = self._memmap("r+")
+        mm = self._handle()
         mm[slab.row_slice, slab.col_slice] = data
-        mm.flush()
-        del mm
+        if sync:
+            mm.flush()
 
     def contiguous_chunks(self, slab: Slab) -> int:
         """Number of contiguous file extents the slab occupies in this file."""

@@ -72,6 +72,20 @@ class OutOfCoreLocalArray:
             self.icla.load(slab, data)
         return data
 
+    def charge_fetch(self, slab: Slab) -> None:
+        """Charge a slab re-read served from a copy the kernel already holds.
+
+        The machine pays exactly what :meth:`fetch_slab` would charge; no
+        file access happens.  This keeps the simulated cost of re-streaming
+        identical while the fast-path kernels skip redundant host I/O.  In
+        particular a slab the ICLA holds is free here too, since
+        :meth:`fetch_slab` would have served it from the reuse buffer.
+        """
+        if self.icla is not None and self.icla.holds(slab):
+            self.icla.hits += 1
+            return
+        self.engine.charge_read_slab(self.rank, self.laf, slab)
+
     def store_slab(self, slab: Slab, data: Optional[np.ndarray]) -> None:
         """Write a slab through the I/O engine and invalidate any stale ICLA copy."""
         self.engine.write_slab(self.rank, self.laf, slab, data)

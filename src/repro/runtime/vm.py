@@ -15,6 +15,7 @@ create one per configuration point.
 from __future__ import annotations
 
 import shutil
+import uuid
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -27,7 +28,7 @@ from repro.machine.cluster import Machine
 from repro.machine.parameters import MachineParameters
 from repro.runtime.icla import InCoreLocalArray
 from repro.runtime.io_engine import IOAccounting, IOEngine
-from repro.runtime.laf import LocalArrayFile
+from repro.runtime.laf import LafHandleCache, LocalArrayFile
 from repro.runtime.ocla import OutOfCoreLocalArray
 from repro.runtime.slab import SlabbingStrategy
 
@@ -76,16 +77,20 @@ class VirtualMachine:
         params: MachineParameters | str | None = None,
         config: Optional[RunConfig] = None,
         accounting: IOAccounting | str = IOAccounting.PER_SLAB,
+        max_open_handles: int = 128,
     ):
         self.config = config or default_config()
         self.machine = Machine(nprocs, params)
         self.perform_io = self.config.mode is ExecutionMode.EXECUTE
         self.engine = IOEngine(self.machine, accounting=accounting, perform_io=self.perform_io)
         self.arrays: Dict[str, OutOfCoreArray] = {}
+        # Bounds how many persistent LAF memmap handles stay open at once so
+        # runs with hundreds of LAFs cannot exhaust file descriptors.
+        self.handle_cache = LafHandleCache(capacity=max_open_handles)
         self._scratch: Optional[Path] = None
         if self.perform_io:
             base = self.config.ensure_scratch_dir()
-            self._scratch = Path(base) / f"vm_{id(self):x}"
+            self._scratch = Path(base) / f"vm_{uuid.uuid4().hex[:12]}"
             self._scratch.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -142,7 +147,13 @@ class VirtualMachine:
             local_shape = descriptor.local_shape(rank)
             if self.perform_io:
                 path = LocalArrayFile.scratch_path(self._scratch, descriptor.name, rank)
-                laf = LocalArrayFile(path, local_shape, descriptor.dtype, order=storage_order)
+                laf = LocalArrayFile(
+                    path,
+                    local_shape,
+                    descriptor.dtype,
+                    order=storage_order,
+                    handle_cache=self.handle_cache,
+                )
                 if scattered is not None:
                     laf.write_full(scattered[rank])
             else:
