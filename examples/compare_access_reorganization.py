@@ -3,12 +3,12 @@
 
 Unlike :mod:`examples.reproduce_paper_tables` (which uses the analytic
 estimator at the paper's full problem size), this example really runs the
-out-of-core programs: Local Array Files are created on disk, slabs are read
-and written, the arithmetic is performed with NumPy, and all three versions
-are verified against a dense reference.  It then prints the measured
-(simulated-machine) time and the two I/O metrics of the paper for each
-version, demonstrating the order-of-magnitude I/O reduction of the
-reorganized access pattern on a size that runs in seconds.
+out-of-core programs through the Session API: Local Array Files are created
+on disk, slabs are read and written, the arithmetic is performed with NumPy,
+and all three versions are verified against a dense reference.  It then
+prints the measured (simulated-machine) time and the two I/O metrics of the
+paper for each version, demonstrating the order-of-magnitude I/O reduction
+of the reorganized access pattern on a size that runs in seconds.
 
 Run with::
 
@@ -20,16 +20,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro import Session, WorkloadPoint
 from repro.analysis.report import format_table
-from repro.config import RunConfig
-from repro.core import compile_gaxpy
-from repro.kernels import (
-    generate_gaxpy_inputs,
-    run_gaxpy_column_slab,
-    run_gaxpy_incore,
-    run_gaxpy_row_slab,
-)
-from repro.runtime import VirtualMachine
 
 
 def main() -> int:
@@ -37,28 +29,33 @@ def main() -> int:
     nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
     slab_ratio = 0.25
 
-    compiled = compile_gaxpy(n, nprocs, slab_ratio=slab_ratio)
-    print(compiled.decision.describe() if compiled.decision else compiled.describe())
+    session = Session()
+
+    # Show the compiler's reasoning for the freely-chosen strategy
+    # (version "" lets the cost model pick between column and row slabs).
+    chosen = session.compile(
+        WorkloadPoint("gaxpy", n=n, nprocs=nprocs, slab_ratio=slab_ratio)
+    )
+    print(chosen.program.describe())
     print()
 
-    inputs = generate_gaxpy_inputs(n)
-    rows = []
-    for label, runner in [
-        ("column-slab", run_gaxpy_column_slab),
-        ("row-slab", run_gaxpy_row_slab),
-        ("in-core", run_gaxpy_incore),
-    ]:
-        with VirtualMachine(nprocs, compiled.params, RunConfig()) as vm:
-            run = runner(vm, compiled, inputs)
-        rows.append(
-            [
-                label,
-                f"{run.simulated_seconds:.3f}",
-                f"{run.io_statistics['io_requests_per_proc']:.0f}",
-                f"{(run.io_statistics['bytes_read_per_proc'] + run.io_statistics['bytes_written_per_proc']) / 1e6:.2f}",
-                "yes" if run.verified else "NO",
-            ]
-        )
+    points = [
+        WorkloadPoint("gaxpy", n=n, nprocs=nprocs, version=version,
+                      slab_ratio=slab_ratio if version != "incore" else None)
+        for version in ("column", "row", "incore")
+    ]
+    records = session.sweep(points, mode="execute", workers=3)
+
+    rows = [
+        [
+            record.version,
+            f"{record.simulated_seconds:.3f}",
+            f"{record.io_requests_per_proc:.0f}",
+            f"{record.io_bytes_per_proc / 1e6:.2f}",
+            "yes" if record.verified else "NO",
+        ]
+        for record in records
+    ]
     print(
         format_table(
             ["version", "simulated time (s)", "I/O requests / proc", "I/O MB / proc", "verified"],

@@ -1,15 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: compile and run one out-of-core GAXPY matrix multiplication.
+"""Quickstart: the unified Session API, end to end.
 
-This example walks through the library's public API end to end:
+One :class:`repro.Session` serves every workload through the same
+compile → run → sweep surface:
 
-1. build the HPF-style program (arrays ``a``, ``b``, ``c`` with column-block /
-   row-block distributions and a FORALL reduction),
-2. compile it — the compiler estimates the I/O cost of the column-slab and
-   row-slab access patterns and picks the cheaper one,
-3. execute the compiled program on a simulated 4-processor machine with real
-   Local Array Files, and
-4. verify the out-of-core product against a dense NumPy reference.
+1. compile and execute the paper's out-of-core GAXPY matrix multiplication
+   (real Local Array Files, NumPy arithmetic, verified against a dense
+   reference),
+2. estimate the same point analytically with the machine model,
+3. sweep a *mixed* list of gaxpy / transpose / elementwise points in one
+   call (with a thread pool), and
+4. compile a mini-HPF source program and run it through the same machinery.
 
 Run with::
 
@@ -21,33 +22,78 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.config import RunConfig
-from repro.core import compile_gaxpy
-from repro.kernels import generate_gaxpy_inputs
-from repro.runtime import NodeProgramExecutor, VirtualMachine
+from repro import Session, WorkloadPoint
+
+HPF_SOURCE = """
+program gaxpy
+  parameter (n = 64, nprocs = 4)
+  real a(n, n), b(n, n), c(n, n)
+!hpf$ processors Pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) onto Pr
+!hpf$ align a(*, :) with d
+!hpf$ align c(*, :) with d
+!hpf$ align b(:, *) with d
+  do j = 1, n
+    forall (k = 1 : n)
+      c(:, j) = sum(a(:, k) * b(k, j))
+    end forall
+  end do
+end program
+"""
 
 
 def main() -> int:
     n = 128          # global array extent (the paper uses 1024; keep the demo quick)
     nprocs = 4       # simulated processors
-    slab_ratio = 0.25  # each slab holds a quarter of the out-of-core local array
+    session = Session()
 
-    print(f"Compiling out-of-core GAXPY: {n}x{n} reals on {nprocs} processors\n")
-    compiled = compile_gaxpy(n, nprocs, slab_ratio=slab_ratio)
-    print(compiled.describe())
+    # 1. compile + execute one GAXPY point ---------------------------------
+    point = WorkloadPoint("gaxpy", n=n, nprocs=nprocs, version="row", slab_ratio=0.25)
+    compiled = session.compile(point)
+    print(compiled.program.describe())
     print()
-    print("Generated node program (compare with Figures 9/12 of the paper):")
-    print(compiled.node_program.pretty())
-    print()
-
-    inputs = generate_gaxpy_inputs(n)
-    with VirtualMachine(nprocs, compiled.params, RunConfig()) as vm:
-        result = NodeProgramExecutor(compiled).execute(vm, inputs)
-    print(result.describe())
-    if result.verified is not True:
+    record = session.execute(point)
+    print(record.describe())
+    if record.verified is not True:
         print("ERROR: out-of-core result does not match the dense reference")
         return 1
-    print("\nOut-of-core result matches the dense NumPy reference.")
+    print()
+
+    # 2. the same point through the analytic estimator ---------------------
+    estimate = session.estimate(point)
+    print(f"analytic estimate of the same point: {estimate.simulated_seconds:.2f}s "
+          f"(executed: {record.simulated_seconds:.2f}s)")
+    print()
+
+    # 3. a mixed sweep: three workloads, one call, four threads ------------
+    points = [
+        WorkloadPoint("gaxpy", n=n, nprocs=nprocs, version="column", slab_ratio=0.25),
+        WorkloadPoint("gaxpy", n=n, nprocs=nprocs, version="row", slab_ratio=0.25),
+        WorkloadPoint("transpose", n=n, nprocs=nprocs),
+        WorkloadPoint("elementwise", n=n, nprocs=nprocs, options={"op": "multiply"}),
+    ]
+    print("mixed sweep (EXECUTE mode, 4 workers):")
+    sweep_records = session.sweep(points, mode="execute", workers=4)
+    for rec in sweep_records:
+        print(f"  {rec.label:42s} {rec.simulated_seconds:8.3f}s  "
+              f"io/proc={rec.io_requests_per_proc:5.0f} req  verified={rec.verified}")
+    print()
+    if not all(rec.verified is True for rec in sweep_records):
+        print("ERROR: a sweep point does not match its dense reference")
+        return 1
+
+    # 4. a program entering through the mini-HPF frontend ------------------
+    hpf = session.compile(source=HPF_SOURCE, slab_ratio=0.25)
+    print(f"HPF program compiled: N={hpf.n}, P={hpf.nprocs}, "
+          f"chosen strategy: {hpf.program.plan.strategy.value} slabs")
+    hpf_record = session.run(hpf, mode="execute")
+    print(f"  executed: {hpf_record.simulated_seconds:.2f}s, verified={hpf_record.verified}")
+    if hpf_record.verified is not True:
+        print("ERROR: the HPF program's result does not match the dense reference")
+        return 1
+
+    print("\nAll results match their dense NumPy references.")
     return 0
 
 

@@ -4,7 +4,25 @@ A from-scratch reproduction of Bordawekar, Choudhary and Thakur,
 "Data Access Reorganizations in Compiling Out-of-core Data Parallel Programs
 on Distributed Memory Machines" (NPAC SCCS-622 / IPPS).
 
-The library provides:
+The recommended entry point is the unified Session API (:mod:`repro.api`)::
+
+    from repro import Session, WorkloadPoint
+
+    session = Session()
+    record = session.run(
+        WorkloadPoint("gaxpy", n=128, nprocs=4, version="row", slab_ratio=0.25)
+    )
+    print(record.describe())
+
+A :class:`~repro.api.Session` owns the machine model, the run configuration,
+a compile LRU cache and a thread-pool sweep driver; every registered workload
+(``gaxpy``, ``transpose``, ``elementwise`` and mini-HPF source programs via
+``session.compile(source=...)``) shares the same compile → run → sweep
+surface and reports the same :class:`~repro.api.RunRecord` schema, in both
+``ESTIMATE`` (analytic machine model) and ``EXECUTE`` (real files + NumPy,
+verified) mode.
+
+The layers underneath remain importable directly:
 
 * a mini-HPF front end (:mod:`repro.hpf`),
 * a simulated distributed-memory machine (:mod:`repro.machine`),
@@ -13,7 +31,8 @@ The library provides:
   and memory allocation (:mod:`repro.core`),
 * out-of-core kernels including the paper's GAXPY matrix multiplication
   (:mod:`repro.kernels`),
-* analytic cost formulas and sweep drivers (:mod:`repro.analysis`), and
+* analytic cost formulas and deprecated sweep shims (:mod:`repro.analysis`),
+  and
 * the experiment harness regenerating every table and figure of the paper
   (:mod:`repro.experiments`).
 """
@@ -21,7 +40,7 @@ The library provides:
 from repro.config import ExecutionMode, RunConfig, default_config
 from repro.exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExecutionMode",
@@ -40,10 +59,22 @@ def _load_public_api() -> None:
     """
     global Machine, ProcessorGrid, Template, Alignment, ArrayDescriptor
     global compile_program, compile_gaxpy, compile_source, VirtualMachine, NodeProgramExecutor
+    global Session, WorkloadPoint, CompiledWorkload, RunRecord, Workload
+    global register_workload, get_workload, available_workloads
     from repro.machine import Machine  # noqa: F401
     from repro.hpf import ProcessorGrid, Template, Alignment, ArrayDescriptor, compile_source  # noqa: F401
     from repro.core import compile_program, compile_gaxpy  # noqa: F401
     from repro.runtime import VirtualMachine, NodeProgramExecutor  # noqa: F401
+    from repro.api import (  # noqa: F401
+        CompiledWorkload,
+        RunRecord,
+        Session,
+        Workload,
+        WorkloadPoint,
+        available_workloads,
+        get_workload,
+        register_workload,
+    )
 
     __all__.extend(
         [
@@ -57,6 +88,14 @@ def _load_public_api() -> None:
             "compile_gaxpy",
             "VirtualMachine",
             "NodeProgramExecutor",
+            "Session",
+            "WorkloadPoint",
+            "CompiledWorkload",
+            "RunRecord",
+            "Workload",
+            "register_workload",
+            "get_workload",
+            "available_workloads",
         ]
     )
 

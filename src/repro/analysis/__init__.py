@@ -2,8 +2,9 @@
 
 * :mod:`repro.analysis.io_cost` — the closed-form I/O cost formulas of the
   paper (equations 3–6) for cross-checking the compiler's cost model.
-* :mod:`repro.analysis.sweep` — helpers to run parameter sweeps (processor
-  counts, slab ratios, slab sizes) in estimate or execute mode.
+* :mod:`repro.analysis.sweep` — deprecated GAXPY-only sweep shims; use
+  :class:`repro.api.Session` and :class:`repro.api.WorkloadPoint`, which
+  sweep every registered workload through one surface.
 * :mod:`repro.analysis.report` — plain-text table formatting used by the
   experiment harness and the examples.
 """

@@ -1,37 +1,41 @@
-"""Parameter sweep drivers for the GAXPY experiments.
+"""Deprecated GAXPY-specific sweep drivers (thin shims over the Session API).
 
-A sweep point fixes the problem size, the number of processors, the slab
-sizes and the program version (column-slab, row-slab or in-core).  Points can
-be evaluated in two modes:
+This module predates :mod:`repro.api`; it hardwired the GAXPY workload into
+the public sweep surface.  The general replacements are
 
-* ``estimate`` — compile and charge the machine model with the statically
-  counted operations of the generated node program (fast; used for the
-  paper-scale configurations), or
-* ``execute`` — compile and really run the out-of-core kernels against Local
-  Array Files, verifying the numerical result (used for tests and small
-  problem sizes).
+* :class:`repro.api.WorkloadPoint` for :class:`SweepPoint`,
+* :meth:`repro.api.Session.run` for :func:`run_gaxpy_point`, and
+* :meth:`repro.api.Session.sweep` for :func:`sweep_gaxpy`,
+
+which serve every registered workload (gaxpy, transpose, elementwise, HPF
+source programs) with one compile cache and one thread-pool driver.  The
+shims below delegate to a Session and convert the typed
+:class:`~repro.api.RunRecord` back into the historical flat dictionaries, so
+existing callers (and the BENCH_fastpath.json baseline) see bit-identical
+charged statistics.  They emit :class:`DeprecationWarning` and will be
+removed once nothing imports them.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
+import warnings
 from typing import Dict, Iterable, List, Optional
 
 from repro.config import ExecutionMode, RunConfig
 from repro.exceptions import ExperimentError
-from repro.core.pipeline import CompiledProgram, compile_gaxpy_cached
-from repro.machine.parameters import MachineParameters, touchstone_delta
-from repro.runtime.executor import NodeProgramExecutor
-from repro.runtime.slab import SlabbingStrategy
-from repro.runtime.vm import VirtualMachine
 
 __all__ = ["SweepPoint", "run_gaxpy_point", "sweep_gaxpy"]
 
 
 @dataclasses.dataclass(frozen=True)
 class SweepPoint:
-    """One configuration of the GAXPY experiment."""
+    """One configuration of the GAXPY experiment.
+
+    Deprecated: use :class:`repro.api.WorkloadPoint` with
+    ``workload="gaxpy"``, which this class converts into via
+    :meth:`to_workload_point`.
+    """
 
     n: int
     nprocs: int
@@ -50,142 +54,105 @@ class SweepPoint:
         slab = f"ratio={self.slab_ratio}" if self.slab_ratio is not None else "explicit slabs"
         return f"{self.version} N={self.n} P={self.nprocs} {slab}"
 
+    def to_workload_point(self):
+        """The equivalent :class:`repro.api.WorkloadPoint`."""
+        from repro.api import WorkloadPoint
 
-def _compile_point(point: SweepPoint, params: MachineParameters) -> CompiledProgram:
-    """Compile one sweep point (LRU-cached on the full point configuration).
+        return WorkloadPoint(
+            workload="gaxpy",
+            n=self.n,
+            nprocs=self.nprocs,
+            version=self.version,
+            slab_ratio=self.slab_ratio,
+            slab_elements=self.slab_elements,
+            dtype=self.dtype,
+        )
 
-    Sweeps frequently revisit a configuration — the same point in estimate
-    and execute mode, or many seeds over one grid — so compilation goes
-    through :func:`repro.core.pipeline.compile_gaxpy_cached`, which is keyed
-    on ``(n, nprocs, version, slab configuration, dtype, machine params)``.
+
+def _legacy_record(record, point: SweepPoint, mode: ExecutionMode) -> Dict[str, float]:
+    """Flatten a RunRecord into the historical ``Dict[str, float]`` shape.
+
+    Two quirks are preserved for bit-compatibility with the old driver: the
+    in-core ESTIMATE path reported ``slab_ratio`` as ``1.0`` (not NaN) when
+    none was given, and the ``verified`` flag is a float (NaN when no
+    verification happened).
     """
-    force = None
-    if point.version == "column":
-        force = SlabbingStrategy.COLUMN
-    elif point.version == "row":
-        force = SlabbingStrategy.ROW
-    ratio = point.slab_ratio if point.version != "incore" else 1.0
-    return compile_gaxpy_cached(
-        point.n,
-        point.nprocs,
-        params,
-        dtype=point.dtype,
-        slab_ratio=ratio if point.slab_elements is None else None,
-        slab_elements=point.slab_elements,
-        force_strategy=force,
+    if point.version == "incore" and mode is ExecutionMode.ESTIMATE:
+        slab_ratio = float(point.slab_ratio or 1.0)
+    elif point.slab_ratio is not None:
+        slab_ratio = float(point.slab_ratio)
+    else:
+        slab_ratio = float("nan")
+    verified = float("nan") if record.verified is None else float(bool(record.verified))
+    return {
+        "n": float(point.n),
+        "nprocs": float(point.nprocs),
+        "slab_ratio": slab_ratio,
+        "time": record.simulated_seconds,
+        "io_time": record.io_time,
+        "compute_time": record.compute_time,
+        "comm_time": record.comm_time,
+        "io_requests_per_proc": record.io_requests_per_proc,
+        "io_bytes_per_proc": record.io_read_bytes_per_proc + record.io_write_bytes_per_proc,
+        "verified": verified,
+    }
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.analysis.sweep.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
 def run_gaxpy_point(
     point: SweepPoint,
-    params: Optional[MachineParameters] = None,
+    params=None,
     mode: ExecutionMode | str = ExecutionMode.ESTIMATE,
     config: Optional[RunConfig] = None,
     verify: bool = True,
 ) -> Dict[str, float]:
-    """Evaluate one sweep point and return a flat result record."""
-    params = params or touchstone_delta()
+    """Deprecated shim: evaluate one GAXPY point via :meth:`Session.run`."""
+    from repro.api import Session
+
+    _deprecated("run_gaxpy_point", "repro.api.Session.run")
     mode = ExecutionMode(mode) if isinstance(mode, str) else mode
-    compiled = _compile_point(point, params)
-
-    if point.version == "incore":
-        return _run_incore_point(point, compiled, params, mode, config, verify)
-
-    if mode is ExecutionMode.ESTIMATE:
-        result = NodeProgramExecutor(compiled).estimate()
-        record = _record_from_result(point, result.time_breakdown, result.io_statistics,
-                                     result.simulated_seconds)
-        record["verified"] = float("nan")
-        return record
-
-    from repro.kernels.gaxpy import generate_gaxpy_inputs, run_gaxpy_column_slab, run_gaxpy_row_slab
-
-    config = config or RunConfig()
-    inputs = generate_gaxpy_inputs(point.n, dtype=point.dtype, seed=config.seed)
-    with VirtualMachine(point.nprocs, params, config) as vm:
-        runner = run_gaxpy_column_slab if point.version == "column" else run_gaxpy_row_slab
-        run = runner(vm, compiled, inputs, verify=verify)
-        record = _record_from_result(point, run.time_breakdown, run.io_statistics,
-                                     run.simulated_seconds)
-        record["verified"] = float(bool(run.verified)) if run.verified is not None else float("nan")
-        return record
-
-
-def _run_incore_point(point, compiled, params, mode, config, verify) -> Dict[str, float]:
-    from repro.core.cost_model import CostModel
-
-    if mode is ExecutionMode.ESTIMATE:
-        cost = CostModel(params, point.nprocs).estimate_incore(compiled.analysis)
-        record = {
-            "n": float(point.n),
-            "nprocs": float(point.nprocs),
-            "slab_ratio": float(point.slab_ratio or 1.0),
-            "time": cost.total_time,
-            "io_time": cost.io_time,
-            "compute_time": cost.compute_time,
-            "comm_time": cost.comm_time,
-            "io_requests_per_proc": cost.io_requests,
-            "io_bytes_per_proc": cost.io_bytes,
-            "verified": float("nan"),
-        }
-        return record
-
-    from repro.kernels.gaxpy import generate_gaxpy_inputs, run_gaxpy_incore
-
-    config = config or RunConfig()
-    inputs = generate_gaxpy_inputs(point.n, dtype=point.dtype, seed=config.seed)
-    with VirtualMachine(point.nprocs, params, config) as vm:
-        run = run_gaxpy_incore(vm, compiled, inputs, verify=verify)
-        record = _record_from_result(point, run.time_breakdown, run.io_statistics,
-                                     run.simulated_seconds)
-        record["verified"] = float(bool(run.verified)) if run.verified is not None else float("nan")
-        return record
-
-
-def _record_from_result(point, breakdown, io_stats, total) -> Dict[str, float]:
-    return {
-        "n": float(point.n),
-        "nprocs": float(point.nprocs),
-        "slab_ratio": float(point.slab_ratio) if point.slab_ratio is not None else float("nan"),
-        "time": total,
-        "io_time": breakdown.get("io", 0.0),
-        "compute_time": breakdown.get("compute", 0.0),
-        "comm_time": breakdown.get("comm", 0.0),
-        "io_requests_per_proc": io_stats.get("io_requests_per_proc", 0.0),
-        "io_bytes_per_proc": io_stats.get("bytes_read_per_proc", 0.0)
-        + io_stats.get("bytes_written_per_proc", 0.0),
-    }
+    session = Session(params=params, config=config)
+    record = session.run(point.to_workload_point(), mode=mode, verify=verify)
+    return _legacy_record(record, point, mode)
 
 
 def sweep_gaxpy(
     points: Iterable[SweepPoint],
-    params: Optional[MachineParameters] = None,
+    params=None,
     mode: ExecutionMode | str = ExecutionMode.ESTIMATE,
     config: Optional[RunConfig] = None,
     workers: int = 1,
+    verify: bool = True,
 ) -> List[Dict[str, float]]:
-    """Evaluate many sweep points and return one record per point.
+    """Deprecated shim: evaluate many GAXPY points via :meth:`Session.sweep`.
 
-    ``workers > 1`` evaluates points concurrently in a thread pool.  Each
-    point owns its virtual machine, scratch directory and cost counters, so
-    the records are per-field identical to a sequential sweep and returned
-    in input order.  Threads pay off in ``EXECUTE`` mode, where the heavy
-    work — BLAS kernels and file I/O — releases the GIL; ``ESTIMATE``-mode
-    points are pure-Python accounting, so leave ``workers=1`` there.
+    ``workers > 1`` evaluates points concurrently in a thread pool; records
+    are per-field identical to a sequential sweep and returned in input
+    order.  Unlike the historical driver, ``verify`` is forwarded to every
+    point on both paths (the old code silently dropped it).
     """
+    from repro.api import Session
+
+    _deprecated("sweep_gaxpy", "repro.api.Session.sweep")
+    mode = ExecutionMode(mode) if isinstance(mode, str) else mode
     points = list(points)
-    if workers > 1 and len(points) > 1:
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            records = list(
-                pool.map(
-                    lambda point: run_gaxpy_point(point, params=params, mode=mode, config=config),
-                    points,
-                )
-            )
-    else:
-        records = [
-            run_gaxpy_point(point, params=params, mode=mode, config=config) for point in points
-        ]
+    session = Session(params=params, config=config)
+    records = session.sweep(
+        [point.to_workload_point() for point in points],
+        mode=mode,
+        workers=workers,
+        verify=verify,
+    )
+    out: List[Dict[str, float]] = []
     for point, record in zip(points, records):
-        record["version"] = point.version  # type: ignore[assignment]
-    return records
+        legacy = _legacy_record(record, point, mode)
+        legacy["version"] = point.version  # type: ignore[assignment]
+        out.append(legacy)
+    return out

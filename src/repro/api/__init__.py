@@ -1,0 +1,48 @@
+"""The unified Workload/Session API.
+
+One kernel-agnostic surface over the whole library — every workload goes
+through the same compile → run → sweep machinery:
+
+* :class:`WorkloadPoint` — one configuration of one registered workload
+  (the generalisation of the GAXPY-only ``SweepPoint``),
+* :class:`Workload` + :func:`register_workload` — the uniform
+  ``compile(point, params)`` / ``estimate`` / ``execute`` contract a kernel
+  family implements to become sweepable (built-ins: ``gaxpy``,
+  ``transpose``, ``elementwise`` and the mini-HPF ``hpf`` frontend),
+* :class:`CompiledWorkload` — the cached, frozen result of compiling one
+  point,
+* :class:`RunRecord` — the shared, typed result schema (simulated seconds,
+  time breakdown, per-processor I/O statistics, verified flag), and
+* :class:`Session` — the facade owning machine parameters, run
+  configuration, the compile LRU cache and the thread-pool sweep driver.
+
+The legacy GAXPY-specific entry points (``repro.analysis.sweep.sweep_gaxpy``
+and friends) remain as thin deprecated shims over this package.
+"""
+
+from repro.api.records import RunRecord
+from repro.api.workload import (
+    CompiledWorkload,
+    Workload,
+    WorkloadPoint,
+    available_workloads,
+    get_workload,
+    register_workload,
+    unregister_workload,
+)
+from repro.api.session import Session
+
+# Importing the built-ins registers them (gaxpy, transpose, elementwise, hpf).
+import repro.api.builtin  # noqa: F401  (imported for its registration side effect)
+
+__all__ = [
+    "RunRecord",
+    "WorkloadPoint",
+    "CompiledWorkload",
+    "Workload",
+    "Session",
+    "register_workload",
+    "unregister_workload",
+    "get_workload",
+    "available_workloads",
+]

@@ -1,0 +1,163 @@
+"""The shared result schema of the Session API.
+
+Every workload — GAXPY, transpose, elementwise, programs entering through the
+mini-HPF frontend — reports one :class:`RunRecord` per evaluation, in both
+``ESTIMATE`` and ``EXECUTE`` mode.  The record carries only *simulated*
+quantities (machine-model seconds, per-processor I/O statistics), never host
+wall-clock time, so records from a sequential sweep and a thread-pool sweep
+of the same points are per-field identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Mapping, Optional
+
+__all__ = ["RunRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """Outcome of evaluating one :class:`~repro.api.WorkloadPoint`.
+
+    Parameters
+    ----------
+    workload / label / version:
+        Which registered workload produced the record, the point's display
+        label, and the program version (e.g. ``"row"``); all strings — the
+        legacy sweep records stuffed the version string into a
+        ``Dict[str, float]``, which this schema replaces.
+    mode:
+        ``"estimate"`` or ``"execute"``.
+    n / nprocs / dtype / slab_ratio:
+        The configuration of the evaluated point.
+    simulated_seconds / io_time / compute_time / comm_time:
+        The machine model's critical-path time and its breakdown.
+    io_requests_per_proc / io_read_bytes_per_proc / io_write_bytes_per_proc:
+        The paper's per-processor I/O metrics (maximum over processors).
+    verified:
+        ``True``/``False`` when an ``EXECUTE``-mode run compared its result
+        against a dense reference, ``None`` when no verification happened
+        (``ESTIMATE`` mode, or ``verify=False``).
+    max_abs_error:
+        Largest absolute deviation from the reference, when measured.
+    extras:
+        Workload-specific numeric extras (kept out of the typed core).
+    """
+
+    workload: str
+    label: str
+    version: str
+    mode: str
+    n: int
+    nprocs: int
+    dtype: str
+    simulated_seconds: float
+    io_time: float
+    compute_time: float
+    comm_time: float
+    io_requests_per_proc: float
+    io_read_bytes_per_proc: float
+    io_write_bytes_per_proc: float
+    slab_ratio: Optional[float] = None
+    verified: Optional[bool] = None
+    max_abs_error: Optional[float] = None
+    extras: Mapping[str, float] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def io_bytes_per_proc(self) -> float:
+        """Total bytes moved per processor (reads + writes)."""
+        return self.io_read_bytes_per_proc + self.io_write_bytes_per_proc
+
+    @property
+    def time_breakdown(self) -> Dict[str, float]:
+        return {"io": self.io_time, "compute": self.compute_time, "comm": self.comm_time}
+
+    @property
+    def ok(self) -> bool:
+        """True unless verification ran and failed."""
+        return self.verified is not False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_machine(
+        cls,
+        *,
+        workload: str,
+        label: str,
+        version: str,
+        mode: str,
+        n: int,
+        nprocs: int,
+        dtype: str,
+        simulated_seconds: float,
+        time_breakdown: Mapping[str, float],
+        io_statistics: Mapping[str, float],
+        slab_ratio: Optional[float] = None,
+        verified: Optional[bool] = None,
+        max_abs_error: Optional[float] = None,
+        extras: Optional[Mapping[str, float]] = None,
+    ) -> "RunRecord":
+        """Build a record from a machine's time breakdown and I/O statistics."""
+        return cls(
+            workload=workload,
+            label=label,
+            version=version,
+            mode=mode,
+            n=int(n),
+            nprocs=int(nprocs),
+            dtype=dtype,
+            simulated_seconds=simulated_seconds,
+            io_time=time_breakdown.get("io", 0.0),
+            compute_time=time_breakdown.get("compute", 0.0),
+            comm_time=time_breakdown.get("comm", 0.0),
+            io_requests_per_proc=io_statistics.get("io_requests_per_proc", 0.0),
+            io_read_bytes_per_proc=io_statistics.get("bytes_read_per_proc", 0.0),
+            io_write_bytes_per_proc=io_statistics.get("bytes_written_per_proc", 0.0),
+            slab_ratio=slab_ratio,
+            verified=verified,
+            max_abs_error=max_abs_error,
+            extras=dict(extras or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten the record into a plain dictionary (strings stay strings)."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "label": self.label,
+            "version": self.version,
+            "mode": self.mode,
+            "n": self.n,
+            "nprocs": self.nprocs,
+            "dtype": self.dtype,
+            "slab_ratio": self.slab_ratio,
+            "time": self.simulated_seconds,
+            "io_time": self.io_time,
+            "compute_time": self.compute_time,
+            "comm_time": self.comm_time,
+            "io_requests_per_proc": self.io_requests_per_proc,
+            "io_read_bytes_per_proc": self.io_read_bytes_per_proc,
+            "io_write_bytes_per_proc": self.io_write_bytes_per_proc,
+            "io_bytes_per_proc": self.io_bytes_per_proc,
+            "verified": self.verified,
+            "max_abs_error": self.max_abs_error,
+        }
+        out.update(self.extras)
+        return out
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.label} [{self.mode}]: {self.simulated_seconds:.2f} simulated seconds",
+            f"  io={self.io_time:.2f}s compute={self.compute_time:.2f}s comm={self.comm_time:.2f}s",
+            f"  I/O requests/proc={self.io_requests_per_proc:.0f}, "
+            f"{self.io_bytes_per_proc / 1e6:.2f} MB moved/proc",
+        ]
+        if self.verified is not None:
+            err = "" if self.max_abs_error is None or math.isnan(self.max_abs_error) else (
+                f" (max |error| = {self.max_abs_error:.2e})"
+            )
+            lines.append(f"  verified: {self.verified}{err}")
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""The Session facade: one compile → run → sweep surface for every kernel.
+
+A :class:`Session` owns the pieces every evaluation needs — the machine
+parameters, the :class:`~repro.config.RunConfig`, an LRU cache of compiled
+workloads and the thread-pool sweep driver — so callers write::
+
+    from repro import Session, WorkloadPoint
+
+    session = Session()
+    record = session.run(WorkloadPoint("gaxpy", n=128, nprocs=4,
+                                      version="row", slab_ratio=0.25))
+
+and every registered workload (gaxpy, transpose, elementwise, mini-HPF
+source programs) goes through the same machinery: the same compile cache,
+the same :class:`~repro.api.RunRecord` result schema, and the same parallel
+sweep driver.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import threading
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.api.records import RunRecord
+from repro.api.workload import CompiledWorkload, WorkloadPoint, get_workload
+from repro.config import ExecutionMode, RunConfig
+from repro.exceptions import WorkloadError
+from repro.machine.parameters import MachineParameters, touchstone_delta
+
+__all__ = ["Session"]
+
+PointLike = Union[WorkloadPoint, CompiledWorkload]
+
+
+class Session:
+    """Owns machine parameters, run configuration, compile cache and sweeps.
+
+    Parameters
+    ----------
+    params:
+        Machine model parameters (default: the Touchstone-Delta-like model).
+    config:
+        Base :class:`~repro.config.RunConfig`; its ``mode`` is the default
+        for :meth:`run` and :meth:`sweep`, its ``seed`` drives workload input
+        generation, its ``scratch_dir`` hosts the Local Array Files.
+    compile_cache_size:
+        Capacity of the per-session LRU cache of :class:`CompiledWorkload`
+        objects (keyed on the full :class:`WorkloadPoint`).  Cached programs
+        are shared between runs and threads — they are frozen and must not
+        be mutated.
+    """
+
+    def __init__(
+        self,
+        params: Optional[MachineParameters] = None,
+        config: Optional[RunConfig] = None,
+        *,
+        compile_cache_size: int = 128,
+    ):
+        if compile_cache_size < 1:
+            raise WorkloadError("compile_cache_size must be at least 1")
+        self.params = params or touchstone_delta()
+        self.config = config or RunConfig()
+        self._cache: "collections.OrderedDict[WorkloadPoint, CompiledWorkload]" = (
+            collections.OrderedDict()
+        )
+        self._cache_capacity = compile_cache_size
+        self._cache_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        point: Optional[WorkloadPoint] = None,
+        *,
+        source: Optional[str] = None,
+        **point_kwargs,
+    ) -> CompiledWorkload:
+        """Compile a workload point (LRU-cached on the full point).
+
+        Three call shapes are accepted::
+
+            session.compile(point)                       # an explicit point
+            session.compile(source=hpf_text, slab_ratio=0.25)   # HPF source
+            session.compile(workload="gaxpy", n=64, nprocs=4,
+                            version="row", slab_ratio=0.5)      # fields
+
+        ``source=...`` builds an ``"hpf"`` point carrying the program text;
+        the compiled program's own sizes fill in ``n`` and ``nprocs``.
+        """
+        if point is not None and (source is not None or point_kwargs):
+            raise WorkloadError("pass either a WorkloadPoint or keyword fields, not both")
+        if point is None:
+            if source is not None:
+                options = dict(point_kwargs.pop("options", {}) or {})
+                options["source"] = source
+                point = WorkloadPoint(workload="hpf", options=options, **point_kwargs)
+            else:
+                point = WorkloadPoint(**point_kwargs)
+
+        with self._cache_lock:
+            cached = self._cache.get(point)
+            if cached is not None:
+                self._cache.move_to_end(point)
+                self._hits += 1
+                return cached
+            self._misses += 1
+
+        workload = get_workload(point.workload)
+        workload.validate(point)
+        compiled = workload.compile(point, self.params)
+
+        with self._cache_lock:
+            self._cache[point] = compiled
+            self._cache.move_to_end(point)
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        return compiled
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._cache_lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._cache),
+                "capacity": self._cache_capacity,
+            }
+
+    def clear_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # single-point evaluation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        point: PointLike,
+        mode: Optional[ExecutionMode | str] = None,
+        verify: Optional[bool] = None,
+    ) -> RunRecord:
+        """Evaluate one point (or pre-compiled workload) and return its record.
+
+        ``mode`` defaults to the session config's mode; ``verify`` defaults
+        to the config's ``verify`` flag and only matters in ``EXECUTE`` mode.
+        """
+        from repro.runtime.vm import VirtualMachine
+
+        compiled = point if isinstance(point, CompiledWorkload) else self.compile(point)
+        if mode is None:
+            mode = self.config.mode
+        mode = ExecutionMode(mode) if isinstance(mode, str) else mode
+        if verify is None:
+            verify = self.config.verify
+        run_config = self.config.with_mode(mode)
+        with VirtualMachine(compiled.nprocs, compiled.params, run_config) as vm:
+            if mode is ExecutionMode.ESTIMATE:
+                return compiled.workload.estimate(compiled, vm)
+            return compiled.workload.execute(compiled, vm, verify)
+
+    def estimate(self, point: PointLike) -> RunRecord:
+        """Evaluate one point analytically (``ESTIMATE`` mode)."""
+        return self.run(point, mode=ExecutionMode.ESTIMATE)
+
+    def execute(self, point: PointLike, verify: Optional[bool] = None) -> RunRecord:
+        """Really run one point (``EXECUTE`` mode)."""
+        return self.run(point, mode=ExecutionMode.EXECUTE, verify=verify)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        points: Iterable[PointLike],
+        mode: Optional[ExecutionMode | str] = None,
+        workers: int = 1,
+        verify: Optional[bool] = None,
+    ) -> List[RunRecord]:
+        """Evaluate many points — possibly of different workloads — in order.
+
+        ``workers > 1`` evaluates points concurrently in a thread pool.  Each
+        point owns its virtual machine, scratch directory and cost counters,
+        and records carry only simulated quantities, so the result list is
+        per-field identical to a sequential sweep and returned in input
+        order.  Threads pay off in ``EXECUTE`` mode, where the heavy work —
+        BLAS kernels and file I/O — releases the GIL.
+
+        Unlike the legacy ``sweep_gaxpy`` driver, the ``verify`` flag is
+        forwarded to every point on both the sequential and the thread-pool
+        paths.
+        """
+        points = list(points)
+        if workers > 1 and len(points) > 1:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda p: self.run(p, mode=mode, verify=verify), points)
+                )
+        return [self.run(p, mode=mode, verify=verify) for p in points]
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        info = self.cache_info()
+        return (
+            f"Session(params={self.params.name!r}, mode={self.config.mode.value}, "
+            f"cache {info['size']}/{info['capacity']})"
+        )

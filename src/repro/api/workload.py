@@ -1,0 +1,260 @@
+"""Workload protocol, points and the workload registry.
+
+The paper's compilation pipeline (Figure 7) is program-agnostic; this module
+makes the *public surface* program-agnostic too.  A :class:`Workload` gives a
+kernel family a uniform three-step contract:
+
+* ``compile(point, params) -> CompiledWorkload`` — run whatever compilation
+  or planning the workload needs for one configuration point,
+* ``estimate(compiled, vm) -> RunRecord`` — charge the machine model
+  analytically (``ESTIMATE`` mode), and
+* ``execute(compiled, vm, verify) -> RunRecord`` — really run the kernel on
+  a :class:`~repro.runtime.vm.VirtualMachine` (``EXECUTE`` mode).
+
+Workloads register themselves under a short name with
+:func:`register_workload`; a :class:`WorkloadPoint` names the workload plus
+one configuration, so heterogeneous points can travel through one sweep.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
+
+from repro.exceptions import WorkloadError
+from repro.machine.parameters import MachineParameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.records import RunRecord
+    from repro.core.pipeline import CompiledProgram
+    from repro.hpf.array_desc import ArrayDescriptor
+    from repro.runtime.vm import VirtualMachine
+
+__all__ = [
+    "WorkloadPoint",
+    "CompiledWorkload",
+    "Workload",
+    "register_workload",
+    "unregister_workload",
+    "get_workload",
+    "available_workloads",
+]
+
+
+def _freeze_mapping(value, field: str) -> Optional[Tuple[Tuple[str, object], ...]]:
+    """Normalise a mapping (or iterable of pairs) into a sorted hashable tuple.
+
+    Values must themselves be hashable — points key the Session's compile
+    cache, so an unhashable value would otherwise surface later as a bare
+    ``TypeError`` from dictionary internals instead of a clear error here.
+    """
+    if value is None:
+        return None
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = tuple(value)
+    frozen = tuple(sorted((str(k), v) for k, v in items))
+    for key, item in frozen:
+        try:
+            hash(item)
+        except TypeError as exc:
+            raise WorkloadError(
+                f"WorkloadPoint.{field}[{key!r}] has unhashable value of type "
+                f"{type(item).__name__}; points must be hashable — use a hashable "
+                "value (e.g. a tuple instead of a list)"
+            ) from exc
+    return frozen
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadPoint:
+    """One configuration of one registered workload.
+
+    The generalisation of the GAXPY-only ``SweepPoint``: ``workload`` names a
+    registered :class:`Workload`, the remaining fields describe one
+    configuration of it.  Points are frozen and hashable so they can key the
+    Session's compile cache; mapping-valued fields are normalised to sorted
+    tuples of pairs (use :meth:`slab_elements_dict` / :meth:`options_dict`
+    to read them back as dictionaries).
+    """
+
+    workload: str
+    n: int = 0
+    nprocs: int = 1
+    version: str = ""
+    slab_ratio: Optional[float] = None
+    slab_elements: Optional[Mapping[str, int]] = None
+    dtype: str = "float32"
+    options: Mapping[str, object] = dataclasses.field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise WorkloadError("a WorkloadPoint needs a workload name")
+        if self.nprocs < 1:
+            raise WorkloadError(f"nprocs must be positive, got {self.nprocs}")
+        if self.n < 0:
+            raise WorkloadError(f"n must be non-negative, got {self.n}")
+        object.__setattr__(
+            self, "slab_elements", _freeze_mapping(self.slab_elements, "slab_elements")
+        )
+        object.__setattr__(self, "options", _freeze_mapping(self.options, "options") or ())
+
+    # ------------------------------------------------------------------
+    def slab_elements_dict(self) -> Optional[Dict[str, int]]:
+        if self.slab_elements is None:
+            return None
+        return {k: int(v) for k, v in self.slab_elements}
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    def option(self, key: str, default: object = None) -> object:
+        return self.options_dict().get(key, default)
+
+    def label(self) -> str:
+        parts = [self.workload]
+        if self.version:
+            parts.append(self.version)
+        label = ":".join(parts) + f" N={self.n} P={self.nprocs}"
+        if self.slab_ratio is not None:
+            label += f" ratio={self.slab_ratio:g}"
+        elif self.slab_elements is not None:
+            label += " explicit slabs"
+        return label
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledWorkload:
+    """The result of compiling one workload point.
+
+    Compiler-backed workloads (GAXPY, HPF programs) carry a
+    :class:`~repro.core.pipeline.CompiledProgram` in ``program``;
+    descriptor-backed kernels (transpose, elementwise) carry the
+    :class:`~repro.hpf.array_desc.ArrayDescriptor` they operate on.
+    Instances are shared by the Session's compile cache — they are frozen and
+    must never be mutated by executors.
+    """
+
+    workload: "Workload"
+    point: WorkloadPoint
+    params: MachineParameters
+    program: Optional["CompiledProgram"] = None
+    descriptor: Optional["ArrayDescriptor"] = None
+
+    @property
+    def n(self) -> int:
+        return self.point.n
+
+    @property
+    def nprocs(self) -> int:
+        return self.point.nprocs
+
+    def label(self) -> str:
+        return self.point.label()
+
+    # ------------------------------------------------------------------
+    def estimate(self, vm: Optional["VirtualMachine"] = None) -> "RunRecord":
+        """Charge the machine model analytically and return the record."""
+        if vm is None:
+            from repro.config import ExecutionMode, RunConfig
+            from repro.runtime.vm import VirtualMachine
+            vm = VirtualMachine(self.nprocs, self.params, RunConfig(mode=ExecutionMode.ESTIMATE))
+        return self.workload.estimate(self, vm)
+
+    def execute(self, vm: "VirtualMachine", verify: bool = True) -> "RunRecord":
+        """Really run the workload on ``vm`` (must be in EXECUTE mode)."""
+        return self.workload.execute(self, vm, verify)
+
+
+class Workload(abc.ABC):
+    """The uniform contract every registered kernel family implements."""
+
+    #: registry name; set by :func:`register_workload`.
+    name: str = ""
+    #: accepted ``WorkloadPoint.version`` strings ("" always means the default).
+    versions: Tuple[str, ...] = ("",)
+    #: whether out-of-core points must carry a slab specification.
+    requires_slabs: bool = False
+
+    # ------------------------------------------------------------------
+    def validate(self, point: WorkloadPoint) -> None:
+        """Reject points that do not satisfy this workload's contract."""
+        if point.version not in self.versions:
+            raise WorkloadError(
+                f"workload {self.name!r} has no version {point.version!r} "
+                f"(choose from {sorted(v for v in self.versions if v) or ['<default>']})"
+            )
+        if self.requires_slabs and point.slab_ratio is None and point.slab_elements is None:
+            raise WorkloadError(
+                f"workload {self.name!r} points need a slab_ratio or slab_elements"
+            )
+
+    @abc.abstractmethod
+    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
+        """Compile one point (called through the Session's LRU cache)."""
+
+    @abc.abstractmethod
+    def estimate(self, compiled: CompiledWorkload, vm: "VirtualMachine") -> "RunRecord":
+        """Charge ``vm``'s machine analytically and return the record."""
+
+    @abc.abstractmethod
+    def execute(self, compiled: CompiledWorkload, vm: "VirtualMachine", verify: bool) -> "RunRecord":
+        """Really execute on ``vm`` and return the record."""
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register_workload(name: str):
+    """Class decorator registering a :class:`Workload` subclass under ``name``.
+
+    ::
+
+        @register_workload("gaxpy")
+        class GaxpyWorkload(Workload):
+            ...
+    """
+
+    def decorator(cls):
+        if not (isinstance(cls, type) and issubclass(cls, Workload)):
+            raise WorkloadError(f"register_workload expects a Workload subclass, got {cls!r}")
+        if name in _REGISTRY:
+            raise WorkloadError(f"workload {name!r} is already registered")
+        instance = cls()
+        instance.name = name
+        _REGISTRY[name] = instance
+        return cls
+
+    return decorator
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registered workload (intended for tests and plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_builtins() -> None:
+    # Imported lazily to break the cycle: builtin workloads import this module.
+    import repro.api.builtin  # noqa: F401
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r} (registered: {', '.join(available_workloads())})"
+        ) from exc
+
+
+def available_workloads() -> List[str]:
+    """Sorted names of every registered workload."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -39,9 +39,14 @@ from repro.runtime.slab import SlabbingStrategy
 __all__ = ["CompiledProgram", "compile_program", "compile_gaxpy", "compile_gaxpy_cached"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class CompiledProgram:
-    """Everything the compiler produced for one program."""
+    """Everything the compiler produced for one program.
+
+    Frozen on purpose: :func:`compile_gaxpy_cached` and the Session API's
+    compile cache hand the *same* instance to many runs (and threads), so
+    executors must never mutate it.
+    """
 
     program: ProgramIR
     analysis: InCorePhaseResult

@@ -22,6 +22,7 @@ __all__ = [
     "CollectiveError",
     "MachineConfigurationError",
     "ExperimentError",
+    "WorkloadError",
 ]
 
 
@@ -97,3 +98,13 @@ class MachineConfigurationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for inconsistent sweep configurations."""
+
+
+class WorkloadError(ReproError):
+    """Raised by the workload registry and the Session API.
+
+    Examples: registering two workloads under one name, asking for an
+    unregistered workload, or compiling a :class:`~repro.api.WorkloadPoint`
+    whose fields do not satisfy the workload's contract (missing slab
+    specification, unknown program version, absent HPF source).
+    """

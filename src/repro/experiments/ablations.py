@@ -21,6 +21,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
+from repro.api import Session, WorkloadPoint
 from repro.core.analysis import analyze_program
 from repro.core.cost_model import CostModel
 from repro.core.ir import build_gaxpy_ir
@@ -30,10 +31,9 @@ from repro.core.memory_alloc import (
     ProportionalAllocation,
     SearchAllocation,
 )
-from repro.core.pipeline import compile_gaxpy
 from repro.core.reorganize import reorganize
 from repro.machine.parameters import MachineParameters, touchstone_delta
-from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, row_slabs
+from repro.runtime.slab import row_slabs
 
 __all__ = [
     "MemoryAllocationAblationConfig",
@@ -127,10 +127,10 @@ def run_storage_order_ablation(
     """
     config = config or StorageOrderAblationConfig()
     params = params or touchstone_delta()
-    compiled = compile_gaxpy(
-        config.n, config.nprocs, params, dtype=config.dtype,
-        slab_ratio=config.slab_ratio, force_strategy=SlabbingStrategy.ROW,
-    )
+    compiled = Session(params=params).compile(WorkloadPoint(
+        workload="gaxpy", n=config.n, nprocs=config.nprocs, version="row",
+        slab_ratio=config.slab_ratio, dtype=config.dtype,
+    )).program
     entry = compiled.plan.entry(compiled.analysis.streamed)
     local_shape = entry.local_shape
     slabs = row_slabs(local_shape, entry.lines_per_slab)
@@ -189,10 +189,10 @@ def run_prefetch_ablation(
     """
     config = config or PrefetchAblationConfig()
     params = params or touchstone_delta()
-    compiled = compile_gaxpy(
-        config.n, config.nprocs, params, dtype=config.dtype,
-        slab_ratio=config.slab_ratio, force_strategy=SlabbingStrategy.ROW,
-    )
+    compiled = Session(params=params).compile(WorkloadPoint(
+        workload="gaxpy", n=config.n, nprocs=config.nprocs, version="row",
+        slab_ratio=config.slab_ratio, dtype=config.dtype,
+    )).program
     cost = compiled.plan.cost
     entry = compiled.plan.entry(compiled.analysis.streamed)
     nslabs = max(entry.num_slabs, 1)

@@ -17,7 +17,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.analysis.sweep import SweepPoint, run_gaxpy_point
+from repro.api import Session, WorkloadPoint
 from repro.config import ExecutionMode
 from repro.machine.parameters import MachineParameters, touchstone_delta
 
@@ -54,25 +54,25 @@ def run_figure10(
     Returns a dictionary with
 
     * ``series`` — ``{nprocs: [(slab_ratio, seconds), ...]}``,
-    * ``records`` — the raw sweep records, and
+    * ``records`` — the raw sweep records (:class:`~repro.api.RunRecord`), and
     * ``table`` — a text table with one row per slab ratio and one column per
       processor count (the transposition of the figure's series).
     """
     config = config or Figure10Config()
     params = params or touchstone_delta()
+    session = Session(params=params)
 
-    series: Dict[int, List[Tuple[float, float]]] = {}
-    records = []
-    for nprocs in config.processor_counts:
-        series[nprocs] = []
-        for ratio in config.slab_ratios:
-            point = SweepPoint(
-                n=config.n, nprocs=nprocs, version="column", slab_ratio=ratio, dtype=config.dtype
-            )
-            record = run_gaxpy_point(point, params=params, mode=config.mode)
-            record["version"] = "column"
-            records.append(record)
-            series[nprocs].append((ratio, record["time"]))
+    points = [
+        WorkloadPoint(workload="gaxpy", n=config.n, nprocs=nprocs, version="column",
+                      slab_ratio=ratio, dtype=config.dtype)
+        for nprocs in config.processor_counts
+        for ratio in config.slab_ratios
+    ]
+    records = session.sweep(points, mode=config.mode)
+
+    series: Dict[int, List[Tuple[float, float]]] = {p: [] for p in config.processor_counts}
+    for record in records:
+        series[record.nprocs].append((record.slab_ratio, record.simulated_seconds))
 
     header = ["slab ratio"] + [f"{p} procs" for p in config.processor_counts]
     ratio_set = list(config.slab_ratios)

@@ -20,7 +20,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.analysis.sweep import SweepPoint, run_gaxpy_point
+from repro.api import RunRecord, Session, WorkloadPoint
 from repro.config import ExecutionMode
 from repro.machine.parameters import MachineParameters, touchstone_delta
 
@@ -82,29 +82,31 @@ def run_table1(
       ``("incore", nprocs)`` baseline entries,
     * ``speedups`` — ``{(slab_ratio, nprocs): column_time / row_time}``,
     * ``table`` — the formatted text table in the paper's layout, and
-    * ``records`` — the raw sweep records.
+    * ``records`` — the raw sweep records (:class:`~repro.api.RunRecord`).
     """
     config = config or Table1Config()
     params = params or touchstone_delta()
+    session = Session(params=params)
 
-    cells: Dict[object, float] = {}
-    records: List[Dict[str, float]] = []
+    points = []
     for nprocs in config.processor_counts:
         for ratio in config.slab_ratios:
             for version in ("column", "row"):
-                point = SweepPoint(
-                    n=config.n, nprocs=nprocs, version=version,
+                points.append(WorkloadPoint(
+                    workload="gaxpy", n=config.n, nprocs=nprocs, version=version,
                     slab_ratio=ratio, dtype=config.dtype,
-                )
-                record = run_gaxpy_point(point, params=params, mode=config.mode)
-                record["version"] = version
-                records.append(record)
-                cells[(ratio, nprocs, version)] = record["time"]
-        incore_point = SweepPoint(n=config.n, nprocs=nprocs, version="incore", dtype=config.dtype)
-        incore_record = run_gaxpy_point(incore_point, params=params, mode=config.mode)
-        incore_record["version"] = "incore"
-        records.append(incore_record)
-        cells[("incore", nprocs)] = incore_record["time"]
+                ))
+        points.append(WorkloadPoint(
+            workload="gaxpy", n=config.n, nprocs=nprocs, version="incore", dtype=config.dtype,
+        ))
+    records: List[RunRecord] = session.sweep(points, mode=config.mode)
+
+    cells: Dict[object, float] = {}
+    for record in records:
+        if record.version == "incore":
+            cells[("incore", record.nprocs)] = record.simulated_seconds
+        else:
+            cells[(record.slab_ratio, record.nprocs, record.version)] = record.simulated_seconds
 
     speedups = {
         (ratio, nprocs): cells[(ratio, nprocs, "column")] / cells[(ratio, nprocs, "row")]

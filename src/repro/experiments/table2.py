@@ -26,7 +26,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.analysis.sweep import SweepPoint, run_gaxpy_point
+from repro.api import Session, WorkloadPoint
 from repro.config import ExecutionMode
 from repro.machine.parameters import MachineParameters, touchstone_delta
 
@@ -85,6 +85,7 @@ def run_table2(
     """
     config = config or Table2Config()
     params = params or touchstone_delta()
+    session = Session(params=params)
 
     rows: List[Dict[str, float | str]] = []
 
@@ -93,22 +94,23 @@ def run_table2(
             "a": config.lines_to_elements("a", slab_a_lines),
             "b": config.lines_to_elements("b", slab_b_lines),
         }
-        point = SweepPoint(
+        point = WorkloadPoint(
+            workload="gaxpy",
             n=config.n,
             nprocs=config.nprocs,
             version="row",
             slab_elements=slab_elements,
             dtype=config.dtype,
         )
-        record = run_gaxpy_point(point, params=params, mode=config.mode)
+        record = session.run(point, mode=config.mode)
         return {
             "experiment": experiment,
             "slab_a_lines": float(slab_a_lines),
             "slab_b_lines": float(slab_b_lines),
             "total_lines": float(slab_a_lines + slab_b_lines),
-            "time": record["time"],
-            "io_time": record["io_time"],
-            "io_requests_per_proc": record["io_requests_per_proc"],
+            "time": record.simulated_seconds,
+            "io_time": record.io_time,
+            "io_requests_per_proc": record.io_requests_per_proc,
         }
 
     # Experiment 1: slab A fixed, slab B varies.

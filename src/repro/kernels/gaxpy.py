@@ -140,6 +140,12 @@ def _setup_arrays(
     c_desc = arrays[analysis.result]
     for desc in (s_desc, b_desc, c_desc):
         _uniform_local_shape(desc)
+    if b_desc.name == s_desc.name:
+        raise RuntimeExecutionError(
+            "the executable GAXPY kernels need distinct streamed and coefficient "
+            f"arrays; {s_desc.name!r} plays both roles (single-operand statements "
+            "are supported in ESTIMATE mode only)"
+        )
     streamed_dense = inputs.streamed if inputs is not None else None
     coefficient_dense = inputs.coefficient if inputs is not None else None
     ooc_s = vm.create_array(s_desc, initial=streamed_dense, storage_order=streamed_order)

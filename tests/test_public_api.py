@@ -26,6 +26,14 @@ class TestPackageExports:
             "RunConfig",
             "ExecutionMode",
             "ReproError",
+            "Session",
+            "WorkloadPoint",
+            "CompiledWorkload",
+            "RunRecord",
+            "Workload",
+            "register_workload",
+            "get_workload",
+            "available_workloads",
         ):
             assert hasattr(repro, name), f"repro.{name} missing"
             assert name in repro.__all__
@@ -38,6 +46,12 @@ class TestPackageExports:
         with repro.VirtualMachine(2, compiled.params, RunConfig(scratch_dir=tmp_path)) as vm:
             result = repro.NodeProgramExecutor(compiled).execute(vm, inputs)
         assert result.verified is True
+
+    def test_end_to_end_through_session_api(self, tmp_path):
+        session = repro.Session(config=RunConfig(scratch_dir=tmp_path))
+        point = repro.WorkloadPoint("gaxpy", n=32, nprocs=2, version="row", slab_ratio=0.5)
+        assert session.run(point, mode="execute").verified is True
+        assert set(repro.available_workloads()) >= {"gaxpy", "transpose", "elementwise", "hpf"}
 
 
 class TestRunConfig:
