@@ -3,10 +3,14 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-reset
+.PHONY: test lint bench bench-unified bench-reset
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Static checks (rule selection lives in ruff.toml).
+lint:
+	ruff check .
 
 # Measures the fixed EXECUTE-mode GAXPY sweep and appends to
 # BENCH_fastpath.json (the stored baseline is kept; the run fails if any
@@ -14,6 +18,11 @@ test:
 # time).  The script guards its own sys.path, so no install is needed.
 bench:
 	$(PYTHON) -m benchmarks.bench_fastpath --json BENCH_fastpath.json
+
+# Proves the generic executor matches the PR-1 fast-path wall clock within
+# 10% (and charges identical statistics) on the N=256 P=4 EXECUTE sweep.
+bench-unified:
+	$(PYTHON) -m benchmarks.bench_unified_lowering --json BENCH_unified.json
 
 # Re-record the baseline (after an intentional change to the benchmark
 # configuration, never to paper over a perf regression).

@@ -1,0 +1,155 @@
+"""Wall-clock parity of the unified lowering pipeline vs the PR-1 fast path.
+
+The unified refactor routes every workload through the generic node-program
+executor.  This benchmark proves that the genericity is free: on the fixed
+N=256, P=4 EXECUTE sweep (both slabbing strategies) the Session path must
+match the wall-clock of the direct PR-1 fast-path kernels within 10%, and the
+*charged* statistics of both paths must be identical.
+
+Usage::
+
+    python -m benchmarks.bench_unified_lowering --json BENCH_unified.json
+    make bench-unified
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import Session, WorkloadPoint  # noqa: E402
+from repro.config import ExecutionMode, RunConfig  # noqa: E402
+
+N = 256
+NPROCS = 4
+SLAB_RATIO = 0.25
+VERSIONS = ("column", "row")
+TOLERANCE = 1.10
+
+SIMULATED_FIELDS = ("simulated_seconds", "io_time", "compute_time", "comm_time",
+                    "io_requests_per_proc", "io_read_bytes_per_proc",
+                    "io_write_bytes_per_proc")
+
+
+def _measure_fastpath(scratch: str) -> dict:
+    """The PR-1 fast path: cached compile + direct per-kernel executors."""
+    from repro.core.pipeline import compile_gaxpy_cached
+    from repro.kernels.gaxpy import (
+        generate_gaxpy_inputs,
+        run_gaxpy_column_slab,
+        run_gaxpy_row_slab,
+    )
+    from repro.runtime.vm import VirtualMachine
+
+    runners = {"column": run_gaxpy_column_slab, "row": run_gaxpy_row_slab}
+    config = RunConfig(scratch_dir=scratch)
+    start = time.perf_counter()
+    simulated = {}
+    for version in VERSIONS:
+        compiled = compile_gaxpy_cached(N, NPROCS, slab_ratio=SLAB_RATIO,
+                                        force_strategy=version)
+        inputs = generate_gaxpy_inputs(N, seed=config.seed)
+        with VirtualMachine(NPROCS, compiled.params, config) as vm:
+            run = runners[version](vm, compiled, inputs, verify=True)
+        simulated[version] = {
+            "simulated_seconds": run.simulated_seconds,
+            "io_time": run.time_breakdown["io"],
+            "compute_time": run.time_breakdown["compute"],
+            "comm_time": run.time_breakdown["comm"],
+            "io_requests_per_proc": run.io_statistics["io_requests_per_proc"],
+            "io_read_bytes_per_proc": run.io_statistics["bytes_read_per_proc"],
+            "io_write_bytes_per_proc": run.io_statistics["bytes_written_per_proc"],
+            "verified": run.verified,
+        }
+    return {"wall_seconds": time.perf_counter() - start, "simulated": simulated}
+
+
+def _measure_unified(scratch: str) -> dict:
+    """The unified pipeline: Session -> build_ir -> generic executor."""
+    session = Session(config=RunConfig(scratch_dir=scratch))
+    points = [
+        WorkloadPoint("gaxpy", n=N, nprocs=NPROCS, version=version, slab_ratio=SLAB_RATIO)
+        for version in VERSIONS
+    ]
+    start = time.perf_counter()
+    records = session.sweep(points, mode=ExecutionMode.EXECUTE)
+    wall = time.perf_counter() - start
+    simulated = {
+        record.version: {field: getattr(record, field) for field in SIMULATED_FIELDS}
+        | {"verified": record.verified}
+        for record in records
+    }
+    return {"wall_seconds": wall, "simulated": simulated}
+
+
+def measure(repeats: int = 3) -> dict:
+    best = {}
+    for name, runner in (("fastpath", _measure_fastpath), ("unified", _measure_unified)):
+        for _ in range(max(1, repeats)):
+            with tempfile.TemporaryDirectory(prefix=f"bench-unified-{name}-") as scratch:
+                sample = runner(scratch)
+            if name not in best or sample["wall_seconds"] < best[name]["wall_seconds"]:
+                best[name] = sample
+    return best
+
+
+def _simulated_drift(fastpath: dict, unified: dict) -> list:
+    drift = []
+    for version, fields in fastpath["simulated"].items():
+        for field, value in fields.items():
+            now = unified["simulated"].get(version, {}).get(field)
+            if now != value:
+                drift.append(f"{version}.{field}: fastpath {value!r} != unified {now!r}")
+    return drift
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=Path("BENCH_unified.json"))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best wall clock of this many runs per path")
+    args = parser.parse_args(argv)
+
+    results = measure(repeats=args.repeats)
+    fastpath, unified = results["fastpath"], results["unified"]
+    ratio = unified["wall_seconds"] / fastpath["wall_seconds"]
+    drift = _simulated_drift(fastpath, unified)
+    report = {
+        "benchmark": "unified-lowering-parity",
+        "config": {"n": N, "nprocs": NPROCS, "slab_ratio": SLAB_RATIO,
+                   "versions": list(VERSIONS), "tolerance": TOLERANCE},
+        "fastpath": fastpath,
+        "unified": unified,
+        "wall_ratio_unified_over_fastpath": ratio,
+        "within_tolerance": ratio <= TOLERANCE,
+        "simulated_drift": drift,
+        "unix_time": time.time(),
+    }
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"fastpath: {fastpath['wall_seconds']:.3f}s wall")
+    print(f"unified:  {unified['wall_seconds']:.3f}s wall ({ratio:.3f}x)")
+    if drift:
+        print("ERROR: charged statistics differ between the two paths:")
+        for line in drift:
+            print(f"  {line}")
+        return 1
+    print("charged statistics identical on both paths")
+    if ratio > TOLERANCE:
+        print(f"ERROR: unified path exceeds the fast path by more than "
+              f"{(TOLERANCE - 1) * 100:.0f}% ({ratio:.3f}x)")
+        return 1
+    print(f"unified path within {(TOLERANCE - 1) * 100:.0f}% of the fast path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

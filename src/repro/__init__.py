@@ -59,7 +59,7 @@ def _load_public_api() -> None:
     """
     global Machine, ProcessorGrid, Template, Alignment, ArrayDescriptor
     global compile_program, compile_gaxpy, compile_source, VirtualMachine, NodeProgramExecutor
-    global Session, WorkloadPoint, CompiledWorkload, RunRecord, Workload
+    global Session, WorkloadPoint, CompiledWorkload, RunRecord, Workload, Lowering
     global register_workload, get_workload, available_workloads
     from repro.machine import Machine  # noqa: F401
     from repro.hpf import ProcessorGrid, Template, Alignment, ArrayDescriptor, compile_source  # noqa: F401
@@ -67,6 +67,7 @@ def _load_public_api() -> None:
     from repro.runtime import VirtualMachine, NodeProgramExecutor  # noqa: F401
     from repro.api import (  # noqa: F401
         CompiledWorkload,
+        Lowering,
         RunRecord,
         Session,
         Workload,
@@ -91,6 +92,7 @@ def _load_public_api() -> None:
             "Session",
             "WorkloadPoint",
             "CompiledWorkload",
+            "Lowering",
             "RunRecord",
             "Workload",
             "register_workload",

@@ -5,10 +5,12 @@ through the same compile → run → sweep machinery:
 
 * :class:`WorkloadPoint` — one configuration of one registered workload
   (the generalisation of the GAXPY-only ``SweepPoint``),
-* :class:`Workload` + :func:`register_workload` — the uniform
-  ``compile(point, params)`` / ``estimate`` / ``execute`` contract a kernel
-  family implements to become sweepable (built-ins: ``gaxpy``,
-  ``transpose``, ``elementwise`` and the mini-HPF ``hpf`` frontend),
+* :class:`Workload` + :func:`register_workload` — the contract a kernel
+  family implements to become sweepable: a thin ``build_ir(point, params)``
+  builder returning a :class:`Lowering`, from which the base class drives
+  the unified ``ProgramIR → NodeProgram → executor`` pipeline in both
+  modes (built-ins: ``gaxpy``, ``transpose``, ``elementwise`` and the
+  mini-HPF ``hpf`` frontend),
 * :class:`CompiledWorkload` — the cached, frozen result of compiling one
   point,
 * :class:`RunRecord` — the shared, typed result schema (simulated seconds,
@@ -23,6 +25,7 @@ and friends) remain as thin deprecated shims over this package.
 from repro.api.records import RunRecord
 from repro.api.workload import (
     CompiledWorkload,
+    Lowering,
     Workload,
     WorkloadPoint,
     available_workloads,
@@ -38,6 +41,7 @@ import repro.api.builtin  # noqa: F401  (imported for its registration side effe
 __all__ = [
     "RunRecord",
     "WorkloadPoint",
+    "Lowering",
     "CompiledWorkload",
     "Workload",
     "Session",

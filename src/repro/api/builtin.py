@@ -3,26 +3,25 @@
 Four kernel families register themselves here:
 
 * ``gaxpy`` — the paper's out-of-core GAXPY matrix multiplication in its
-  column-slab, row-slab and in-core versions (compiler-backed),
+  column-slab, row-slab and in-core versions,
 * ``transpose`` — out-of-core transpose (all-to-all exchange volume),
 * ``elementwise`` — out-of-core elementwise operations (no communication),
-* ``hpf`` — any program entering through the mini-HPF source frontend
-  (compiler-backed; executed with the generic GAXPY-class engine).
+* ``hpf`` — any program entering through the mini-HPF source frontend.
 
-Every workload satisfies the same contract (:class:`~repro.api.Workload`)
-and reports the same :class:`~repro.api.RunRecord` schema, which is what
-lets :meth:`Session.sweep` evaluate heterogeneous point lists in one call.
+Since the unified-lowering refactor every workload is a *thin IR builder*:
+it implements :meth:`~repro.api.Workload.build_ir`, returning the
+:class:`~repro.core.ir.ProgramIR` of the configured statement plus its slab
+specification, and the shared base class lowers that through the single
+``ProgramIR → strip-mine → cost model → reorganize → NodeProgram →
+executor`` pipeline in both ``ESTIMATE`` and ``EXECUTE`` modes.  Every
+workload reports the same :class:`~repro.api.RunRecord` schema, which is
+what lets :meth:`Session.sweep` evaluate heterogeneous point lists in one
+call.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable, Dict
-
-import numpy as np
-
-from repro.api.records import RunRecord
-from repro.api.workload import CompiledWorkload, Workload, WorkloadPoint, register_workload
+from repro.api.workload import Lowering, Workload, WorkloadPoint, register_workload
 from repro.exceptions import WorkloadError
 from repro.machine.parameters import MachineParameters
 
@@ -32,40 +31,6 @@ __all__ = [
     "ElementwiseWorkload",
     "HpfWorkload",
 ]
-
-
-def _column_block_descriptor(name: str, n: int, nprocs: int, dtype: str):
-    """A square ``n x n`` array, column-block distributed over ``nprocs``."""
-    from repro.hpf.align import Alignment
-    from repro.hpf.array_desc import ArrayDescriptor
-    from repro.hpf.processors import ProcessorGrid
-    from repro.hpf.template import Template
-
-    grid = ProcessorGrid("Pr", nprocs)
-    template = Template("d", n, grid, ["block"])
-    return ArrayDescriptor(name, (n, n), Alignment(template, ["*", ":"]),
-                           dtype=dtype, out_of_core=True)
-
-
-def _record(compiled: CompiledWorkload, *, version: str, mode: str,
-            simulated_seconds: float, time_breakdown, io_statistics,
-            verified=None, max_abs_error=None) -> RunRecord:
-    point = compiled.point
-    return RunRecord.from_machine(
-        workload=compiled.workload.name,
-        label=point.label(),
-        version=version,
-        mode=mode,
-        n=point.n,
-        nprocs=point.nprocs,
-        dtype=point.dtype,
-        slab_ratio=point.slab_ratio,
-        simulated_seconds=simulated_seconds,
-        time_breakdown=time_breakdown,
-        io_statistics=io_statistics,
-        verified=verified,
-        max_abs_error=max_abs_error,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -92,88 +57,18 @@ class GaxpyWorkload(Workload):
         if point.version != "incore" and point.slab_ratio is None and point.slab_elements is None:
             raise WorkloadError("out-of-core gaxpy points need a slab_ratio or slab_elements")
 
-    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
-        from repro.core.pipeline import compile_gaxpy_cached
-        from repro.runtime.slab import SlabbingStrategy
+    def build_ir(self, point: WorkloadPoint, params: MachineParameters) -> Lowering:
+        from repro.core.ir import build_gaxpy_ir
 
-        force = None  # version "": the cost model picks the strategy
-        if point.version == "column":
-            force = SlabbingStrategy.COLUMN
-        elif point.version == "row":
-            force = SlabbingStrategy.ROW
+        force = point.version if point.version in ("column", "row") else None
         slab_elements = point.slab_elements_dict()
         ratio = point.slab_ratio if point.version != "incore" else 1.0
-        program = compile_gaxpy_cached(
-            point.n,
-            point.nprocs,
-            params,
-            dtype=point.dtype,
+        return Lowering(
+            ir=build_gaxpy_ir(point.n, point.nprocs, dtype=point.dtype),
             slab_ratio=ratio if slab_elements is None else None,
             slab_elements=slab_elements,
             force_strategy=force,
-        )
-        return CompiledWorkload(workload=self, point=point, params=params, program=program)
-
-    def estimate(self, compiled: CompiledWorkload, vm) -> RunRecord:
-        if compiled.point.version == "incore":
-            return self._estimate_incore(compiled)
-        from repro.runtime.executor import NodeProgramExecutor
-
-        result = NodeProgramExecutor(compiled.program).estimate(machine=vm.machine)
-        return _record(
-            compiled, version=self._effective_version(compiled), mode="estimate",
-            simulated_seconds=result.simulated_seconds,
-            time_breakdown=result.time_breakdown,
-            io_statistics=result.io_statistics,
-        )
-
-    @staticmethod
-    def _effective_version(compiled: CompiledWorkload) -> str:
-        """The point's version, or the compiler-chosen strategy for ``""``."""
-        return compiled.point.version or compiled.program.plan.strategy.value
-
-    def _estimate_incore(self, compiled: CompiledWorkload) -> RunRecord:
-        from repro.core.cost_model import CostModel
-
-        point = compiled.point
-        cost = CostModel(compiled.params, point.nprocs).estimate_incore(compiled.program.analysis)
-        read_bytes = sum(c.fetch_elements for c in cost.arrays.values()) * cost.itemsize
-        write_bytes = sum(c.write_elements for c in cost.arrays.values()) * cost.itemsize
-        return _record(
-            compiled, version=point.version, mode="estimate",
-            simulated_seconds=cost.total_time,
-            time_breakdown={"io": cost.io_time, "compute": cost.compute_time,
-                            "comm": cost.comm_time},
-            io_statistics={"io_requests_per_proc": cost.io_requests,
-                           "bytes_read_per_proc": read_bytes,
-                           "bytes_written_per_proc": write_bytes},
-        )
-
-    def execute(self, compiled: CompiledWorkload, vm, verify: bool) -> RunRecord:
-        from repro.kernels.gaxpy import (
-            generate_gaxpy_inputs,
-            run_compiled_gaxpy,
-            run_gaxpy_column_slab,
-            run_gaxpy_incore,
-            run_gaxpy_row_slab,
-        )
-
-        point = compiled.point
-        runner = {
-            "": run_compiled_gaxpy,  # the strategy the compiler chose
-            "column": run_gaxpy_column_slab,
-            "row": run_gaxpy_row_slab,
-            "incore": run_gaxpy_incore,
-        }[point.version]
-        inputs = generate_gaxpy_inputs(point.n, dtype=point.dtype, seed=vm.config.seed)
-        run = runner(vm, compiled.program, inputs, verify=verify)
-        return _record(
-            compiled, version=self._effective_version(compiled), mode="execute",
-            simulated_seconds=run.simulated_seconds,
-            time_breakdown=run.time_breakdown,
-            io_statistics=run.io_statistics,
-            verified=run.verified,
-            max_abs_error=run.max_abs_error,
+            baseline="incore" if point.version == "incore" else None,
         )
 
 
@@ -204,40 +99,26 @@ class TransposeWorkload(Workload):
         if point.slab_ratio is not None and point.option("cols_per_slab") is not None:
             raise WorkloadError("give transpose points slab_ratio or cols_per_slab, not both")
 
-    def _cols_per_slab(self, compiled: CompiledWorkload) -> int:
-        point = compiled.point
+    def record_version(self, compiled) -> str:
+        return compiled.point.version  # always ""; no strategy choice exists
+
+    def build_ir(self, point: WorkloadPoint, params: MachineParameters) -> Lowering:
+        from repro.core.ir import build_transpose_ir
+
+        ir = build_transpose_ir(
+            point.n, point.nprocs, dtype=point.dtype, source="t_src", target="t_dst"
+        )
+        descriptor = ir.arrays["t_src"]
         if point.slab_ratio is not None:
             # Read the real (ceil-based block distribution) local width from
             # the descriptor; n // nprocs would under-size it for uneven n.
-            descriptor = compiled.descriptor
             local_cols = max(descriptor.local_shape(r)[1] for r in range(point.nprocs))
-            return max(int(local_cols * point.slab_ratio), 1)
-        return int(point.option("cols_per_slab", 8))
-
-    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
-        descriptor = _column_block_descriptor("t", point.n, point.nprocs, point.dtype)
-        return CompiledWorkload(workload=self, point=point, params=params, descriptor=descriptor)
-
-    def _run(self, compiled: CompiledWorkload, vm, dense, verify: bool, mode: str) -> RunRecord:
-        from repro.kernels.transpose import run_transpose
-
-        result = run_transpose(vm, compiled.descriptor, dense,
-                               cols_per_slab=self._cols_per_slab(compiled), verify=verify)
-        return _record(
-            compiled, version=compiled.point.version, mode=mode,
-            simulated_seconds=result.simulated_seconds,
-            time_breakdown=vm.time_breakdown(),
-            io_statistics=result.io_statistics,
-            verified=result.verified,
-        )
-
-    def estimate(self, compiled: CompiledWorkload, vm) -> RunRecord:
-        return self._run(compiled, vm, None, False, "estimate")
-
-    def execute(self, compiled: CompiledWorkload, vm, verify: bool) -> RunRecord:
-        rng = np.random.default_rng(vm.config.seed)
-        dense = rng.standard_normal((compiled.point.n, compiled.point.n)).astype(compiled.point.dtype)
-        return self._run(compiled, vm, dense, verify, "execute")
+            lines = max(int(local_cols * point.slab_ratio), 1)
+        else:
+            lines = int(point.option("cols_per_slab", 8))
+        rows = max(descriptor.local_shape(r)[0] for r in range(point.nprocs))
+        slab = max(lines, 1) * max(rows, 1)
+        return Lowering(ir=ir, slab_elements={"t_src": slab, "t_dst": slab})
 
 
 # ---------------------------------------------------------------------------
@@ -257,12 +138,7 @@ class ElementwiseWorkload(Workload):
     """
 
     versions = ("", "column", "row")
-
-    _OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
-        "add": np.add,
-        "multiply": np.multiply,
-        "subtract": np.subtract,
-    }
+    _OPS = ("add", "multiply", "subtract")
 
     def validate(self, point: WorkloadPoint) -> None:
         super().validate(point)
@@ -283,52 +159,28 @@ class ElementwiseWorkload(Workload):
                 f"unknown elementwise op {op!r} (choose from {sorted(self._OPS)})"
             )
 
-    def _slab_elements(self, compiled: CompiledWorkload) -> int:
-        point = compiled.point
+    def build_ir(self, point: WorkloadPoint, params: MachineParameters) -> Lowering:
+        from repro.core.ir import build_elementwise_ir
+
+        ir = build_elementwise_ir(
+            point.n, point.nprocs, op=str(point.option("op", "add")), dtype=point.dtype
+        )
+        descriptor = ir.arrays["a"]
         if point.slab_ratio is not None:
             # Size against the real (ceil-based block distribution) local
             # array; n * (n // nprocs) would under-size it for uneven n.
-            descriptor = compiled.descriptor
             local_elements = max(
                 descriptor.local_shape(r)[0] * descriptor.local_shape(r)[1]
                 for r in range(point.nprocs)
             )
-            return max(int(local_elements * point.slab_ratio), 1)
-        return int(point.option("slab_elements", 4096))
-
-    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
-        descriptor = _column_block_descriptor("e", point.n, point.nprocs, point.dtype)
-        return CompiledWorkload(workload=self, point=point, params=params, descriptor=descriptor)
-
-    def _run(self, compiled: CompiledWorkload, vm, a, b, verify: bool, mode: str) -> RunRecord:
-        from repro.kernels.elementwise import run_elementwise
-
-        point = compiled.point
-        strategy = point.version or "column"
-        result = run_elementwise(
-            vm, compiled.descriptor, a, b,
-            op=self._OPS[str(point.option("op", "add"))],
-            slab_elements=self._slab_elements(compiled),
-            strategy=strategy,
-            verify=verify,
+            slab = max(int(local_elements * point.slab_ratio), 1)
+        else:
+            slab = int(point.option("slab_elements", 4096))
+        return Lowering(
+            ir=ir,
+            slab_elements={"a": slab, "b": slab, "c": slab},
+            force_strategy=point.version or "column",
         )
-        return _record(
-            compiled, version=strategy, mode=mode,
-            simulated_seconds=result.simulated_seconds,
-            time_breakdown=vm.time_breakdown(),
-            io_statistics=result.io_statistics,
-            verified=result.verified,
-        )
-
-    def estimate(self, compiled: CompiledWorkload, vm) -> RunRecord:
-        return self._run(compiled, vm, None, None, False, "estimate")
-
-    def execute(self, compiled: CompiledWorkload, vm, verify: bool) -> RunRecord:
-        rng = np.random.default_rng(vm.config.seed)
-        n = compiled.point.n
-        a = rng.standard_normal((n, n)).astype(compiled.point.dtype)
-        b = rng.standard_normal((n, n)).astype(compiled.point.dtype)
-        return self._run(compiled, vm, a, b, verify, "execute")
 
 
 # ---------------------------------------------------------------------------
@@ -344,6 +196,11 @@ class HpfWorkload(Workload):
     the budget itself).  ``n`` and ``nprocs`` are read from the compiled
     program, so they need not be given up front.  ``version`` may force the
     column or row strategy; the default lets the compiler choose.
+
+    Both evaluation modes go through the unified pipeline, so any program
+    the frontend accepts — including single-operand statements like
+    ``c = a @ a`` — runs end-to-end in ``EXECUTE`` mode with verified
+    numerics.
     """
 
     versions = ("", "column", "row")
@@ -363,62 +220,16 @@ class HpfWorkload(Workload):
                 'options["memory_budget_bytes"]'
             )
 
-    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
-        from repro.hpf.frontend import compile_source
+    def build_ir(self, point: WorkloadPoint, params: MachineParameters) -> Lowering:
+        from repro.hpf.frontend import frontend_to_ir
+        from repro.hpf.parser import parse_program
 
-        kwargs: Dict[str, object] = {}
-        if point.slab_ratio is not None:
-            kwargs["slab_ratio"] = point.slab_ratio
-        if point.slab_elements is not None:
-            kwargs["slab_elements"] = point.slab_elements_dict()
+        ir = frontend_to_ir(parse_program(str(point.option("source"))))
         budget = point.option("memory_budget_bytes")
-        if budget is not None:
-            kwargs["memory_budget_bytes"] = int(budget)
-        if point.version:
-            kwargs["force_strategy"] = point.version
-        program = compile_source(str(point.option("source")), params, **kwargs)
-        streamed = program.program.arrays[program.analysis.streamed]
-        resolved = dataclasses.replace(
-            point, n=int(streamed.shape[0]), nprocs=int(program.nprocs)
-        )
-        return CompiledWorkload(workload=self, point=resolved, params=params, program=program)
-
-    def estimate(self, compiled: CompiledWorkload, vm) -> RunRecord:
-        from repro.runtime.executor import NodeProgramExecutor
-
-        result = NodeProgramExecutor(compiled.program).estimate(machine=vm.machine)
-        return _record(
-            compiled, version=compiled.program.plan.strategy.value, mode="estimate",
-            simulated_seconds=result.simulated_seconds,
-            time_breakdown=result.time_breakdown,
-            io_statistics=result.io_statistics,
-        )
-
-    def execute(self, compiled: CompiledWorkload, vm, verify: bool) -> RunRecord:
-        from repro.kernels.gaxpy import GaxpyInputs, run_compiled_gaxpy
-
-        program = compiled.program
-        if program.analysis.coefficient == program.analysis.streamed:
-            # The executable per-rank partial-product engine needs the two
-            # roles on conformal (distinct) distributions; the cost model
-            # handles the single-operand case analytically.
-            raise WorkloadError(
-                "EXECUTE mode is not supported for single-operand statements "
-                f"(array {program.analysis.streamed!r} is both the streamed and "
-                "the coefficient operand); evaluate the point in ESTIMATE mode"
-            )
-        arrays = program.program.arrays
-        s_desc = arrays[program.analysis.streamed]
-        b_desc = arrays[program.analysis.coefficient]
-        rng = np.random.default_rng(vm.config.seed)
-        streamed = rng.standard_normal(s_desc.shape).astype(s_desc.dtype)
-        coefficient = rng.standard_normal(b_desc.shape).astype(b_desc.dtype)
-        run = run_compiled_gaxpy(vm, program, GaxpyInputs(streamed, coefficient), verify=verify)
-        return _record(
-            compiled, version=program.plan.strategy.value, mode="execute",
-            simulated_seconds=run.simulated_seconds,
-            time_breakdown=run.time_breakdown,
-            io_statistics=run.io_statistics,
-            verified=run.verified,
-            max_abs_error=run.max_abs_error,
+        return Lowering(
+            ir=ir,
+            slab_ratio=point.slab_ratio,
+            slab_elements=point.slab_elements_dict(),
+            memory_budget_bytes=int(budget) if budget is not None else None,
+            force_strategy=point.version or None,
         )

@@ -1,25 +1,37 @@
 """Workload protocol, points and the workload registry.
 
 The paper's compilation pipeline (Figure 7) is program-agnostic; this module
-makes the *public surface* program-agnostic too.  A :class:`Workload` gives a
-kernel family a uniform three-step contract:
+makes the *public surface* program-agnostic too.  Since the unified-lowering
+refactor a built-in workload is just a thin IR builder: it implements
 
-* ``compile(point, params) -> CompiledWorkload`` — run whatever compilation
-  or planning the workload needs for one configuration point,
+* ``build_ir(point, params) -> Lowering`` — construct the
+  :class:`~repro.core.ir.ProgramIR` of the configured statement plus its
+  slab specification,
+
+and the base class supplies the rest of the contract from it:
+
+* ``compile(point, params) -> CompiledWorkload`` — lower the IR through the
+  full pipeline (analysis → strip-mining → cost model → reorganization →
+  node program) via :func:`repro.core.pipeline.compile_program`,
 * ``estimate(compiled, vm) -> RunRecord`` — charge the machine model
-  analytically (``ESTIMATE`` mode), and
-* ``execute(compiled, vm, verify) -> RunRecord`` — really run the kernel on
-  a :class:`~repro.runtime.vm.VirtualMachine` (``EXECUTE`` mode).
+  analytically (``ESTIMATE`` mode) through the generic executor, and
+* ``execute(compiled, vm, verify) -> RunRecord`` — really run the compiled
+  node program on a :class:`~repro.runtime.vm.VirtualMachine`
+  (``EXECUTE`` mode).
 
-Workloads register themselves under a short name with
-:func:`register_workload`; a :class:`WorkloadPoint` names the workload plus
-one configuration, so heterogeneous points can travel through one sweep.
+Workloads with needs outside the compiler's statement classes may still
+override the three-step contract directly.  Workloads register themselves
+under a short name with :func:`register_workload`; a :class:`WorkloadPoint`
+names the workload plus one configuration, so heterogeneous points can
+travel through one sweep.
 """
 
 from __future__ import annotations
 
 import abc
+import collections
 import dataclasses
+import threading
 from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.exceptions import WorkloadError
@@ -27,12 +39,14 @@ from repro.machine.parameters import MachineParameters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.records import RunRecord
+    from repro.core.ir import ProgramIR
     from repro.core.pipeline import CompiledProgram
     from repro.hpf.array_desc import ArrayDescriptor
     from repro.runtime.vm import VirtualMachine
 
 __all__ = [
     "WorkloadPoint",
+    "Lowering",
     "CompiledWorkload",
     "Workload",
     "register_workload",
@@ -126,13 +140,35 @@ class WorkloadPoint:
 
 
 @dataclasses.dataclass(frozen=True)
+class Lowering:
+    """What :meth:`Workload.build_ir` returns: the IR plus how to lower it.
+
+    Exactly one of ``slab_ratio`` / ``slab_elements`` /
+    ``memory_budget_bytes`` selects the slab specification forwarded to
+    :func:`repro.core.pipeline.compile_program`.  ``baseline="incore"``
+    marks the in-core reference schedule (read each array once, keep it in
+    memory), which is costed with the cost model's in-core estimator and
+    executed with the in-core engine instead of the slabbed node program.
+    """
+
+    ir: "ProgramIR"
+    slab_ratio: Optional[float] = None
+    slab_elements: Optional[Dict[str, int]] = None
+    memory_budget_bytes: Optional[int] = None
+    force_strategy: Optional[str] = None
+    baseline: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
 class CompiledWorkload:
     """The result of compiling one workload point.
 
-    Compiler-backed workloads (GAXPY, HPF programs) carry a
-    :class:`~repro.core.pipeline.CompiledProgram` in ``program``;
-    descriptor-backed kernels (transpose, elementwise) carry the
-    :class:`~repro.hpf.array_desc.ArrayDescriptor` they operate on.
+    Every built-in workload — GAXPY, transpose, elementwise, HPF programs —
+    carries the :class:`~repro.core.pipeline.CompiledProgram` its IR lowered
+    to in ``program``; ``baseline`` tags reference schedules (``"incore"``)
+    that bypass the slabbed node program.  The ``descriptor`` slot is kept
+    for workloads that plan against a bare
+    :class:`~repro.hpf.array_desc.ArrayDescriptor` outside the compiler.
     Instances are shared by the Session's compile cache — they are frozen and
     must never be mutated by executors.
     """
@@ -142,6 +178,7 @@ class CompiledWorkload:
     params: MachineParameters
     program: Optional["CompiledProgram"] = None
     descriptor: Optional["ArrayDescriptor"] = None
+    baseline: Optional[str] = None
 
     @property
     def n(self) -> int:
@@ -168,8 +205,29 @@ class CompiledWorkload:
         return self.workload.execute(self, vm, verify)
 
 
+# Cross-session compile cache: compiled workloads are frozen and shareable,
+# so independent Sessions (and the deprecated per-call sweep shims) reuse one
+# CompiledWorkload per (workload instance, point, machine parameters).  This
+# deliberately sits *below* the Session's per-instance LRU — the same
+# two-layer structure the fast path used (Session cache over
+# compile_gaxpy_cached), generalized to every workload: the Session layer
+# provides per-session hit/miss metrics and bounded lifetime, this layer
+# provides process-wide sharing.  Session.cache_info() therefore reports
+# session-local reuse, not whether a compile was served from here.
+_COMPILE_CACHE: "collections.OrderedDict[tuple, CompiledWorkload]" = collections.OrderedDict()
+_COMPILE_CACHE_LOCK = threading.Lock()
+_COMPILE_CACHE_CAPACITY = 256
+
+
 class Workload(abc.ABC):
-    """The uniform contract every registered kernel family implements."""
+    """The uniform contract every registered kernel family implements.
+
+    Built-in workloads implement only :meth:`build_ir`; the base class lowers
+    the returned IR through the Figure-7 pipeline and drives both execution
+    modes with the generic node-program executor.  ``compile`` / ``estimate``
+    / ``execute`` remain overridable for workloads that live outside the
+    compiler's statement classes.
+    """
 
     #: registry name; set by :func:`register_workload`.
     name: str = ""
@@ -191,17 +249,224 @@ class Workload(abc.ABC):
                 f"workload {self.name!r} points need a slab_ratio or slab_elements"
             )
 
-    @abc.abstractmethod
-    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
-        """Compile one point (called through the Session's LRU cache)."""
+    # ------------------------------------------------------------------
+    # the one hook a built-in workload implements
+    # ------------------------------------------------------------------
+    def build_ir(self, point: WorkloadPoint, params: MachineParameters) -> Lowering:
+        """Build the point's :class:`~repro.core.ir.ProgramIR` + slab specification."""
+        raise NotImplementedError(
+            f"workload {self.name or type(self).__name__!r} implements neither "
+            "build_ir() nor a custom compile/estimate/execute trio"
+        )
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------
+    # compilation through the unified pipeline
+    # ------------------------------------------------------------------
+    def compile(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
+        """Lower the point's IR through the full pipeline (globally cached)."""
+        key = (self, point, params)
+        with _COMPILE_CACHE_LOCK:
+            cached = _COMPILE_CACHE.get(key)
+            if cached is not None:
+                _COMPILE_CACHE.move_to_end(key)
+                return cached
+        compiled = self._compile_uncached(point, params)
+        with _COMPILE_CACHE_LOCK:
+            _COMPILE_CACHE[key] = compiled
+            _COMPILE_CACHE.move_to_end(key)
+            while len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:
+                _COMPILE_CACHE.popitem(last=False)
+        return compiled
+
+    def _compile_uncached(self, point: WorkloadPoint, params: MachineParameters) -> CompiledWorkload:
+        from repro.core.pipeline import compile_program
+
+        lowering = self.build_ir(point, params)
+        kwargs: Dict[str, object] = {}
+        if lowering.slab_ratio is not None:
+            kwargs["slab_ratio"] = lowering.slab_ratio
+        if lowering.slab_elements is not None:
+            kwargs["slab_elements"] = dict(lowering.slab_elements)
+        if lowering.memory_budget_bytes is not None:
+            kwargs["memory_budget_bytes"] = int(lowering.memory_budget_bytes)
+        if lowering.force_strategy is not None:
+            kwargs["force_strategy"] = lowering.force_strategy
+        program = compile_program(lowering.ir, params, **kwargs)
+        return CompiledWorkload(
+            workload=self,
+            point=self._resolve_point(point, program),
+            params=params,
+            program=program,
+            baseline=lowering.baseline,
+        )
+
+    @staticmethod
+    def _resolve_point(point: WorkloadPoint, program: "CompiledProgram") -> WorkloadPoint:
+        """Fill ``n`` / ``nprocs`` from the compiled program when unspecified."""
+        if point.n:
+            return point
+        from repro.core.ir import ReductionStatement
+
+        statement = program.program.statement
+        if isinstance(statement, ReductionStatement):
+            reference = program.analysis.streamed
+        else:
+            reference = statement.result.array
+        return dataclasses.replace(
+            point,
+            n=int(program.program.arrays[reference].shape[0]),
+            nprocs=int(program.nprocs),
+        )
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def record_version(self, compiled: CompiledWorkload) -> str:
+        """The version string reported in records (strategy choice for ``""``)."""
+        if compiled.point.version or compiled.program is None:
+            return compiled.point.version
+        return compiled.program.plan.strategy.value
+
+    def _record(
+        self,
+        compiled: CompiledWorkload,
+        *,
+        mode: str,
+        simulated_seconds: float,
+        time_breakdown: Mapping[str, float],
+        io_statistics: Mapping[str, float],
+        verified: Optional[bool] = None,
+        max_abs_error: Optional[float] = None,
+    ) -> "RunRecord":
+        from repro.api.records import RunRecord
+
+        point = compiled.point
+        return RunRecord.from_machine(
+            workload=self.name,
+            label=point.label(),
+            version=self.record_version(compiled),
+            mode=mode,
+            n=point.n,
+            nprocs=point.nprocs,
+            dtype=point.dtype,
+            slab_ratio=point.slab_ratio,
+            simulated_seconds=simulated_seconds,
+            time_breakdown=time_breakdown,
+            io_statistics=io_statistics,
+            verified=verified,
+            max_abs_error=max_abs_error,
+        )
+
+    # ------------------------------------------------------------------
+    # input generation (EXECUTE mode)
+    # ------------------------------------------------------------------
+    def generate_inputs(self, compiled: CompiledWorkload, seed: int):
+        """Reproducible dense operands for one EXECUTE-mode run.
+
+        Reduction programs get a
+        :class:`~repro.runtime.executor.ReductionInputs` (streamed operand
+        drawn first, then the coefficient; single-operand statements share
+        one draw); other statements get a mapping of operand array name to
+        dense data, drawn in statement order.
+        """
+        import numpy as np
+
+        from repro.core.ir import ReductionStatement
+        from repro.runtime.executor import ReductionInputs
+
+        program = compiled.program
+        arrays = program.program.arrays
+        statement = program.program.statement
+        rng = np.random.default_rng(seed)
+        if isinstance(statement, ReductionStatement):
+            analysis = program.analysis
+            s_desc = arrays[analysis.streamed]
+            streamed = rng.standard_normal(s_desc.shape).astype(s_desc.dtype)
+            if analysis.coefficient == analysis.streamed:
+                coefficient = streamed
+            else:
+                b_desc = arrays[analysis.coefficient]
+                coefficient = rng.standard_normal(b_desc.shape).astype(b_desc.dtype)
+            return ReductionInputs(streamed=streamed, coefficient=coefficient)
+        dense = {}
+        for ref in statement.operands:
+            if ref.array not in dense:
+                desc = arrays[ref.array]
+                dense[ref.array] = rng.standard_normal(desc.shape).astype(desc.dtype)
+        return dense
+
+    # ------------------------------------------------------------------
+    # the two evaluation modes
+    # ------------------------------------------------------------------
     def estimate(self, compiled: CompiledWorkload, vm: "VirtualMachine") -> "RunRecord":
         """Charge ``vm``'s machine analytically and return the record."""
+        from repro.core.ir import ReductionStatement
+        from repro.runtime.executor import NodeProgramExecutor
 
-    @abc.abstractmethod
+        program = self._require_program(compiled)
+        if compiled.baseline == "incore":
+            return self._estimate_incore(compiled)
+        if isinstance(program.program.statement, ReductionStatement):
+            result = NodeProgramExecutor(program).estimate(machine=vm.machine)
+        else:
+            # Elementwise/transpose loop structure *is* the cost model: run
+            # the same slab loops charge-only on the caller's VM.
+            result = NodeProgramExecutor(program).run(vm, None, verify=False)
+        return self._record(
+            compiled,
+            mode="estimate",
+            simulated_seconds=result.simulated_seconds,
+            time_breakdown=result.time_breakdown,
+            io_statistics=result.io_statistics,
+        )
+
+    def _estimate_incore(self, compiled: CompiledWorkload) -> "RunRecord":
+        from repro.core.cost_model import CostModel
+
+        point = compiled.point
+        cost = CostModel(compiled.params, point.nprocs).estimate_incore(
+            compiled.program.analysis
+        )
+        read_bytes = sum(c.fetch_elements for c in cost.arrays.values()) * cost.itemsize
+        write_bytes = sum(c.write_elements for c in cost.arrays.values()) * cost.itemsize
+        return self._record(
+            compiled,
+            mode="estimate",
+            simulated_seconds=cost.total_time,
+            time_breakdown={"io": cost.io_time, "compute": cost.compute_time,
+                            "comm": cost.comm_time},
+            io_statistics={"io_requests_per_proc": cost.io_requests,
+                           "bytes_read_per_proc": read_bytes,
+                           "bytes_written_per_proc": write_bytes},
+        )
+
     def execute(self, compiled: CompiledWorkload, vm: "VirtualMachine", verify: bool) -> "RunRecord":
         """Really execute on ``vm`` and return the record."""
+        from repro.runtime.executor import NodeProgramExecutor, run_reduction_incore
+
+        program = self._require_program(compiled)
+        inputs = self.generate_inputs(compiled, vm.config.seed)
+        if compiled.baseline == "incore":
+            result = run_reduction_incore(vm, program, inputs, verify)
+        else:
+            result = NodeProgramExecutor(program).execute(vm, inputs, verify)
+        return self._record(
+            compiled,
+            mode="execute",
+            simulated_seconds=result.simulated_seconds,
+            time_breakdown=result.time_breakdown,
+            io_statistics=result.io_statistics,
+            verified=result.verified,
+            max_abs_error=result.max_abs_error,
+        )
+
+    def _require_program(self, compiled: CompiledWorkload) -> "CompiledProgram":
+        if compiled.program is None:
+            raise WorkloadError(
+                f"workload {self.name!r} compiled without a program; override "
+                "estimate/execute or return a Lowering from build_ir()"
+            )
+        return compiled.program
 
 
 # ---------------------------------------------------------------------------

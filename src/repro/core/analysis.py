@@ -43,15 +43,22 @@ from typing import Dict, Optional, Tuple
 from repro.exceptions import CompilationError
 from repro.core.ir import (
     ArrayRef,
-    FullRange,
+    ElementwiseStatement,
     Loop,
-    LoopIndex,
     LoopKind,
     ProgramIR,
     ReductionStatement,
+    TransposeStatement,
 )
 
-__all__ = ["ArrayRole", "ArrayAccessInfo", "InCorePhaseResult", "analyze_program"]
+__all__ = [
+    "ArrayRole",
+    "ArrayAccessInfo",
+    "InCorePhaseResult",
+    "ElementwisePhaseResult",
+    "TransposePhaseResult",
+    "analyze_program",
+]
 
 
 class ArrayRole(enum.Enum):
@@ -121,6 +128,98 @@ class InCorePhaseResult:
         return "\n".join(lines)
 
 
+@dataclasses.dataclass
+class ElementwisePhaseResult:
+    """In-core-phase facts for an elementwise statement ``c = op(a, b)``.
+
+    All arrays conform and share one distribution, so no communication is
+    required; the only out-of-core decision left is the slabbing.
+    """
+
+    program: ProgramIR
+    result: str
+    operands: Tuple[str, str]
+    op: str
+    #: maximum local element count over processors (shared by all arrays)
+    max_local_elements: int
+    #: one scalar operation per local element
+    flops_per_proc: float
+
+    def describe(self) -> str:
+        return (
+            f"in-core phase of {self.program.name}: elementwise {self.op} of "
+            f"{self.operands[0]} and {self.operands[1]} into {self.result}, "
+            f"no communication, {self.flops_per_proc:.3e} flops per processor"
+        )
+
+
+@dataclasses.dataclass
+class TransposePhaseResult:
+    """In-core-phase facts for a transpose statement ``dst = src^T``.
+
+    With source and target identically column-block distributed, the columns
+    of the target owned by one processor are built from rows spread over
+    every processor's local array — an all-to-all exchange per streamed slab.
+    """
+
+    program: ProgramIR
+    source: str
+    target: str
+    #: maximum local element count over processors
+    max_local_elements: int
+    #: True when the exchange crosses processors (nprocs > 1)
+    needs_exchange: bool
+
+    def describe(self) -> str:
+        return (
+            f"in-core phase of {self.program.name}: transpose of {self.source} "
+            f"into {self.target}, all-to-all exchange required: {self.needs_exchange}"
+        )
+
+
+def _analyze_elementwise(program: ProgramIR) -> ElementwisePhaseResult:
+    statement: ElementwiseStatement = program.statement
+    result = statement.result.array
+    operands = tuple(ref.array for ref in statement.operands)
+    shapes = {program.arrays[name].shape for name in (result, *operands)}
+    if len(shapes) != 1:
+        raise CompilationError(
+            f"elementwise arrays must conform; found shapes {sorted(shapes)}"
+        )
+    result_desc = program.arrays[result]
+    local = max(result_desc.local_size(r) for r in range(result_desc.nprocs))
+    return ElementwisePhaseResult(
+        program=program,
+        result=result,
+        operands=operands,
+        op=statement.op,
+        max_local_elements=local,
+        flops_per_proc=float(local),
+    )
+
+
+def _analyze_transpose(program: ProgramIR) -> TransposePhaseResult:
+    statement: TransposeStatement = program.statement
+    source = statement.operand.array
+    target = statement.result.array
+    src_desc = program.arrays[source]
+    dst_desc = program.arrays[target]
+    if src_desc.ndim != 2 or src_desc.shape[0] != src_desc.shape[1]:
+        raise CompilationError("the transpose lowering handles square two-dimensional arrays")
+    if dst_desc.shape != src_desc.shape:
+        raise CompilationError(
+            f"transpose target {target!r} must conform with source {source!r}"
+        )
+    local = max(src_desc.local_size(r) for r in range(src_desc.nprocs))
+    return TransposePhaseResult(
+        program=program,
+        source=source,
+        target=target,
+        max_local_elements=local,
+        needs_exchange=program.nprocs() > 1,
+    )
+
+
 def _classify_operand(ref: ArrayRef, reduce_index: str) -> ArrayRole:
     if ref.full_range_dims() and ref.uses_index(reduce_index):
         return ArrayRole.STREAMED
@@ -138,8 +237,22 @@ def _single(values: Tuple[int, ...], what: str, ref: ArrayRef) -> Optional[int]:
     return values[0]
 
 
-def analyze_program(program: ProgramIR) -> InCorePhaseResult:
-    """Run the in-core phase on ``program`` and return its result."""
+def analyze_program(program: ProgramIR):
+    """Run the in-core phase on ``program`` and return its result.
+
+    Dispatches on the statement kind: reduction statements produce the
+    paper's :class:`InCorePhaseResult`; elementwise and transpose statements
+    produce their own (simpler) phase results.  Every result feeds the same
+    out-of-core pipeline (:func:`repro.core.pipeline.compile_program`).
+    """
+    if isinstance(program.statement, ElementwiseStatement):
+        return _analyze_elementwise(program)
+    if isinstance(program.statement, TransposeStatement):
+        return _analyze_transpose(program)
+    if not isinstance(program.statement, ReductionStatement):
+        raise CompilationError(
+            f"cannot analyze statement of type {type(program.statement).__name__}"
+        )
     statement: ReductionStatement = program.statement
     reduce_loop = program.loop(statement.reduce_index)
 

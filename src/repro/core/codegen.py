@@ -1,9 +1,11 @@
 """Code generation: from an access plan to a node + MP + I/O program.
 
-The generated programs mirror the paper's Figure 9 (column-slab version) and
-Figure 12 (row-slab version): the loop structure, the placement of the I/O
-calls, the global sum and the owner store are the same; only the syntax is
-symbolic instead of Fortran.
+The generated reduction programs mirror the paper's Figure 9 (column-slab
+version) and Figure 12 (row-slab version): the loop structure, the placement
+of the I/O calls, the global sum and the owner store are the same; only the
+syntax is symbolic instead of Fortran.  Elementwise and transpose statements
+generate the corresponding single-pass slab loops (with an all-to-all
+exchange op for the transpose).
 
 The static operation totals of the generated program are, by construction,
 the counts the cost model predicts — a consistency the test suite checks.
@@ -12,8 +14,13 @@ the counts the cost model predicts — a consistency the test suite checks.
 from __future__ import annotations
 
 from repro.exceptions import CompilationError
-from repro.core.analysis import InCorePhaseResult
+from repro.core.analysis import (
+    ElementwisePhaseResult,
+    InCorePhaseResult,
+    TransposePhaseResult,
+)
 from repro.core.node_program import (
+    AllToAllOp,
     ComputeOp,
     GlobalSumOp,
     IOReadOp,
@@ -34,8 +41,63 @@ def _result_column_length(analysis: InCorePhaseResult) -> int:
     return int(result_desc.shape[full_dims[0]]) if full_dims else 1
 
 
-def generate_node_program(analysis: InCorePhaseResult, plan: AccessPlan) -> NodeProgram:
+def _generate_elementwise(analysis: ElementwisePhaseResult, plan: AccessPlan) -> NodeProgram:
+    """One fused slab loop: read both operand slabs, compute, write the result slab."""
+    lhs, rhs = analysis.operands
+    lhs_entry = plan.entry(lhs)
+    rhs_entry = plan.entry(rhs)
+    result_entry = plan.entry(analysis.result)
+    flops_per_slab = float(result_entry.slab_elements)
+    body = LoopOp(
+        "s",
+        result_entry.num_slabs,
+        [
+            IOReadOp(lhs, "slab", float(lhs_entry.slab_elements)),
+            IOReadOp(rhs, "slab", float(rhs_entry.slab_elements)),
+            ComputeOp(f"{analysis.op} of {lhs} and {rhs} slabs", flops_per_slab),
+            IOWriteOp(analysis.result, "slab", float(result_entry.slab_elements)),
+        ],
+        comment="slabs of the local arrays",
+    )
+    return NodeProgram(
+        analysis.program.name, f"{plan.strategy.value}-slab elementwise", [body]
+    )
+
+
+def _generate_transpose(analysis: TransposePhaseResult, plan: AccessPlan) -> NodeProgram:
+    """Stream source slabs through an all-to-all exchange, then write target slabs."""
+    src_entry = plan.entry(analysis.source)
+    dst_entry = plan.entry(analysis.target)
+    nprocs = analysis.program.nprocs()
+    exchange = AllToAllOp(
+        elements_per_pair=float(src_entry.slab_elements) / max(nprocs, 1),
+        target=f"columns of {analysis.target}",
+    )
+    body = LoopOp(
+        "s",
+        src_entry.num_slabs,
+        [IOReadOp(analysis.source, "slab", float(src_entry.slab_elements)), exchange],
+        comment=f"slabs of {analysis.source}",
+    )
+    flush = LoopOp(
+        "w",
+        dst_entry.num_slabs,
+        [IOWriteOp(analysis.target, "slab", float(dst_entry.slab_elements))],
+        comment=f"write the exchanged slabs of {analysis.target}",
+    )
+    return NodeProgram(analysis.program.name, "column-slab transpose", [body, flush])
+
+
+def generate_node_program(analysis, plan: AccessPlan) -> NodeProgram:
     """Generate the node program implementing ``plan`` for the analyzed statement."""
+    if isinstance(analysis, ElementwisePhaseResult):
+        return _generate_elementwise(analysis, plan)
+    if isinstance(analysis, TransposePhaseResult):
+        return _generate_transpose(analysis, plan)
+    if not isinstance(analysis, InCorePhaseResult):
+        raise CompilationError(
+            f"cannot generate code for analysis of type {type(analysis).__name__}"
+        )
     streamed = analysis.streamed
     coefficient = analysis.coefficient
     result = analysis.result

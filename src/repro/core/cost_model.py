@@ -36,7 +36,7 @@ import dataclasses
 from typing import Dict, Optional
 
 from repro.exceptions import CostModelError
-from repro.core.analysis import InCorePhaseResult
+from repro.core.analysis import ElementwisePhaseResult, InCorePhaseResult, TransposePhaseResult
 from repro.core.stripmine import SlabPlanEntry
 from repro.machine.parameters import MachineParameters
 from repro.runtime.slab import SlabbingStrategy
@@ -249,6 +249,87 @@ class CostModel:
 
         return self._finalize(strategy, costs, analysis.flops_per_proc, collective_count,
                               collective_elements, itemsize)
+
+    def estimate_elementwise(
+        self,
+        analysis: ElementwisePhaseResult,
+        strategy: SlabbingStrategy | str,
+        entries: Dict[str, SlabPlanEntry],
+    ) -> PlanCost:
+        """Cost of ``c = op(a, b)``: one pass over each operand, one write pass.
+
+        The I/O volume is independent of the slabbing dimension (each array
+        is touched exactly once); only the request counts depend on the slab
+        size.  No communication is required when all arrays share one
+        distribution.
+        """
+        strategy = SlabbingStrategy.from_name(strategy)
+        costs: Dict[str, ArrayIOCost] = {}
+        for name in analysis.operands:
+            entry = entries[name]
+            local = float(entry.local_shape[0] * entry.local_shape[1])
+            costs[name] = ArrayIOCost(name, float(entry.num_slabs), local, 0.0, 0.0)
+        result_entry = entries[analysis.result]
+        result_local = float(result_entry.local_shape[0] * result_entry.local_shape[1])
+        costs[analysis.result] = ArrayIOCost(
+            analysis.result, 0.0, 0.0, float(result_entry.num_slabs), result_local
+        )
+        itemsize = analysis.program.arrays[analysis.result].itemsize
+        return self._finalize(strategy, costs, analysis.flops_per_proc, 0.0, 0.0, itemsize)
+
+    def estimate_transpose(
+        self,
+        analysis: TransposePhaseResult,
+        entries: Dict[str, SlabPlanEntry],
+    ) -> PlanCost:
+        """Cost of ``dst = src^T``: one read pass, one all-to-all per slab, one write pass.
+
+        The exchange is charged as every processor swapping ``1/P`` of each
+        streamed slab with every peer; since each processor's slab loop
+        triggers one exchange, the machine performs ``P x num_slabs``
+        collectives in total.
+        """
+        src_entry = entries[analysis.source]
+        dst_entry = entries[analysis.target]
+        src_local = float(src_entry.local_shape[0] * src_entry.local_shape[1])
+        dst_local = float(dst_entry.local_shape[0] * dst_entry.local_shape[1])
+        costs = {
+            analysis.source: ArrayIOCost(
+                analysis.source, float(src_entry.num_slabs), src_local, 0.0, 0.0
+            ),
+            analysis.target: ArrayIOCost(
+                analysis.target, 0.0, 0.0, float(dst_entry.num_slabs), dst_local
+            ),
+        }
+        itemsize = analysis.program.arrays[analysis.source].itemsize
+        disk = self.params.disk
+        io_time = disk.read_time(
+            src_local * itemsize, int(src_entry.num_slabs), contention=self.nprocs
+        )
+        io_time += disk.write_time(
+            dst_local * itemsize, int(dst_entry.num_slabs), contention=self.nprocs
+        )
+        elements_per_pair = src_entry.slab_elements / max(self.nprocs, 1)
+        comm_time = 0.0
+        collective_count = 0.0
+        if analysis.needs_exchange:
+            collective_count = float(src_entry.num_slabs * self.nprocs)
+            per_exchange = (self.nprocs - 1) * self.params.network.point_to_point_time(
+                int(elements_per_pair * itemsize)
+            )
+            comm_time = collective_count * per_exchange
+        return PlanCost(
+            strategy=SlabbingStrategy.COLUMN,
+            arrays=costs,
+            flops=0.0,
+            collective_count=collective_count,
+            collective_elements_each=elements_per_pair,
+            itemsize=itemsize,
+            nprocs=self.nprocs,
+            io_time=io_time,
+            compute_time=0.0,
+            comm_time=comm_time,
+        )
 
     def estimate_incore(self, analysis: InCorePhaseResult) -> PlanCost:
         """Cost of the in-core baseline: read each operand once, write the result once."""

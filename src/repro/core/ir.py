@@ -1,10 +1,15 @@
 """Intermediate representation of data-parallel programs.
 
-The IR covers the class of programs the paper's optimization targets:
-perfectly nested loops (sequential ``DO`` loops and parallel ``FORALL``
-loops) around a *reduction statement* — an array assignment whose right-hand
-side is a sum over one loop index of products of array references.  The
-paper's GAXPY matrix multiplication
+The IR covers the classes of statements the out-of-core compiler lowers:
+
+* a *reduction statement* inside a (perfect) loop nest — an array assignment
+  whose right-hand side is a sum over one loop index of products of array
+  references (the paper's optimization target),
+* an *elementwise statement* ``c = op(a, b)`` over conforming arrays (the
+  no-communication class), and
+* a *transpose statement* ``b = a^T`` (the communication-bound class).
+
+The paper's GAXPY matrix multiplication
 
 .. code-block:: fortran
 
@@ -23,13 +28,17 @@ loop variable) or :class:`Constant`.  The analysis phase classifies array
 access patterns purely from these subscripts, which is all the paper's
 Figure 14 algorithm needs ("use index variables to analyze access
 patterns").
+
+Every statement kind flows through the same Figure-7 lowering pipeline —
+analysis, strip-mining, cost estimation, access planning, code generation —
+so one executor can run any of them (see :mod:`repro.core.pipeline`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import CompilationError
 from repro.hpf.array_desc import ArrayDescriptor
@@ -42,9 +51,14 @@ __all__ = [
     "ArrayRef",
     "LoopKind",
     "Loop",
+    "Statement",
     "ReductionStatement",
+    "ElementwiseStatement",
+    "TransposeStatement",
     "ProgramIR",
     "build_gaxpy_ir",
+    "build_elementwise_ir",
+    "build_transpose_ir",
 ]
 
 
@@ -146,8 +160,36 @@ class Loop:
         return f"{keyword} {self.index} = 1, {self.extent}"
 
 
+class Statement:
+    """Base class of IR statements.
+
+    Every statement exposes its left-hand side (``result``), the sequence of
+    right-hand-side references (``operands``) and :meth:`references`, which
+    is what the generic validation, input generation and lowering machinery
+    consume; everything else is statement-kind specific.
+    """
+
+    result: ArrayRef
+    operands: Tuple[ArrayRef, ...]
+
+    def references(self) -> Tuple[ArrayRef, ...]:
+        """All references of the statement, result first."""
+        return (self.result, *self.operands)
+
+    def referenced_arrays(self) -> Tuple[str, ...]:
+        """Unique referenced array names in statement order, result first."""
+        seen: List[str] = []
+        for ref in self.references():
+            if ref.array not in seen:
+                seen.append(ref.array)
+        return tuple(seen)
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
 @dataclasses.dataclass(frozen=True)
-class ReductionStatement:
+class ReductionStatement(Statement):
     """``result = reduce(op, over=index) of prod(operands)``.
 
     ``result`` is the left-hand side reference, ``operands`` the right-hand
@@ -178,17 +220,64 @@ class ReductionStatement:
         if self.op not in {"sum", "max", "min", "prod"}:
             raise CompilationError(f"unsupported reduction operator {self.op!r}")
 
-    def referenced_arrays(self) -> Tuple[str, ...]:
-        names = [self.result.array] + [ref.array for ref in self.operands]
-        seen: List[str] = []
-        for name in names:
-            if name not in seen:
-                seen.append(name)
-        return tuple(seen)
-
     def describe(self) -> str:
         rhs = " * ".join(ref.describe() for ref in self.operands)
         return f"{self.result.describe()} = {self.op}_{{{self.reduce_index}}} {rhs}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ElementwiseStatement(Statement):
+    """``result = op(lhs_operand, rhs_operand)`` applied element by element.
+
+    All references use full-range subscripts; the arrays must conform in
+    shape and (for the out-of-core lowering to need no communication) share
+    one distribution.  ``op`` names the scalar operation.
+    """
+
+    result: ArrayRef
+    operands: Tuple[ArrayRef, ...]
+    op: str = "add"
+
+    def __init__(self, result: ArrayRef, operands: Sequence[ArrayRef], op: str = "add"):
+        object.__setattr__(self, "result", result)
+        object.__setattr__(self, "operands", tuple(operands))
+        object.__setattr__(self, "op", str(op))
+        if len(self.operands) != 2:
+            raise CompilationError(
+                f"an elementwise statement takes two operands, got {len(self.operands)}"
+            )
+        if self.op not in {"add", "multiply", "subtract"}:
+            raise CompilationError(f"unsupported elementwise operator {self.op!r}")
+
+    def describe(self) -> str:
+        lhs, rhs = self.operands
+        return f"{self.result.describe()} = {self.op}({lhs.describe()}, {rhs.describe()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransposeStatement(Statement):
+    """``result = transpose(operand)`` for two-dimensional arrays."""
+
+    result: ArrayRef
+    operands: Tuple[ArrayRef, ...]
+
+    def __init__(self, result: ArrayRef, operand: ArrayRef):
+        object.__setattr__(self, "result", result)
+        object.__setattr__(self, "operands", (operand,))
+        for ref in (result, operand):
+            if ref.ndim != 2:
+                raise CompilationError(
+                    f"transpose handles two-dimensional references, got {ref.describe()}"
+                )
+        if result.array == operand.array:
+            raise CompilationError("transpose needs distinct source and target arrays")
+
+    @property
+    def operand(self) -> ArrayRef:
+        return self.operands[0]
+
+    def describe(self) -> str:
+        return f"{self.result.describe()} = transpose({self.operand.describe()})"
 
 
 # ---------------------------------------------------------------------------
@@ -201,18 +290,19 @@ class ProgramIR:
     name: str
     arrays: Dict[str, ArrayDescriptor]
     loops: Tuple[Loop, ...]
-    statement: ReductionStatement
+    statement: Statement
 
     def __post_init__(self) -> None:
         self.loops = tuple(self.loops)
         loop_names = [loop.index for loop in self.loops]
         if len(set(loop_names)) != len(loop_names):
             raise CompilationError(f"duplicate loop indices in {loop_names}")
-        if self.statement.reduce_index not in loop_names:
-            raise CompilationError(
-                f"reduction index {self.statement.reduce_index!r} is not a loop of the nest"
-            )
-        for ref in (self.statement.result, *self.statement.operands):
+        if isinstance(self.statement, ReductionStatement):
+            if self.statement.reduce_index not in loop_names:
+                raise CompilationError(
+                    f"reduction index {self.statement.reduce_index!r} is not a loop of the nest"
+                )
+        for ref in self.statement.references():
             if ref.array not in self.arrays:
                 raise CompilationError(f"statement references undeclared array {ref.array!r}")
             descriptor = self.arrays[ref.array]
@@ -262,8 +352,62 @@ class ProgramIR:
 
 
 # ---------------------------------------------------------------------------
-# convenience constructor for the paper's running example
+# convenience constructors
 # ---------------------------------------------------------------------------
+def _column_block_arrays(names, n, nprocs, dtype, out_of_core=True):
+    """Square ``n x n`` arrays, column-block distributed over ``nprocs``."""
+    from repro.hpf.align import Alignment
+    from repro.hpf.processors import ProcessorGrid
+    from repro.hpf.template import Template
+
+    grid = ProcessorGrid("Pr", nprocs)
+    template = Template("d", n, grid, ["block"])
+    align = Alignment(template, ["*", ":"])
+    return {
+        name: ArrayDescriptor(name, (n, n), align, dtype=dtype, out_of_core=out_of_core)
+        for name in names
+    }
+
+
+def build_elementwise_ir(
+    n: int,
+    nprocs: int,
+    op: str = "add",
+    dtype="float32",
+    out_of_core: bool = True,
+    name: str = "elementwise",
+) -> ProgramIR:
+    """Build the IR of ``c = op(a, b)`` with all arrays column-block distributed."""
+    arrays = _column_block_arrays(("a", "b", "c"), n, nprocs, dtype, out_of_core)
+    statement = ElementwiseStatement(
+        result=ArrayRef("c", [FullRange(), FullRange()]),
+        operands=(
+            ArrayRef("a", [FullRange(), FullRange()]),
+            ArrayRef("b", [FullRange(), FullRange()]),
+        ),
+        op=op,
+    )
+    return ProgramIR(name=name, arrays=arrays, loops=(), statement=statement)
+
+
+def build_transpose_ir(
+    n: int,
+    nprocs: int,
+    dtype="float32",
+    out_of_core: bool = True,
+    name: str = "transpose",
+    source: str = "src",
+    target: str = "dst",
+) -> ProgramIR:
+    """Build the IR of ``dst = src^T`` with both arrays column-block distributed."""
+    arrays = _column_block_arrays((source, target), n, nprocs, dtype, out_of_core)
+    statement = TransposeStatement(
+        result=ArrayRef(target, [FullRange(), FullRange()]),
+        operand=ArrayRef(source, [FullRange(), FullRange()]),
+    )
+    return ProgramIR(name=name, arrays=arrays, loops=(), statement=statement)
+
+
 def build_gaxpy_ir(
     n: int,
     nprocs: int,

@@ -21,7 +21,7 @@ The representation serves three purposes:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 __all__ = [
     "NodeOp",
@@ -30,6 +30,7 @@ __all__ = [
     "IOWriteOp",
     "ComputeOp",
     "GlobalSumOp",
+    "AllToAllOp",
     "OwnerStoreOp",
     "NodeProgram",
 ]
@@ -87,6 +88,20 @@ class GlobalSumOp(NodeOp):
 
     def pretty(self, indent: int = 0) -> str:
         return " " * indent + f"global sum of {self.elements:.0f} elements -> {self.target}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AllToAllOp(NodeOp):
+    """A personalized all-to-all exchange of ``elements_per_pair`` elements."""
+
+    elements_per_pair: float
+    target: str = ""
+
+    def pretty(self, indent: int = 0) -> str:
+        suffix = f" -> {self.target}" if self.target else ""
+        return " " * indent + (
+            f"all-to-all exchange of {self.elements_per_pair:.0f} elements/pair{suffix}"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -177,6 +192,12 @@ class NodeProgram:
             elif isinstance(op, GlobalSumOp):
                 totals["global_sums"] += multiplier
                 totals["global_sum_elements"] += multiplier * op.elements
+            elif isinstance(op, AllToAllOp):
+                totals["all_to_alls"] = totals.get("all_to_alls", 0.0) + multiplier
+                totals["all_to_all_elements_per_pair"] = (
+                    totals.get("all_to_all_elements_per_pair", 0.0)
+                    + multiplier * op.elements_per_pair
+                )
             # OwnerStoreOp is a local memory operation; it has no cost entry.
 
         for op in self.ops:

@@ -20,7 +20,11 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import CompilationError
-from repro.core.analysis import InCorePhaseResult, analyze_program
+from repro.core.analysis import (
+    ElementwisePhaseResult,
+    InCorePhaseResult,
+    analyze_program,
+)
 from repro.core.codegen import generate_node_program
 from repro.core.cost_model import CostModel, PlanCost
 from repro.core.ir import ProgramIR, build_gaxpy_ir
@@ -32,7 +36,11 @@ from repro.core.reorganize import (
     plan_from_slab_elements,
     reorganize,
 )
-from repro.core.stripmine import slab_elements_from_ratio
+from repro.core.stripmine import (
+    build_plan_entry,
+    slab_elements_from_bytes,
+    slab_elements_from_ratio,
+)
 from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.runtime.slab import SlabbingStrategy
 
@@ -49,7 +57,9 @@ class CompiledProgram:
     """
 
     program: ProgramIR
-    analysis: InCorePhaseResult
+    #: phase-one result; an :class:`InCorePhaseResult` for reduction
+    #: statements, the elementwise/transpose phase results otherwise
+    analysis: object
     decision: Optional[ReorganizationDecision]
     plan: AccessPlan
     node_program: NodeProgram
@@ -77,6 +87,75 @@ class CompiledProgram:
         if self.decision is not None:
             lines.append("  " + self.decision.describe().replace("\n", "\n  "))
         return "\n".join(lines)
+
+
+def _plan_data_movement(
+    program: ProgramIR,
+    analysis,
+    cost_model: CostModel,
+    *,
+    memory_budget_bytes: Optional[int],
+    slab_ratio: Optional[float],
+    slab_elements: Optional[Dict[str, int]],
+    force_strategy: Optional[SlabbingStrategy | str],
+) -> AccessPlan:
+    """Build the access plan for an elementwise or transpose statement.
+
+    These statements touch every array exactly once, so there is no
+    strategy *choice* to make: the I/O volume is slabbing-invariant.  The
+    elementwise lowering accepts a forced row strategy (slabs along the other
+    dimension); the transpose lowering always streams column slabs, matching
+    the column-block distribution of its operands.
+    """
+    if isinstance(analysis, ElementwisePhaseResult):
+        names = (*analysis.operands, analysis.result)
+        strategy = (
+            SlabbingStrategy.from_name(force_strategy)
+            if force_strategy is not None
+            else SlabbingStrategy.COLUMN
+        )
+    else:
+        names = (analysis.source, analysis.target)
+        strategy = SlabbingStrategy.COLUMN
+        if force_strategy is not None and SlabbingStrategy.from_name(force_strategy) is not strategy:
+            raise CompilationError(
+                "the transpose lowering streams column slabs; it cannot be forced to "
+                f"{SlabbingStrategy.from_name(force_strategy).value!r}"
+            )
+
+    if slab_ratio is not None:
+        sizes = {
+            name: slab_elements_from_ratio(program.arrays[name], slab_ratio) for name in names
+        }
+    elif slab_elements is not None:
+        sizes = dict(slab_elements)
+        for name in names:
+            if name not in sizes:
+                raise CompilationError(f"slab_elements is missing array {name!r}")
+        if len({int(sizes[name]) for name in names}) != 1:
+            # The fused schedule streams one conformal slab of every array per
+            # iteration; unequal sizes would make the generated loop structure
+            # (and its charged statistics) contradict the per-array entries.
+            raise CompilationError(
+                "elementwise/transpose statements stream conformal slabs; give "
+                f"every array the same slab_elements (got { {n: int(sizes[n]) for n in names} })"
+            )
+    else:
+        per_array = memory_budget_bytes // len(names)
+        sizes = {
+            name: slab_elements_from_bytes(program.arrays[name], per_array) for name in names
+        }
+
+    entries = {
+        name: build_plan_entry(program.arrays[name], strategy, sizes[name]) for name in names
+    }
+    if isinstance(analysis, ElementwisePhaseResult):
+        cost = cost_model.estimate_elementwise(analysis, strategy, entries)
+    else:
+        cost = cost_model.estimate_transpose(analysis, entries)
+    return AccessPlan(
+        strategy=strategy, entries=entries, allocation={n: int(sizes[n]) for n in names}, cost=cost
+    )
 
 
 def compile_program(
@@ -112,6 +191,28 @@ def compile_program(
     if specified != 1:
         raise CompilationError(
             "specify exactly one of memory_budget_bytes, slab_ratio or slab_elements"
+        )
+
+    if not isinstance(analysis, InCorePhaseResult):
+        plan = _plan_data_movement(
+            program,
+            analysis,
+            cost_model,
+            memory_budget_bytes=memory_budget_bytes,
+            slab_ratio=slab_ratio,
+            slab_elements=slab_elements,
+            force_strategy=force_strategy,
+        )
+        node_program = generate_node_program(analysis, plan)
+        return CompiledProgram(
+            program=program,
+            analysis=analysis,
+            decision=None,
+            plan=plan,
+            node_program=node_program,
+            params=params,
+            nprocs=nprocs,
+            compile_seconds=time.perf_counter() - start,
         )
 
     decision: Optional[ReorganizationDecision] = None

@@ -25,7 +25,7 @@ from repro.exceptions import CompilationError
 from repro.core.analysis import InCorePhaseResult
 from repro.core.cost_model import CostModel, PlanCost
 from repro.core.memory_alloc import AllocationPolicy, ProportionalAllocation, _entries_from_split
-from repro.core.stripmine import SlabPlanEntry, build_plan_entry
+from repro.core.stripmine import SlabPlanEntry
 from repro.machine.parameters import MachineParameters
 from repro.runtime.slab import SlabbingStrategy
 

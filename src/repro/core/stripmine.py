@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.exceptions import CompilationError
 from repro.hpf.array_desc import ArrayDescriptor

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.report import format_table
 from repro.api import Session, WorkloadPoint
 from repro.core.analysis import analyze_program
-from repro.core.cost_model import CostModel
 from repro.core.ir import build_gaxpy_ir
 from repro.core.memory_alloc import (
     AllocationPolicy,

@@ -17,7 +17,7 @@ in-core).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.api import RunRecord, Session, WorkloadPoint

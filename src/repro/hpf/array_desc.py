@@ -17,8 +17,7 @@ distribution.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

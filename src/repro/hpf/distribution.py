@@ -35,9 +35,8 @@ are one-based; the front end converts).
 from __future__ import annotations
 
 import abc
-import dataclasses
 import math
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from typing import Iterator, List
+from typing import List
 
 from repro.exceptions import HPFSyntaxError
 

@@ -36,7 +36,7 @@ from repro.hpf.ast_nodes import (
     SubscriptExpr,
     TemplateDirective,
 )
-from repro.hpf.lexer import DIRECTIVE, EOF, IDENT, NEWLINE, NUMBER, PUNCT, Token, tokenize
+from repro.hpf.lexer import DIRECTIVE, EOF, IDENT, NEWLINE, NUMBER, Token, tokenize
 
 __all__ = ["parse_program"]
 

@@ -3,10 +3,13 @@
 The simplest class of data-parallel statement — ``c = f(a, b)`` applied
 element by element — needs no communication at all when all operands share
 the same distribution: every processor streams its local arrays slab by slab,
-applies the operation in memory and writes the result slab.  The kernel
-exists to exercise the runtime on the no-communication path and to provide a
-baseline workload whose I/O cost is exactly one read per operand plus one
-write, independent of the slabbing dimension.
+applies the operation in memory and writes the result slab.
+
+The slab-loop engine lives in
+:func:`repro.runtime.executor.run_elementwise_plan` (where the unified
+lowering pipeline drives it from a compiled
+:class:`~repro.core.ir.ElementwiseStatement`); this module keeps the
+historical descriptor-based entry point as a thin wrapper.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ import numpy as np
 
 from repro.exceptions import RuntimeExecutionError
 from repro.hpf.array_desc import ArrayDescriptor
-from repro.runtime.slab import SlabbingStrategy, make_slabs
+from repro.runtime.executor import run_elementwise_plan
+from repro.runtime.slab import SlabbingStrategy
 from repro.runtime.vm import VirtualMachine
 
 __all__ = ["ElementwiseResult", "run_elementwise"]
@@ -50,7 +54,6 @@ def run_elementwise(
     distribution); ``a_dense`` / ``b_dense`` are the dense inputs in
     ``EXECUTE`` mode (ignored in ``ESTIMATE`` mode).
     """
-    strategy = SlabbingStrategy.from_name(strategy)
     if descriptor.ndim != 2:
         raise RuntimeExecutionError("run_elementwise handles two-dimensional arrays")
 
@@ -60,32 +63,21 @@ def run_elementwise(
             out_of_core=True,
         )
 
-    order = "F" if strategy is SlabbingStrategy.COLUMN else "C"
-    ooc_a = vm.create_array(clone(f"{descriptor.name}_ew_a"), initial=a_dense, storage_order=order)
-    ooc_b = vm.create_array(clone(f"{descriptor.name}_ew_b"), initial=b_dense, storage_order=order)
-    zeros = np.zeros(descriptor.shape, dtype=descriptor.dtype) if vm.perform_io else None
-    ooc_c = vm.create_array(clone(f"{descriptor.name}_ew_c"), initial=zeros, storage_order=order)
-
-    flops_per_element = 1.0
-    for rank in range(vm.nprocs):
-        local_shape = descriptor.local_shape(rank)
-        for slab in make_slabs(local_shape, strategy, slab_elements):
-            a_block = ooc_a.local(rank).fetch_slab(slab)
-            b_block = ooc_b.local(rank).fetch_slab(slab)
-            vm.machine.charge_compute(rank, flops_per_element * slab.nelements)
-            if vm.perform_io:
-                ooc_c.local(rank).store_slab(slab, op(a_block, b_block).astype(descriptor.dtype))
-            else:
-                ooc_c.local(rank).store_slab(slab, None)
-
-    result = vm.to_dense(ooc_c) if vm.perform_io else None
-    verified: Optional[bool] = None
-    if verify and result is not None and a_dense is not None and b_dense is not None:
-        expected = op(np.asarray(a_dense, dtype=np.float64), np.asarray(b_dense, dtype=np.float64))
-        verified = bool(np.allclose(result, expected, rtol=1e-4, atol=1e-4))
+    result = run_elementwise_plan(
+        vm,
+        clone(f"{descriptor.name}_ew_a"),
+        clone(f"{descriptor.name}_ew_b"),
+        clone(f"{descriptor.name}_ew_c"),
+        op=op,
+        slab_elements=slab_elements,
+        strategy=strategy,
+        a_dense=a_dense,
+        b_dense=b_dense,
+        verify=verify,
+    )
     return ElementwiseResult(
-        simulated_seconds=vm.elapsed(),
-        io_statistics=vm.io_statistics(),
-        result=result,
-        verified=verified,
+        simulated_seconds=result.simulated_seconds,
+        io_statistics=result.io_statistics,
+        result=result.result,
+        verified=result.verified,
     )

@@ -1,6 +1,9 @@
 """Out-of-core GAXPY matrix multiplication (the paper's running example).
 
-Three executable versions are provided, mirroring the paper:
+Since the unified-lowering refactor the execution engines live in
+:mod:`repro.runtime.executor`, which drives *any* compiled reduction program
+from its access plan.  This module keeps the historical GAXPY-flavoured entry
+points as thin wrappers:
 
 * :func:`run_gaxpy_column_slab` — the straightforward extension of in-core
   compilation (Figure 9): column slabs of the streamed array are re-fetched
@@ -14,27 +17,31 @@ Three executable versions are provided, mirroring the paper:
 All three operate on a :class:`~repro.runtime.vm.VirtualMachine`, perform the
 real arithmetic with NumPy (in ``EXECUTE`` mode), charge every I/O transfer,
 global sum and floating point operation to the machine model, and can verify
-the product against a dense reference.
-
-The functions are generic over the statement's array names — they take a
-:class:`~repro.core.pipeline.CompiledProgram` and read the roles (streamed /
-coefficient / result) from its analysis — so they serve as the execution
-engine for any program of the GAXPY class, not just the literal ``a``, ``b``,
-``c`` of the paper.
+the product against a dense reference.  They are generic over the
+statement's array names — the engine reads the roles (streamed / coefficient
+/ result) from the compiled analysis — so they serve any program of the
+GAXPY class, not just the literal ``a``, ``b``, ``c`` of the paper.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.exceptions import RuntimeExecutionError
 from repro.core.pipeline import CompiledProgram
-from repro.runtime.collectives import global_sum
-from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, row_slabs
-from repro.runtime.vm import OutOfCoreArray, VirtualMachine
+from repro.runtime.executor import (
+    ExecutionResult,
+    ReductionInputs,
+    reduction_reference,
+    run_reduction_column,
+    run_reduction_incore,
+    run_reduction_row,
+    run_reduction_single_operand,
+)
+from repro.runtime.slab import SlabbingStrategy
+from repro.runtime.vm import VirtualMachine
 
 __all__ = [
     "GaxpyInputs",
@@ -47,20 +54,9 @@ __all__ = [
     "run_compiled_gaxpy",
 ]
 
-
-# ---------------------------------------------------------------------------
-# inputs and reference
-# ---------------------------------------------------------------------------
-@dataclasses.dataclass
-class GaxpyInputs:
-    """Dense input operands for one GAXPY run."""
-
-    streamed: np.ndarray     # the matrix whose columns are combined (A)
-    coefficient: np.ndarray  # the matrix providing the combination weights (B)
-
-    @property
-    def n(self) -> int:
-        return self.streamed.shape[0]
+#: Historical names for the generic reduction input container and reference.
+GaxpyInputs = ReductionInputs
+gaxpy_reference = reduction_reference
 
 
 def generate_gaxpy_inputs(n: int, dtype="float32", seed: int = 1994) -> GaxpyInputs:
@@ -71,23 +67,9 @@ def generate_gaxpy_inputs(n: int, dtype="float32", seed: int = 1994) -> GaxpyInp
     return GaxpyInputs(streamed=a, coefficient=b)
 
 
-def gaxpy_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Dense GAXPY product ``C = A B`` computed column by column (equation 1)."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    n = a.shape[0]
-    c = np.zeros((n, b.shape[1]), dtype=np.float64)
-    for j in range(b.shape[1]):
-        c[:, j] = a @ b[:, j]
-    return c
-
-
-# ---------------------------------------------------------------------------
-# run results
-# ---------------------------------------------------------------------------
 @dataclasses.dataclass
 class GaxpyRunResult:
-    """Outcome of one out-of-core GAXPY execution."""
+    """Outcome of one out-of-core GAXPY execution (legacy result shape)."""
 
     strategy: str
     simulated_seconds: float
@@ -112,86 +94,18 @@ class GaxpyRunResult:
         return "\n".join(lines)
 
 
-# ---------------------------------------------------------------------------
-# shared helpers
-# ---------------------------------------------------------------------------
-def _uniform_local_shape(descriptor) -> Tuple[int, int]:
-    shapes = {descriptor.local_shape(r) for r in range(descriptor.nprocs)}
-    if len(shapes) != 1:
-        raise RuntimeExecutionError(
-            f"the executable kernels require identical local shapes on every processor; "
-            f"array {descriptor.name!r} has {sorted(shapes)} "
-            "(choose an extent divisible by the number of processors)"
-        )
-    return next(iter(shapes))
-
-
-def _setup_arrays(
-    vm: VirtualMachine,
-    compiled: CompiledProgram,
-    inputs: Optional[GaxpyInputs],
-    result_order: str,
-    streamed_order: str,
-) -> Tuple[OutOfCoreArray, OutOfCoreArray, OutOfCoreArray]:
-    analysis = compiled.analysis
-    arrays = compiled.program.arrays
-    s_desc = arrays[analysis.streamed]
-    b_desc = arrays[analysis.coefficient]
-    c_desc = arrays[analysis.result]
-    for desc in (s_desc, b_desc, c_desc):
-        _uniform_local_shape(desc)
-    if b_desc.name == s_desc.name:
-        raise RuntimeExecutionError(
-            "the executable GAXPY kernels need distinct streamed and coefficient "
-            f"arrays; {s_desc.name!r} plays both roles (single-operand statements "
-            "are supported in ESTIMATE mode only)"
-        )
-    streamed_dense = inputs.streamed if inputs is not None else None
-    coefficient_dense = inputs.coefficient if inputs is not None else None
-    ooc_s = vm.create_array(s_desc, initial=streamed_dense, storage_order=streamed_order)
-    ooc_b = vm.create_array(b_desc, initial=coefficient_dense, storage_order="F")
-    ooc_c = vm.create_array(c_desc, initial=None if not vm.perform_io else
-                            np.zeros(c_desc.shape, dtype=c_desc.dtype), storage_order=result_order)
-    return ooc_s, ooc_b, ooc_c
-
-
-def _finish(
-    vm: VirtualMachine,
-    compiled: CompiledProgram,
-    strategy: str,
-    ooc_c: OutOfCoreArray,
-    inputs: Optional[GaxpyInputs],
-    verify: bool,
-) -> GaxpyRunResult:
-    result_dense: Optional[np.ndarray] = None
-    verified: Optional[bool] = None
-    max_err: Optional[float] = None
-    if vm.perform_io:
-        result_dense = vm.to_dense(ooc_c)
-        if verify and inputs is not None:
-            reference = gaxpy_reference(inputs.streamed, inputs.coefficient)
-            max_err = float(np.max(np.abs(result_dense.astype(np.float64) - reference)))
-            scale = float(np.max(np.abs(reference))) or 1.0
-            verified = bool(max_err <= 1e-3 * scale)
+def _legacy_result(result: ExecutionResult) -> GaxpyRunResult:
     return GaxpyRunResult(
-        strategy=strategy,
-        simulated_seconds=vm.elapsed(),
-        time_breakdown=vm.time_breakdown(),
-        io_statistics=vm.io_statistics(),
-        result=result_dense,
-        verified=verified,
-        max_abs_error=max_err,
+        strategy=result.strategy,
+        simulated_seconds=result.simulated_seconds,
+        time_breakdown=result.time_breakdown,
+        io_statistics=result.io_statistics,
+        result=result.result,
+        verified=result.verified,
+        max_abs_error=result.max_abs_error,
     )
 
 
-def _charge_compute_all(vm: VirtualMachine, flops_per_proc: float) -> None:
-    for rank in range(vm.nprocs):
-        vm.machine.charge_compute(rank, flops_per_proc)
-
-
-# ---------------------------------------------------------------------------
-# column-slab version (Figure 9)
-# ---------------------------------------------------------------------------
 def run_gaxpy_column_slab(
     vm: VirtualMachine,
     compiled: CompiledProgram,
@@ -199,103 +113,9 @@ def run_gaxpy_column_slab(
     verify: bool = True,
 ) -> GaxpyRunResult:
     """Execute the column-slab (naive) out-of-core GAXPY node program."""
-    analysis = compiled.analysis
-    plan = compiled.plan if compiled.plan.strategy is SlabbingStrategy.COLUMN else (
-        compiled.decision.candidate(SlabbingStrategy.COLUMN) if compiled.decision else compiled.plan
-    )
-    s_entry = plan.entry(analysis.streamed)
-    b_entry = plan.entry(analysis.coefficient)
-    c_entry = plan.entry(analysis.result)
-
-    ooc_s, ooc_b, ooc_c = _setup_arrays(vm, compiled, inputs, result_order="F", streamed_order="F")
-    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
-    s_shape = _uniform_local_shape(s_desc)
-    b_shape = _uniform_local_shape(ooc_b.descriptor)
-    c_shape = _uniform_local_shape(c_desc)
-    nprocs = vm.nprocs
-    n_rows = c_desc.shape[0]
-    itemsize = c_desc.itemsize
-
-    s_slabs = column_slabs(s_shape, s_entry.lines_per_slab)
-    b_slabs = column_slabs(b_shape, b_entry.lines_per_slab)
-    c_slabs = column_slabs(c_shape, c_entry.lines_per_slab)
-    c_slab_of_col = {}
-    for slab in c_slabs:
-        for col in range(slab.col_start, slab.col_stop):
-            c_slab_of_col[col] = slab
-
-    perform = vm.perform_io
-    c_buffers: Dict[int, np.ndarray] = {
-        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
-    } if perform else {}
-
-    # Fast path: the streamed array is read-only, so each slab is loaded from
-    # disk once into a float64 staging buffer; every later re-stream of the
-    # same slab is charged to the machine (identically to a real re-read) but
-    # served from memory.  The arithmetic for all columns of a coefficient
-    # slab is then one BLAS-3 GEMM per rank instead of ncols BLAS-2 matvecs.
-    a64: Dict[int, np.ndarray] = {}
-    products64: Dict[int, np.ndarray] = {}
-    if perform:
-        max_b_cols = max(slab.ncols for slab in b_slabs)
-        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in range(nprocs)}
-        products64 = {
-            rank: np.empty((n_rows, max_b_cols), dtype=np.float64) for rank in range(nprocs)
-        }
-    a_loaded: set = set()
-
-    global_col = 0
-    for b_slab in b_slabs:
-        b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
-        b64 = {
-            rank: b_data[rank].astype(np.float64) for rank in range(nprocs)
-        } if perform else {}
-        products: Optional[Dict[int, np.ndarray]] = None
-        for m in range(b_slab.ncols):
-            j = global_col
-            global_col += 1
-            for s_slab in s_slabs:
-                for rank in range(nprocs):
-                    if perform and (rank, s_slab.index) not in a_loaded:
-                        a64[rank][:, s_slab.col_slice] = ooc_s.local(rank).fetch_slab(s_slab)
-                        a_loaded.add((rank, s_slab.index))
-                    else:
-                        ooc_s.local(rank).charge_fetch(s_slab)
-                    vm.machine.charge_compute(rank, 2.0 * s_slab.nelements)
-            if perform and products is None:
-                products = {
-                    rank: np.matmul(a64[rank], b64[rank],
-                                    out=products64[rank][:, : b_slab.ncols])
-                    for rank in range(nprocs)
-                }
-            column = global_sum(
-                vm.machine,
-                {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
-                shape=(n_rows,),
-                itemsize=itemsize,
-            )
-            if perform:
-                owner = c_desc.owner_of_dim(1, j)
-                local_j = c_desc.global_to_local((0, j))[1]
-                c_buffers[owner][:, local_j] = column.astype(c_desc.dtype)
-                c_slab = c_slab_of_col[local_j]
-                if local_j == c_slab.col_stop - 1:
-                    ooc_c.local(owner).store_slab(
-                        c_slab, c_buffers[owner][:, c_slab.col_slice]
-                    )
-            else:
-                owner = c_desc.owner_of_dim(1, j)
-                local_j = c_desc.global_to_local((0, j))[1]
-                c_slab = c_slab_of_col[local_j]
-                if local_j == c_slab.col_stop - 1:
-                    ooc_c.local(owner).store_slab(c_slab, None)
-
-    return _finish(vm, compiled, "column-slab", ooc_c, inputs, verify)
+    return _legacy_result(run_reduction_column(vm, compiled, inputs, verify))
 
 
-# ---------------------------------------------------------------------------
-# row-slab version (Figure 12)
-# ---------------------------------------------------------------------------
 def run_gaxpy_row_slab(
     vm: VirtualMachine,
     compiled: CompiledProgram,
@@ -303,92 +123,9 @@ def run_gaxpy_row_slab(
     verify: bool = True,
 ) -> GaxpyRunResult:
     """Execute the reorganized (row-slab) out-of-core GAXPY node program."""
-    analysis = compiled.analysis
-    plan = compiled.plan if compiled.plan.strategy is SlabbingStrategy.ROW else (
-        compiled.decision.candidate(SlabbingStrategy.ROW) if compiled.decision else compiled.plan
-    )
-    s_entry = plan.entry(analysis.streamed)
-    b_entry = plan.entry(analysis.coefficient)
-
-    ooc_s, ooc_b, ooc_c = _setup_arrays(vm, compiled, inputs, result_order="C", streamed_order="C")
-    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
-    s_shape = _uniform_local_shape(s_desc)
-    b_shape = _uniform_local_shape(ooc_b.descriptor)
-    c_shape = _uniform_local_shape(c_desc)
-    nprocs = vm.nprocs
-    itemsize = c_desc.itemsize
-
-    s_slabs = row_slabs(s_shape, s_entry.lines_per_slab)
-    b_slabs = column_slabs(b_shape, b_entry.lines_per_slab)
-
-    perform = vm.perform_io
-
-    # Preallocated per-rank GEMM output buffers, reused across every
-    # (streamed slab, coefficient slab) pair.
-    products64: Dict[int, np.ndarray] = {}
-    if perform:
-        max_s_rows = max(slab.nrows for slab in s_slabs)
-        max_b_cols = max(slab.ncols for slab in b_slabs)
-        products64 = {
-            rank: np.empty((max_s_rows, max_b_cols), dtype=np.float64)
-            for rank in range(nprocs)
-        }
-
-    for s_slab in s_slabs:
-        a_data = {rank: ooc_s.local(rank).fetch_slab(s_slab) for rank in range(nprocs)}
-        c_buffer: Dict[int, np.ndarray] = {}
-        a64: Dict[int, np.ndarray] = {}
-        if perform:
-            # Hoisted conversions: one astype per fetched slab, not per column.
-            a64 = {rank: a_data[rank].astype(np.float64) for rank in range(nprocs)}
-            c_buffer = {
-                rank: np.zeros((s_slab.nrows, c_shape[1]), dtype=c_desc.dtype)
-                for rank in range(nprocs)
-            }
-        global_col = 0
-        for b_slab in b_slabs:
-            b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
-            products: Optional[Dict[int, np.ndarray]] = None
-            if perform:
-                # One BLAS-3 GEMM per rank covers every column of this
-                # coefficient slab against the resident streamed slab.
-                products = {
-                    rank: np.matmul(a64[rank], b_data[rank].astype(np.float64),
-                                    out=products64[rank][: s_slab.nrows, : b_slab.ncols])
-                    for rank in range(nprocs)
-                }
-            for m in range(b_slab.ncols):
-                j = global_col
-                global_col += 1
-                for rank in range(nprocs):
-                    vm.machine.charge_compute(rank, 2.0 * s_slab.nelements)
-                subcolumn = global_sum(
-                    vm.machine,
-                    {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
-                    shape=(s_slab.nrows,),
-                    itemsize=itemsize,
-                )
-                owner = c_desc.owner_of_dim(1, j)
-                local_j = c_desc.global_to_local((0, j))[1]
-                if perform:
-                    c_buffer[owner][:, local_j] = subcolumn.astype(c_desc.dtype)
-        # the row slab of the result is complete on every owner: flush it
-        c_row_slab = Slab(
-            index=s_slab.index,
-            row_start=s_slab.row_start,
-            row_stop=s_slab.row_stop,
-            col_start=0,
-            col_stop=c_shape[1],
-        )
-        for rank in range(nprocs):
-            ooc_c.local(rank).store_slab(c_row_slab, c_buffer.get(rank) if perform else None)
-
-    return _finish(vm, compiled, "row-slab", ooc_c, inputs, verify)
+    return _legacy_result(run_reduction_row(vm, compiled, inputs, verify))
 
 
-# ---------------------------------------------------------------------------
-# in-core baseline
-# ---------------------------------------------------------------------------
 def run_gaxpy_incore(
     vm: VirtualMachine,
     compiled: CompiledProgram,
@@ -396,54 +133,9 @@ def run_gaxpy_incore(
     verify: bool = True,
 ) -> GaxpyRunResult:
     """Execute the in-core baseline: read every local array once, keep it in memory."""
-    analysis = compiled.analysis
-    ooc_s, ooc_b, ooc_c = _setup_arrays(vm, compiled, inputs, result_order="F", streamed_order="F")
-    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
-    c_shape = _uniform_local_shape(c_desc)
-    nprocs = vm.nprocs
-    n_rows = c_desc.shape[0]
-    n_cols = c_desc.shape[1]
-    itemsize = c_desc.itemsize
-    perform = vm.perform_io
-
-    a_data = {rank: ooc_s.local(rank).fetch_all() for rank in range(nprocs)}
-    b_data = {rank: ooc_b.local(rank).fetch_all() for rank in range(nprocs)}
-    c_local = {
-        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
-    } if perform else {}
-
-    # One whole-local-array GEMM per rank; the per-column loop below only
-    # charges costs and runs the (per-column) global sums.
-    products: Dict[int, np.ndarray] = {}
-    if perform:
-        products = {
-            rank: a_data[rank].astype(np.float64) @ b_data[rank].astype(np.float64)
-            for rank in range(nprocs)
-        }
-
-    flops_per_proc = analysis.flops_per_proc
-    per_column_flops = flops_per_proc / max(n_cols, 1)
-    for j in range(n_cols):
-        contributions = None
-        if perform:
-            contributions = {rank: products[rank][:, j] for rank in range(nprocs)}
-        for rank in range(nprocs):
-            vm.machine.charge_compute(rank, per_column_flops)
-        column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)
-        if perform:
-            owner = c_desc.owner_of_dim(1, j)
-            local_j = c_desc.global_to_local((0, j))[1]
-            c_local[owner][:, local_j] = column.astype(c_desc.dtype)
-
-    for rank in range(nprocs):
-        ooc_c.local(rank).store_all(c_local.get(rank) if perform else None)
-
-    return _finish(vm, compiled, "in-core", ooc_c, inputs, verify)
+    return _legacy_result(run_reduction_incore(vm, compiled, inputs, verify))
 
 
-# ---------------------------------------------------------------------------
-# dispatcher
-# ---------------------------------------------------------------------------
 def run_compiled_gaxpy(
     vm: VirtualMachine,
     compiled: CompiledProgram,
@@ -451,6 +143,9 @@ def run_compiled_gaxpy(
     verify: bool = True,
 ) -> GaxpyRunResult:
     """Execute a compiled GAXPY-class program with the strategy the compiler chose."""
+    analysis = compiled.analysis
+    if analysis.coefficient == analysis.streamed:
+        return _legacy_result(run_reduction_single_operand(vm, compiled, inputs, verify))
     if compiled.plan.strategy is SlabbingStrategy.ROW:
-        return run_gaxpy_row_slab(vm, compiled, inputs, verify)
-    return run_gaxpy_column_slab(vm, compiled, inputs, verify)
+        return _legacy_result(run_reduction_row(vm, compiled, inputs, verify))
+    return _legacy_result(run_reduction_column(vm, compiled, inputs, verify))

@@ -9,10 +9,10 @@ out-of-core version therefore streams slabs of ``A``, carves each slab into
 the pieces destined for each processor, exchanges them (all-to-all), and
 writes slabs of ``B``.
 
-The kernel exercises exactly the runtime paths the GAXPY example does not:
-point-to-point style exchange volume that scales with the array size, and
-writes that land on a different processor's Local Array File than the reads
-came from.
+The slab-loop engine lives in :func:`repro.runtime.executor.run_transpose_plan`
+(where the unified lowering pipeline drives it from a compiled
+:class:`~repro.core.ir.TransposeStatement`); this module keeps the historical
+descriptor-based entry point as a thin wrapper.
 """
 
 from __future__ import annotations
@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.exceptions import RuntimeExecutionError
 from repro.hpf.array_desc import ArrayDescriptor
-from repro.runtime.slab import Slab, column_slabs
+from repro.runtime.executor import run_transpose_plan
 from repro.runtime.vm import VirtualMachine
 
 __all__ = ["TransposeResult", "run_transpose"]
@@ -50,67 +50,22 @@ def run_transpose(
     """Compute ``B = A^T`` out of core with ``A`` and ``B`` column-block distributed."""
     if descriptor.ndim != 2 or descriptor.shape[0] != descriptor.shape[1]:
         raise RuntimeExecutionError("run_transpose handles square two-dimensional arrays")
-    n = descriptor.shape[0]
-    nprocs = vm.nprocs
-    itemsize = descriptor.itemsize
 
     def clone(name: str) -> ArrayDescriptor:
         return ArrayDescriptor(name, descriptor.shape, descriptor.alignment,
                                dtype=descriptor.dtype, out_of_core=True)
 
-    source = vm.create_array(clone(f"{descriptor.name}_t_src"), initial=a_dense, storage_order="F")
-    zeros = np.zeros(descriptor.shape, dtype=descriptor.dtype) if vm.perform_io else None
-    target = vm.create_array(clone(f"{descriptor.name}_t_dst"), initial=zeros, storage_order="F")
-    src_desc = source.descriptor
-    dst_desc = target.descriptor
-
-    # Each processor streams its local columns of A in slabs; the rows of each
-    # slab destined for processor q form the exchange payload; q then writes the
-    # transposed piece into its local columns of B.
-    result_locals: Dict[int, np.ndarray] = {}
-    if vm.perform_io:
-        result_locals = {
-            rank: np.zeros(dst_desc.local_shape(rank), dtype=dst_desc.dtype)
-            for rank in range(nprocs)
-        }
-
-    for rank in range(nprocs):
-        local_shape = src_desc.local_shape(rank)
-        for slab in column_slabs(local_shape, cols_per_slab):
-            block = source.local(rank).fetch_slab(slab)
-            # exchange: every other processor receives the rows it owns as columns of B
-            payload_bytes = slab.nbytes(itemsize) // max(nprocs, 1)
-            vm.machine.charge_all_to_all(payload_bytes)
-            if not vm.perform_io:
-                continue
-            global_cols = src_desc.local_index_ranges(rank)[1][slab.col_start:slab.col_stop]
-            for dest in range(nprocs):
-                # Columns of B owned by ``dest`` correspond to global rows of A
-                # with the same indices; the slab contributes B[g, j] = A[j, g]
-                # for every global column g in the slab and every j on ``dest``.
-                dest_cols = dst_desc.local_index_ranges(dest)[1]
-                piece = block[dest_cols, :]          # shape (|dest columns|, |slab columns|)
-                for offset, gcol in enumerate(global_cols):
-                    result_locals[dest][gcol, :] = piece[:, offset]
-
-    # write the transposed local arrays slab by slab
-    for rank in range(nprocs):
-        local_shape = dst_desc.local_shape(rank)
-        for slab in column_slabs(local_shape, cols_per_slab):
-            if vm.perform_io:
-                target.local(rank).store_slab(
-                    slab, result_locals[rank][slab.row_slice, slab.col_slice]
-                )
-            else:
-                target.local(rank).store_slab(slab, None)
-
-    result = vm.to_dense(target) if vm.perform_io else None
-    verified: Optional[bool] = None
-    if verify and result is not None and a_dense is not None:
-        verified = bool(np.allclose(result, np.asarray(a_dense).T, rtol=1e-5, atol=1e-5))
+    result = run_transpose_plan(
+        vm,
+        clone(f"{descriptor.name}_t_src"),
+        clone(f"{descriptor.name}_t_dst"),
+        cols_per_slab=cols_per_slab,
+        a_dense=a_dense,
+        verify=verify,
+    )
     return TransposeResult(
-        simulated_seconds=vm.elapsed(),
-        io_statistics=vm.io_statistics(),
-        result=result,
-        verified=verified,
+        simulated_seconds=result.simulated_seconds,
+        io_statistics=result.io_statistics,
+        result=result.result,
+        verified=result.verified,
     )

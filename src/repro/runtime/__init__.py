@@ -25,8 +25,14 @@ from repro.runtime.icla import InCoreLocalArray
 from repro.runtime.ocla import OutOfCoreLocalArray
 from repro.runtime.io_engine import IOEngine, IOAccounting
 from repro.runtime.collectives import global_sum, broadcast, point_to_point
+from repro.runtime.prefetch import NoPrefetch, OverlapPrefetch, PrefetchPolicy
 from repro.runtime.vm import VirtualMachine, OutOfCoreArray
-from repro.runtime.executor import NodeProgramExecutor, ExecutionResult
+from repro.runtime.executor import (
+    ExecutionResult,
+    NodeProgramExecutor,
+    ReductionInputs,
+    reduction_reference,
+)
 
 __all__ = [
     "Slab",
@@ -47,4 +53,9 @@ __all__ = [
     "OutOfCoreArray",
     "NodeProgramExecutor",
     "ExecutionResult",
+    "ReductionInputs",
+    "reduction_reference",
+    "PrefetchPolicy",
+    "NoPrefetch",
+    "OverlapPrefetch",
 ]

@@ -1,36 +1,92 @@
-"""Executor for compiled node programs.
+"""The generic executor for compiled node programs.
 
 The executor is the bridge between the compiler (:mod:`repro.core`) and the
-runtime: given a :class:`~repro.core.pipeline.CompiledProgram` it either
+runtime.  Every workload — the paper's GAXPY reduction, elementwise
+statements, transposes, and arbitrary programs entering through the mini-HPF
+frontend — compiles to a :class:`~repro.core.pipeline.CompiledProgram`, and
+this module runs it:
 
-* **executes** the program on a :class:`~repro.runtime.vm.VirtualMachine`
-  (real Local Array Files, real NumPy arithmetic, verified result) by driving
-  the executable kernels with the compiled plan, or
-* **estimates** the program by charging the machine model with the statically
-  counted operations of the generated node program — the fast path used to
-  regenerate the paper-scale experiments (1K x 1K and 2K x 2K arrays on up to
-  64 processors) without moving gigabytes through the filesystem.
+* :meth:`NodeProgramExecutor.execute` **executes** the program on a
+  :class:`~repro.runtime.vm.VirtualMachine` (real Local Array Files, real
+  NumPy arithmetic, verified result), driving the slab loops of the
+  compiled access plan with the BLAS-3 batched inner kernels of the fast
+  path; and
+* :meth:`NodeProgramExecutor.estimate` **estimates** the program by charging
+  the machine model with the statically counted operations of the generated
+  node program (reduction statements) or by driving the same slab loops in
+  charge-only mode (elementwise and transpose statements, whose loop
+  structure *is* the cost model) — the fast path used to regenerate the
+  paper-scale experiments without moving gigabytes through the filesystem.
 
 Both paths report the same :class:`ExecutionResult` structure so experiment
-harnesses can switch between them freely.
+harnesses can switch between them freely.  The engine functions
+(:func:`run_reduction_column` and friends) are generic over the statement's
+array names — they read the roles from the compiled analysis — so any
+program of the right class runs through them; the historical per-kernel
+entry points in :mod:`repro.kernels` are thin wrappers over this module.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.config import ExecutionMode, RunConfig
 from repro.exceptions import RuntimeExecutionError
+from repro.hpf.array_desc import ArrayDescriptor
 from repro.machine.cluster import Machine
-from repro.runtime.vm import VirtualMachine
+from repro.runtime.collectives import broadcast, global_sum
+from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, make_slabs, row_slabs
+from repro.runtime.vm import OutOfCoreArray, VirtualMachine
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.core.pipeline import CompiledProgram
+    from repro.core.reorganize import AccessPlan
 
-__all__ = ["ExecutionResult", "NodeProgramExecutor"]
+__all__ = [
+    "ExecutionResult",
+    "ReductionInputs",
+    "reduction_reference",
+    "NodeProgramExecutor",
+    "run_reduction_column",
+    "run_reduction_row",
+    "run_reduction_incore",
+    "run_reduction_single_operand",
+    "run_elementwise_plan",
+    "run_transpose_plan",
+]
+
+
+# ---------------------------------------------------------------------------
+# inputs, references, results
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class ReductionInputs:
+    """Dense input operands for one reduction (GAXPY-class) run.
+
+    For single-operand statements (``c = a @ a``) ``streamed`` and
+    ``coefficient`` are the same array.
+    """
+
+    streamed: np.ndarray     # the matrix whose columns are combined (A)
+    coefficient: np.ndarray  # the matrix providing the combination weights (B)
+
+    @property
+    def n(self) -> int:
+        return self.streamed.shape[0]
+
+
+def reduction_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense GAXPY product ``C = A B`` computed column by column (equation 1)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    c = np.zeros((n, b.shape[1]), dtype=np.float64)
+    for j in range(b.shape[1]):
+        c[:, j] = a @ b[:, j]
+    return c
 
 
 @dataclasses.dataclass
@@ -59,11 +115,703 @@ class ExecutionResult:
         return "\n".join(lines)
 
 
+def _mode(vm: VirtualMachine) -> ExecutionMode:
+    return ExecutionMode.EXECUTE if vm.perform_io else ExecutionMode.ESTIMATE
+
+
+# ---------------------------------------------------------------------------
+# shared reduction helpers
+# ---------------------------------------------------------------------------
+def _uniform_local_shape(descriptor: ArrayDescriptor) -> Tuple[int, int]:
+    shapes = {descriptor.local_shape(r) for r in range(descriptor.nprocs)}
+    if len(shapes) != 1:
+        raise RuntimeExecutionError(
+            f"the executable kernels require identical local shapes on every processor; "
+            f"array {descriptor.name!r} has {sorted(shapes)} "
+            "(choose an extent divisible by the number of processors)"
+        )
+    return next(iter(shapes))
+
+
+def _plan_for(compiled: "CompiledProgram", strategy: SlabbingStrategy) -> "AccessPlan":
+    """The compiled plan for ``strategy``, falling back through the decision."""
+    if compiled.plan.strategy is strategy:
+        return compiled.plan
+    if compiled.decision is not None:
+        return compiled.decision.candidate(strategy)
+    return compiled.plan
+
+
+def _require_distinct_operands(compiled: "CompiledProgram") -> None:
+    """Guard the two-operand engines against single-operand programs.
+
+    The conformal-distribution schedule assumes the coefficient's reduce
+    dimension is local; with one array in both roles that does not hold, so
+    those programs must go through :func:`run_reduction_single_operand`
+    (which the dispatchers do automatically).
+    """
+    analysis = compiled.analysis
+    if analysis.coefficient == analysis.streamed:
+        raise RuntimeExecutionError(
+            "the two-operand reduction engines need distinct streamed and "
+            f"coefficient arrays; {analysis.streamed!r} plays both roles — "
+            "use run_reduction_single_operand (or the NodeProgramExecutor / "
+            "run_compiled_gaxpy dispatchers, which select it automatically)"
+        )
+
+
+def _setup_reduction_arrays(
+    vm: VirtualMachine,
+    compiled: "CompiledProgram",
+    inputs: Optional[ReductionInputs],
+    result_order: str,
+    streamed_order: str,
+) -> Tuple[OutOfCoreArray, OutOfCoreArray, OutOfCoreArray]:
+    analysis = compiled.analysis
+    arrays = compiled.program.arrays
+    s_desc = arrays[analysis.streamed]
+    b_desc = arrays[analysis.coefficient]
+    c_desc = arrays[analysis.result]
+    for desc in (s_desc, b_desc, c_desc):
+        _uniform_local_shape(desc)
+    if c_desc.name in (s_desc.name, b_desc.name):
+        raise RuntimeExecutionError(
+            f"the result array {c_desc.name!r} aliases an operand; in-place "
+            "reductions are not executable"
+        )
+    streamed_dense = inputs.streamed if inputs is not None else None
+    coefficient_dense = inputs.coefficient if inputs is not None else None
+    ooc_s = vm.create_array(s_desc, initial=streamed_dense, storage_order=streamed_order)
+    if b_desc.name == s_desc.name:
+        # Single-operand statement: one array plays both roles.
+        ooc_b = ooc_s
+    else:
+        ooc_b = vm.create_array(b_desc, initial=coefficient_dense, storage_order="F")
+    ooc_c = vm.create_array(c_desc, initial=None if not vm.perform_io else
+                            np.zeros(c_desc.shape, dtype=c_desc.dtype), storage_order=result_order)
+    return ooc_s, ooc_b, ooc_c
+
+
+def _finish_reduction(
+    vm: VirtualMachine,
+    strategy: str,
+    ooc_c: OutOfCoreArray,
+    inputs: Optional[ReductionInputs],
+    verify: bool,
+) -> ExecutionResult:
+    result_dense: Optional[np.ndarray] = None
+    verified: Optional[bool] = None
+    max_err: Optional[float] = None
+    if vm.perform_io:
+        result_dense = vm.to_dense(ooc_c)
+        if verify and inputs is not None:
+            reference = reduction_reference(inputs.streamed, inputs.coefficient)
+            max_err = float(np.max(np.abs(result_dense.astype(np.float64) - reference)))
+            scale = float(np.max(np.abs(reference))) or 1.0
+            verified = bool(max_err <= 1e-3 * scale)
+    return ExecutionResult(
+        strategy=strategy,
+        mode=_mode(vm),
+        simulated_seconds=vm.elapsed(),
+        time_breakdown=vm.time_breakdown(),
+        io_statistics=vm.io_statistics(),
+        result=result_dense,
+        verified=verified,
+        max_abs_error=max_err,
+    )
+
+
+# ---------------------------------------------------------------------------
+# reduction engine: column-slab version (Figure 9)
+# ---------------------------------------------------------------------------
+def run_reduction_column(
+    vm: VirtualMachine,
+    compiled: "CompiledProgram",
+    inputs: Optional[ReductionInputs] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Execute the column-slab (naive) out-of-core reduction node program."""
+    _require_distinct_operands(compiled)
+    analysis = compiled.analysis
+    plan = _plan_for(compiled, SlabbingStrategy.COLUMN)
+    s_entry = plan.entry(analysis.streamed)
+    b_entry = plan.entry(analysis.coefficient)
+    c_entry = plan.entry(analysis.result)
+
+    ooc_s, ooc_b, ooc_c = _setup_reduction_arrays(vm, compiled, inputs,
+                                                  result_order="F", streamed_order="F")
+    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
+    s_shape = _uniform_local_shape(s_desc)
+    b_shape = _uniform_local_shape(ooc_b.descriptor)
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    n_rows = c_desc.shape[0]
+    itemsize = c_desc.itemsize
+
+    s_slabs = column_slabs(s_shape, s_entry.lines_per_slab)
+    b_slabs = column_slabs(b_shape, b_entry.lines_per_slab)
+    c_slabs = column_slabs(c_shape, c_entry.lines_per_slab)
+    c_slab_of_col = {}
+    for slab in c_slabs:
+        for col in range(slab.col_start, slab.col_stop):
+            c_slab_of_col[col] = slab
+
+    perform = vm.perform_io
+    c_buffers: Dict[int, np.ndarray] = {
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+    } if perform else {}
+
+    # Fast path: the streamed array is read-only, so each slab is loaded from
+    # disk once into a float64 staging buffer; every later re-stream of the
+    # same slab is charged to the machine (identically to a real re-read) but
+    # served from memory.  The arithmetic for all columns of a coefficient
+    # slab is then one BLAS-3 GEMM per rank instead of ncols BLAS-2 matvecs.
+    a64: Dict[int, np.ndarray] = {}
+    products64: Dict[int, np.ndarray] = {}
+    if perform:
+        max_b_cols = max(slab.ncols for slab in b_slabs)
+        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in range(nprocs)}
+        products64 = {
+            rank: np.empty((n_rows, max_b_cols), dtype=np.float64) for rank in range(nprocs)
+        }
+    a_loaded: set = set()
+
+    global_col = 0
+    for b_slab in b_slabs:
+        b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+        b64 = {
+            rank: b_data[rank].astype(np.float64) for rank in range(nprocs)
+        } if perform else {}
+        products: Optional[Dict[int, np.ndarray]] = None
+        for m in range(b_slab.ncols):
+            j = global_col
+            global_col += 1
+            for s_slab in s_slabs:
+                for rank in range(nprocs):
+                    if perform and (rank, s_slab.index) not in a_loaded:
+                        a64[rank][:, s_slab.col_slice] = ooc_s.local(rank).fetch_slab(s_slab)
+                        a_loaded.add((rank, s_slab.index))
+                    else:
+                        ooc_s.local(rank).charge_fetch(s_slab)
+                    vm.charge_compute(rank, 2.0 * s_slab.nelements)
+            if perform and products is None:
+                products = {
+                    rank: np.matmul(a64[rank], b64[rank],
+                                    out=products64[rank][:, : b_slab.ncols])
+                    for rank in range(nprocs)
+                }
+            column = global_sum(
+                vm.machine,
+                {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
+                shape=(n_rows,),
+                itemsize=itemsize,
+            )
+            if perform:
+                owner = c_desc.owner_of_dim(1, j)
+                local_j = c_desc.global_to_local((0, j))[1]
+                c_buffers[owner][:, local_j] = column.astype(c_desc.dtype)
+                c_slab = c_slab_of_col[local_j]
+                if local_j == c_slab.col_stop - 1:
+                    ooc_c.local(owner).store_slab(
+                        c_slab, c_buffers[owner][:, c_slab.col_slice]
+                    )
+            else:
+                owner = c_desc.owner_of_dim(1, j)
+                local_j = c_desc.global_to_local((0, j))[1]
+                c_slab = c_slab_of_col[local_j]
+                if local_j == c_slab.col_stop - 1:
+                    ooc_c.local(owner).store_slab(c_slab, None)
+
+    return _finish_reduction(vm, "column-slab", ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# reduction engine: row-slab version (Figure 12)
+# ---------------------------------------------------------------------------
+def run_reduction_row(
+    vm: VirtualMachine,
+    compiled: "CompiledProgram",
+    inputs: Optional[ReductionInputs] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Execute the reorganized (row-slab) out-of-core reduction node program."""
+    _require_distinct_operands(compiled)
+    analysis = compiled.analysis
+    plan = _plan_for(compiled, SlabbingStrategy.ROW)
+    s_entry = plan.entry(analysis.streamed)
+    b_entry = plan.entry(analysis.coefficient)
+
+    ooc_s, ooc_b, ooc_c = _setup_reduction_arrays(vm, compiled, inputs,
+                                                  result_order="C", streamed_order="C")
+    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
+    s_shape = _uniform_local_shape(s_desc)
+    b_shape = _uniform_local_shape(ooc_b.descriptor)
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    itemsize = c_desc.itemsize
+
+    s_slabs = row_slabs(s_shape, s_entry.lines_per_slab)
+    b_slabs = column_slabs(b_shape, b_entry.lines_per_slab)
+
+    perform = vm.perform_io
+
+    # Preallocated per-rank GEMM output buffers, reused across every
+    # (streamed slab, coefficient slab) pair.
+    products64: Dict[int, np.ndarray] = {}
+    if perform:
+        max_s_rows = max(slab.nrows for slab in s_slabs)
+        max_b_cols = max(slab.ncols for slab in b_slabs)
+        products64 = {
+            rank: np.empty((max_s_rows, max_b_cols), dtype=np.float64)
+            for rank in range(nprocs)
+        }
+
+    for s_slab in s_slabs:
+        a_data = {rank: ooc_s.local(rank).fetch_slab(s_slab) for rank in range(nprocs)}
+        c_buffer: Dict[int, np.ndarray] = {}
+        a64: Dict[int, np.ndarray] = {}
+        if perform:
+            # Hoisted conversions: one astype per fetched slab, not per column.
+            a64 = {rank: a_data[rank].astype(np.float64) for rank in range(nprocs)}
+            c_buffer = {
+                rank: np.zeros((s_slab.nrows, c_shape[1]), dtype=c_desc.dtype)
+                for rank in range(nprocs)
+            }
+        global_col = 0
+        for b_slab in b_slabs:
+            b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+            products: Optional[Dict[int, np.ndarray]] = None
+            if perform:
+                # One BLAS-3 GEMM per rank covers every column of this
+                # coefficient slab against the resident streamed slab.
+                products = {
+                    rank: np.matmul(a64[rank], b_data[rank].astype(np.float64),
+                                    out=products64[rank][: s_slab.nrows, : b_slab.ncols])
+                    for rank in range(nprocs)
+                }
+            for m in range(b_slab.ncols):
+                j = global_col
+                global_col += 1
+                for rank in range(nprocs):
+                    vm.charge_compute(rank, 2.0 * s_slab.nelements)
+                subcolumn = global_sum(
+                    vm.machine,
+                    {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
+                    shape=(s_slab.nrows,),
+                    itemsize=itemsize,
+                )
+                owner = c_desc.owner_of_dim(1, j)
+                local_j = c_desc.global_to_local((0, j))[1]
+                if perform:
+                    c_buffer[owner][:, local_j] = subcolumn.astype(c_desc.dtype)
+        # the row slab of the result is complete on every owner: flush it
+        c_row_slab = Slab(
+            index=s_slab.index,
+            row_start=s_slab.row_start,
+            row_stop=s_slab.row_stop,
+            col_start=0,
+            col_stop=c_shape[1],
+        )
+        for rank in range(nprocs):
+            ooc_c.local(rank).store_slab(c_row_slab, c_buffer.get(rank) if perform else None)
+
+    return _finish_reduction(vm, "row-slab", ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# reduction engine: in-core baseline
+# ---------------------------------------------------------------------------
+def run_reduction_incore(
+    vm: VirtualMachine,
+    compiled: "CompiledProgram",
+    inputs: Optional[ReductionInputs] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Execute the in-core baseline: read every local array once, keep it in memory."""
+    _require_distinct_operands(compiled)
+    analysis = compiled.analysis
+    ooc_s, ooc_b, ooc_c = _setup_reduction_arrays(vm, compiled, inputs,
+                                                  result_order="F", streamed_order="F")
+    c_desc = ooc_c.descriptor
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    n_rows = c_desc.shape[0]
+    n_cols = c_desc.shape[1]
+    itemsize = c_desc.itemsize
+    perform = vm.perform_io
+
+    a_data = {rank: ooc_s.local(rank).fetch_all() for rank in range(nprocs)}
+    b_data = {rank: ooc_b.local(rank).fetch_all() for rank in range(nprocs)}
+    c_local = {
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+    } if perform else {}
+
+    # One whole-local-array GEMM per rank; the per-column loop below only
+    # charges costs and runs the (per-column) global sums.
+    products: Dict[int, np.ndarray] = {}
+    if perform:
+        products = {
+            rank: a_data[rank].astype(np.float64) @ b_data[rank].astype(np.float64)
+            for rank in range(nprocs)
+        }
+
+    flops_per_proc = analysis.flops_per_proc
+    per_column_flops = flops_per_proc / max(n_cols, 1)
+    for j in range(n_cols):
+        contributions = None
+        if perform:
+            contributions = {rank: products[rank][:, j] for rank in range(nprocs)}
+        for rank in range(nprocs):
+            vm.charge_compute(rank, per_column_flops)
+        column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)
+        if perform:
+            owner = c_desc.owner_of_dim(1, j)
+            local_j = c_desc.global_to_local((0, j))[1]
+            c_local[owner][:, local_j] = column.astype(c_desc.dtype)
+
+    for rank in range(nprocs):
+        ooc_c.local(rank).store_all(c_local.get(rank) if perform else None)
+
+    return _finish_reduction(vm, "in-core", ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# reduction engine: single-operand statements (c = a @ a)
+# ---------------------------------------------------------------------------
+def run_reduction_single_operand(
+    vm: VirtualMachine,
+    compiled: "CompiledProgram",
+    inputs: Optional[ReductionInputs] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Execute a reduction whose streamed and coefficient operands are one array.
+
+    With ``a`` playing both roles its column distribution serves the streamed
+    access, but the coefficient subcolumn ``a(K_p, j)`` each processor needs
+    lives on the *owner* of column ``j`` — the conformal-distribution trick
+    of the two-operand engines does not apply.  The executable schedule is
+    therefore the reorganized one: every slab of ``a`` is read exactly once
+    into a staged local copy, and for each result column the owner broadcasts
+    its local column, every processor reduces its partial product, and the
+    global sum lands on the owner of the result column.
+
+    The charged I/O is one pass over ``a`` plus one write pass over the
+    result; the broadcast traffic is charged per column.  (The analytic
+    ESTIMATE path keeps the paper's re-read model for this degenerate case,
+    so EXECUTE-mode charges are not comparable between the two modes.)
+    """
+    analysis = compiled.analysis
+    plan = compiled.plan
+    entry = plan.entry(analysis.streamed)
+    c_entry = plan.entry(analysis.result)
+
+    order = "F" if plan.strategy is SlabbingStrategy.COLUMN else "C"
+    ooc_s, _, ooc_c = _setup_reduction_arrays(vm, compiled, inputs,
+                                              result_order="F", streamed_order=order)
+    s_desc, c_desc = ooc_s.descriptor, ooc_c.descriptor
+    s_shape = _uniform_local_shape(s_desc)
+    c_shape = _uniform_local_shape(c_desc)
+    nprocs = vm.nprocs
+    n_rows = c_desc.shape[0]
+    n_cols = c_desc.shape[1]
+    itemsize = c_desc.itemsize
+    perform = vm.perform_io
+
+    # One read pass: stage the full local part of `a` (float64) per rank.
+    a64: Dict[int, np.ndarray] = {}
+    if perform:
+        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in range(nprocs)}
+    for slab in make_slabs(s_shape, plan.strategy, entry.slab_elements):
+        for rank in range(nprocs):
+            data = ooc_s.local(rank).fetch_slab(slab)
+            if perform:
+                a64[rank][slab.row_slice, slab.col_slice] = data
+
+    # Global column indices owned by each rank (the reduce dimension of `a`).
+    owned_cols = {rank: s_desc.local_index_ranges(rank)[1] for rank in range(nprocs)}
+
+    c_buffers: Dict[int, np.ndarray] = {
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+    } if perform else {}
+    c_slabs = column_slabs(c_shape, c_entry.lines_per_slab)
+    c_slab_of_col = {}
+    for slab in c_slabs:
+        for col in range(slab.col_start, slab.col_stop):
+            c_slab_of_col[col] = slab
+
+    for j in range(n_cols):
+        # The owner of column j of `a` broadcasts it; every rank slices the
+        # rows matching its owned reduce indices and forms the partial.
+        coeff_owner = s_desc.owner_of_dim(1, j)
+        coeff_local_j = s_desc.global_to_local((0, j))[1]
+        column_j = broadcast(
+            vm.machine,
+            a64[coeff_owner][:, coeff_local_j] if perform else None,
+            shape=(s_desc.shape[0],),
+            itemsize=itemsize,
+        )
+        contributions = None
+        if perform:
+            contributions = {
+                rank: a64[rank] @ column_j[owned_cols[rank]] for rank in range(nprocs)
+            }
+        for rank in range(nprocs):
+            vm.charge_compute(rank, 2.0 * s_shape[0] * s_shape[1])
+        column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)
+        owner = c_desc.owner_of_dim(1, j)
+        local_j = c_desc.global_to_local((0, j))[1]
+        c_slab = c_slab_of_col[local_j]
+        if perform:
+            c_buffers[owner][:, local_j] = column.astype(c_desc.dtype)
+            if local_j == c_slab.col_stop - 1:
+                ooc_c.local(owner).store_slab(c_slab, c_buffers[owner][:, c_slab.col_slice])
+        elif local_j == c_slab.col_stop - 1:
+            ooc_c.local(owner).store_slab(c_slab, None)
+
+    return _finish_reduction(vm, f"{plan.strategy.value}-slab single-operand",
+                             ooc_c, inputs, verify)
+
+
+# ---------------------------------------------------------------------------
+# elementwise engine
+# ---------------------------------------------------------------------------
+def run_elementwise_plan(
+    vm: VirtualMachine,
+    a_desc: ArrayDescriptor,
+    b_desc: ArrayDescriptor,
+    c_desc: ArrayDescriptor,
+    *,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    slab_elements: int = 4096,
+    strategy: SlabbingStrategy | str = SlabbingStrategy.COLUMN,
+    a_dense: Optional[np.ndarray] = None,
+    b_dense: Optional[np.ndarray] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Compute ``c = op(a, b)`` out of core, slab by slab.
+
+    All three descriptors must conform (shape, dtype, distribution); the
+    dense inputs are required in ``EXECUTE`` mode and ignored otherwise.
+    """
+    strategy = SlabbingStrategy.from_name(strategy)
+    if a_desc.ndim != 2:
+        raise RuntimeExecutionError("the elementwise engine handles two-dimensional arrays")
+
+    order = "F" if strategy is SlabbingStrategy.COLUMN else "C"
+    ooc_a = vm.create_array(a_desc, initial=a_dense, storage_order=order)
+    ooc_b = vm.create_array(b_desc, initial=b_dense, storage_order=order)
+    zeros = np.zeros(c_desc.shape, dtype=c_desc.dtype) if vm.perform_io else None
+    ooc_c = vm.create_array(c_desc, initial=zeros, storage_order=order)
+
+    flops_per_element = 1.0
+    for rank in range(vm.nprocs):
+        local_shape = a_desc.local_shape(rank)
+        for slab in make_slabs(local_shape, strategy, slab_elements):
+            a_block = ooc_a.local(rank).fetch_slab(slab)
+            b_block = ooc_b.local(rank).fetch_slab(slab)
+            vm.charge_compute(rank, flops_per_element * slab.nelements)
+            if vm.perform_io:
+                ooc_c.local(rank).store_slab(slab, op(a_block, b_block).astype(c_desc.dtype))
+            else:
+                ooc_c.local(rank).store_slab(slab, None)
+
+    result = vm.to_dense(ooc_c) if vm.perform_io else None
+    verified: Optional[bool] = None
+    if verify and result is not None and a_dense is not None and b_dense is not None:
+        expected = op(np.asarray(a_dense, dtype=np.float64), np.asarray(b_dense, dtype=np.float64))
+        verified = bool(np.allclose(result, expected, rtol=1e-4, atol=1e-4))
+    return ExecutionResult(
+        strategy=f"{strategy.value}-slab elementwise",
+        mode=_mode(vm),
+        simulated_seconds=vm.elapsed(),
+        time_breakdown=vm.time_breakdown(),
+        io_statistics=vm.io_statistics(),
+        result=result,
+        verified=verified,
+    )
+
+
+# ---------------------------------------------------------------------------
+# transpose engine
+# ---------------------------------------------------------------------------
+def run_transpose_plan(
+    vm: VirtualMachine,
+    src_desc: ArrayDescriptor,
+    dst_desc: ArrayDescriptor,
+    *,
+    cols_per_slab: int = 8,
+    a_dense: Optional[np.ndarray] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Compute ``dst = src^T`` out of core with both arrays column-block distributed.
+
+    Each processor streams its local columns of the source in slabs, the rows
+    of each slab destined for processor ``q`` form the exchange payload
+    (all-to-all), and ``q`` writes the transposed piece into its local
+    columns of the target.
+    """
+    if src_desc.ndim != 2 or src_desc.shape[0] != src_desc.shape[1]:
+        raise RuntimeExecutionError("the transpose engine handles square two-dimensional arrays")
+    nprocs = vm.nprocs
+    itemsize = src_desc.itemsize
+
+    source = vm.create_array(src_desc, initial=a_dense, storage_order="F")
+    zeros = np.zeros(dst_desc.shape, dtype=dst_desc.dtype) if vm.perform_io else None
+    target = vm.create_array(dst_desc, initial=zeros, storage_order="F")
+
+    result_locals: Dict[int, np.ndarray] = {}
+    if vm.perform_io:
+        result_locals = {
+            rank: np.zeros(dst_desc.local_shape(rank), dtype=dst_desc.dtype)
+            for rank in range(nprocs)
+        }
+
+    for rank in range(nprocs):
+        local_shape = src_desc.local_shape(rank)
+        for slab in column_slabs(local_shape, cols_per_slab):
+            block = source.local(rank).fetch_slab(slab)
+            # exchange: every other processor receives the rows it owns as columns of dst
+            payload_bytes = slab.nbytes(itemsize) // max(nprocs, 1)
+            vm.machine.charge_all_to_all(payload_bytes)
+            if not vm.perform_io:
+                continue
+            global_cols = src_desc.local_index_ranges(rank)[1][slab.col_start:slab.col_stop]
+            for dest in range(nprocs):
+                # Columns of dst owned by ``dest`` correspond to global rows of
+                # src with the same indices; the slab contributes
+                # dst[g, j] = src[j, g] for every global column g in the slab
+                # and every j on ``dest``.
+                dest_cols = dst_desc.local_index_ranges(dest)[1]
+                piece = block[dest_cols, :]          # shape (|dest columns|, |slab columns|)
+                for offset, gcol in enumerate(global_cols):
+                    result_locals[dest][gcol, :] = piece[:, offset]
+
+    # write the transposed local arrays slab by slab
+    for rank in range(nprocs):
+        local_shape = dst_desc.local_shape(rank)
+        for slab in column_slabs(local_shape, cols_per_slab):
+            if vm.perform_io:
+                target.local(rank).store_slab(
+                    slab, result_locals[rank][slab.row_slice, slab.col_slice]
+                )
+            else:
+                target.local(rank).store_slab(slab, None)
+
+    result = vm.to_dense(target) if vm.perform_io else None
+    verified: Optional[bool] = None
+    if verify and result is not None and a_dense is not None:
+        verified = bool(np.allclose(result, np.asarray(a_dense).T, rtol=1e-5, atol=1e-5))
+    return ExecutionResult(
+        strategy="column-slab transpose",
+        mode=_mode(vm),
+        simulated_seconds=vm.elapsed(),
+        time_breakdown=vm.time_breakdown(),
+        io_statistics=vm.io_statistics(),
+        result=result,
+        verified=verified,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the dispatching executor
+# ---------------------------------------------------------------------------
+_ELEMENTWISE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "multiply": np.multiply,
+    "subtract": np.subtract,
+}
+
+
 class NodeProgramExecutor:
-    """Runs or estimates compiled programs."""
+    """Runs or estimates compiled programs of any statement kind."""
 
     def __init__(self, compiled: "CompiledProgram"):
         self.compiled = compiled
+
+    # ------------------------------------------------------------------
+    def _statement_kind(self) -> str:
+        from repro.core.ir import ElementwiseStatement, ReductionStatement, TransposeStatement
+
+        statement = self.compiled.program.statement
+        if isinstance(statement, ReductionStatement):
+            return "reduction"
+        if isinstance(statement, ElementwiseStatement):
+            return "elementwise"
+        if isinstance(statement, TransposeStatement):
+            return "transpose"
+        raise RuntimeExecutionError(
+            f"no executor for statement of type {type(statement).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # mode-honoring interpretation of the compiled plan
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        vm: VirtualMachine,
+        inputs: Optional[object] = None,
+        verify: bool = True,
+    ) -> ExecutionResult:
+        """Drive ``vm`` through the compiled plan's slab loops.
+
+        Honors the virtual machine's execution mode: in ``EXECUTE`` mode the
+        arithmetic and file traffic are real; in ``ESTIMATE`` mode the same
+        loops run charge-only.  ``inputs`` is a :class:`ReductionInputs` for
+        reduction programs or a mapping of array name to dense operand for
+        elementwise/transpose programs (``None`` generates nothing — required
+        only for verified ``EXECUTE`` runs).
+        """
+        kind = self._statement_kind()
+        if kind == "reduction":
+            return self._run_reduction(vm, inputs, verify)
+        if kind == "elementwise":
+            return self._run_elementwise(vm, inputs, verify)
+        return self._run_transpose(vm, inputs, verify)
+
+    def _run_reduction(self, vm, inputs, verify) -> ExecutionResult:
+        if inputs is not None and not isinstance(inputs, ReductionInputs):
+            raise RuntimeExecutionError(
+                "execute expects GaxpyInputs/ReductionInputs for reduction-class programs"
+            )
+        compiled = self.compiled
+        if compiled.analysis.coefficient == compiled.analysis.streamed:
+            return run_reduction_single_operand(vm, compiled, inputs, verify)
+        if compiled.plan.strategy is SlabbingStrategy.ROW:
+            return run_reduction_row(vm, compiled, inputs, verify)
+        return run_reduction_column(vm, compiled, inputs, verify)
+
+    def _run_elementwise(self, vm, inputs, verify) -> ExecutionResult:
+        compiled = self.compiled
+        analysis = compiled.analysis
+        arrays = compiled.program.arrays
+        dense = dict(inputs or {})
+        lhs, rhs = analysis.operands
+        return run_elementwise_plan(
+            vm,
+            arrays[lhs],
+            arrays[rhs],
+            arrays[analysis.result],
+            op=_ELEMENTWISE_OPS[analysis.op],
+            slab_elements=compiled.plan.allocation[analysis.result],
+            strategy=compiled.plan.strategy,
+            a_dense=dense.get(lhs),
+            b_dense=dense.get(rhs),
+            verify=verify,
+        )
+
+    def _run_transpose(self, vm, inputs, verify) -> ExecutionResult:
+        compiled = self.compiled
+        analysis = compiled.analysis
+        arrays = compiled.program.arrays
+        dense = dict(inputs or {})
+        return run_transpose_plan(
+            vm,
+            arrays[analysis.source],
+            arrays[analysis.target],
+            cols_per_slab=compiled.plan.entry(analysis.source).lines_per_slab,
+            a_dense=dense.get(analysis.source),
+            verify=verify,
+        )
 
     # ------------------------------------------------------------------
     # real execution
@@ -75,34 +823,39 @@ class NodeProgramExecutor:
         verify: bool = True,
     ) -> ExecutionResult:
         """Execute the compiled program on ``vm`` (which must be in EXECUTE mode)."""
-        from repro.kernels.gaxpy import GaxpyInputs, run_compiled_gaxpy
-
         if not vm.perform_io:
             raise RuntimeExecutionError(
                 "NodeProgramExecutor.execute needs a VirtualMachine in EXECUTE mode; "
                 "use estimate() for analytic runs"
             )
-        if inputs is not None and not isinstance(inputs, GaxpyInputs):
-            raise RuntimeExecutionError(
-                "execute expects GaxpyInputs for reduction-class programs"
-            )
-        run = run_compiled_gaxpy(vm, self.compiled, inputs, verify=verify)
-        return ExecutionResult(
-            strategy=run.strategy,
-            mode=ExecutionMode.EXECUTE,
-            simulated_seconds=run.simulated_seconds,
-            time_breakdown=run.time_breakdown,
-            io_statistics=run.io_statistics,
-            result=run.result,
-            verified=run.verified,
-            max_abs_error=run.max_abs_error,
-        )
+        return self.run(vm, inputs, verify)
 
     # ------------------------------------------------------------------
-    # analytic estimation from the generated node program
+    # analytic estimation
     # ------------------------------------------------------------------
     def estimate(self, machine: Optional[Machine] = None) -> ExecutionResult:
-        """Charge a machine with the node program's statically counted operations."""
+        """Charge a machine with the node program's statically counted operations.
+
+        Reduction programs are charged in bulk from the generated node
+        program's operation totals (the paper-scale fast path).  Elementwise
+        and transpose programs run their slab loops in charge-only mode on a
+        fresh ``ESTIMATE``-mode virtual machine, because their loop structure
+        is the cost model; pass a VM to :meth:`run` instead to control the
+        run configuration.
+        """
+        if self._statement_kind() != "reduction":
+            if machine is not None:
+                raise RuntimeExecutionError(
+                    "bulk estimation applies to reduction programs only; drive "
+                    "run() with an ESTIMATE-mode VirtualMachine instead"
+                )
+            vm = VirtualMachine(
+                self.compiled.nprocs,
+                self.compiled.params,
+                RunConfig(mode=ExecutionMode.ESTIMATE),
+            )
+            return self.run(vm, None, verify=False)
+
         compiled = self.compiled
         machine = machine or Machine(compiled.nprocs, compiled.params)
         totals = compiled.node_program.operation_totals()

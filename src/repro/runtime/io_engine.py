@@ -62,6 +62,12 @@ class IOEngine:
     perform_io:
         When false (``ESTIMATE`` mode) no file is touched; only costs are
         charged and ``read_slab`` returns ``None``.
+    prefetch:
+        Optional :class:`~repro.runtime.prefetch.PrefetchPolicy`.  When set,
+        read charges route through the policy so part of the read time can
+        hide behind preceding computation; counters always see the full
+        traffic, only the simulated clock benefits.  ``None`` (the default)
+        keeps the exact direct-charge path.
     """
 
     def __init__(
@@ -69,10 +75,18 @@ class IOEngine:
         machine: Machine,
         accounting: IOAccounting | str = IOAccounting.PER_SLAB,
         perform_io: bool = True,
+        prefetch=None,
     ):
         self.machine = machine
         self.accounting = IOAccounting.from_name(accounting)
         self.perform_io = bool(perform_io)
+        self.prefetch = prefetch
+
+    def _charge_read(self, rank: int, nbytes: int, nrequests: int) -> None:
+        if self.prefetch is not None:
+            self.prefetch.charge_read(self.machine, rank, nbytes, nrequests)
+        else:
+            self.machine.charge_read(rank, nbytes, nrequests)
 
     # ------------------------------------------------------------------
     def _request_count(self, laf: LocalArrayFile, slab: Slab) -> int:
@@ -93,7 +107,7 @@ class IOEngine:
         """
         nrequests = self._request_count(laf, slab)
         nbytes = slab.nbytes(laf.dtype.itemsize)
-        self.machine.charge_read(rank, nbytes, nrequests)
+        self._charge_read(rank, nbytes, nrequests)
 
     def read_slab(self, rank: int, laf: LocalArrayFile, slab: Slab) -> Optional[np.ndarray]:
         """Read ``slab`` of processor ``rank``'s LAF; charge and return the data."""
@@ -118,7 +132,7 @@ class IOEngine:
     def read_full(self, rank: int, laf: LocalArrayFile) -> Optional[np.ndarray]:
         """Read an entire LAF as one request (used by the in-core baseline)."""
         nbytes = laf.nbytes
-        self.machine.charge_read(rank, nbytes, 1 if nbytes else 0)
+        self._charge_read(rank, nbytes, 1 if nbytes else 0)
         if not self.perform_io:
             return None
         return laf.read_full()

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import math
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 from repro.exceptions import IOEngineError
 

@@ -2,13 +2,11 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 import repro
 from repro.api import (
     CompiledWorkload,
-    RunRecord,
     Session,
     Workload,
     WorkloadPoint,
@@ -329,8 +327,8 @@ class TestHpfWorkload:
         assert records[0].n == 64 and records[0].nprocs == 4
         assert records[0].version in ("column", "row")
 
-    def test_single_operand_program_estimates_but_rejects_execute(self, tmp_path):
-        """c = a @ a: ESTIMATE works; EXECUTE fails with a clear error, not a crash."""
+    def test_single_operand_program_runs_in_both_modes(self, tmp_path):
+        """c = a @ a: ESTIMATE works and EXECUTE verifies against the dense square."""
         source = GAXPY_SOURCE.replace("real a(n, n), b(n, n), c(n, n)",
                                       "real a(n, n), c(n, n)")
         source = source.replace("!hpf$ align b(:, *) with d\n", "")
@@ -340,8 +338,10 @@ class TestHpfWorkload:
         assert compiled.program.analysis.streamed == compiled.program.analysis.coefficient
         estimate = session.run(compiled, mode=ExecutionMode.ESTIMATE)
         assert estimate.simulated_seconds > 0
-        with pytest.raises(WorkloadError, match="single-operand"):
-            session.run(compiled, mode=ExecutionMode.EXECUTE)
+        execute = session.run(compiled, mode=ExecutionMode.EXECUTE)
+        assert execute.verified is True
+        assert execute.simulated_seconds > 0
+        assert execute.io_requests_per_proc > 0
 
     def test_requires_exactly_one_slab_spec(self):
         session = Session()

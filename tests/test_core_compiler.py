@@ -23,7 +23,7 @@ from repro.core import (
     compile_program,
     generate_node_program,
 )
-from repro.core.ir import ArrayRef, Constant, FullRange, Loop, LoopIndex, LoopKind, ProgramIR, ReductionStatement
+from repro.core.ir import ArrayRef, Constant, FullRange, LoopIndex, LoopKind, ProgramIR, ReductionStatement
 from repro.core.memory_alloc import _entries_from_split
 from repro.core.reorganize import plan_from_slab_elements, reorganize
 from repro.core.stripmine import (

@@ -1,0 +1,104 @@
+"""Deprecation contract of the legacy GAXPY sweep drivers.
+
+``run_gaxpy_point`` and ``sweep_gaxpy`` must emit :class:`DeprecationWarning`
+and keep returning the historical flat dictionaries, bit-identical to what
+the Session API reports for the same points.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import SweepPoint, run_gaxpy_point, sweep_gaxpy
+from repro.api import Session, WorkloadPoint
+from repro.config import ExecutionMode, RunConfig
+from repro.exceptions import ExperimentError
+
+LEGACY_FIELDS = (
+    "n", "nprocs", "slab_ratio", "time", "io_time", "compute_time", "comm_time",
+    "io_requests_per_proc", "io_bytes_per_proc", "verified",
+)
+
+
+def expected_legacy_record(record, point, mode):
+    """The flat dictionary the historical driver reported for ``record``."""
+    if point.version == "incore" and mode is ExecutionMode.ESTIMATE:
+        slab_ratio = float(point.slab_ratio or 1.0)
+    elif point.slab_ratio is not None:
+        slab_ratio = float(point.slab_ratio)
+    else:
+        slab_ratio = float("nan")
+    return {
+        "n": float(point.n),
+        "nprocs": float(point.nprocs),
+        "slab_ratio": slab_ratio,
+        "time": record.simulated_seconds,
+        "io_time": record.io_time,
+        "compute_time": record.compute_time,
+        "comm_time": record.comm_time,
+        "io_requests_per_proc": record.io_requests_per_proc,
+        "io_bytes_per_proc": record.io_read_bytes_per_proc + record.io_write_bytes_per_proc,
+        "verified": float("nan") if record.verified is None else float(bool(record.verified)),
+    }
+
+
+def assert_legacy_equal(actual, expected):
+    assert set(actual) >= set(expected)
+    for field, value in expected.items():
+        if isinstance(value, float) and np.isnan(value):
+            assert np.isnan(actual[field]), field
+        else:
+            assert actual[field] == value, field
+
+
+class TestRunGaxpyPointShim:
+    @pytest.mark.parametrize("mode", [ExecutionMode.ESTIMATE, ExecutionMode.EXECUTE])
+    def test_warns_and_matches_session_bit_for_bit(self, tmp_path, mode):
+        point = SweepPoint(n=32, nprocs=2, version="row", slab_ratio=0.5)
+        with pytest.warns(DeprecationWarning, match="run_gaxpy_point is deprecated"):
+            legacy = run_gaxpy_point(point, mode=mode,
+                                     config=RunConfig(scratch_dir=tmp_path))
+        record = Session(config=RunConfig(scratch_dir=tmp_path)).run(
+            point.to_workload_point(), mode=mode
+        )
+        assert_legacy_equal(legacy, expected_legacy_record(record, point, mode))
+
+    def test_incore_estimate_reports_ratio_one(self, tmp_path):
+        point = SweepPoint(n=32, nprocs=2, version="incore")
+        with pytest.warns(DeprecationWarning):
+            legacy = run_gaxpy_point(point, config=RunConfig(scratch_dir=tmp_path))
+        assert legacy["slab_ratio"] == 1.0
+
+    def test_no_warning_leaks_from_session_path(self, tmp_path):
+        """The replacement API itself is warning-free."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Session(config=RunConfig(scratch_dir=tmp_path)).run(
+                WorkloadPoint("gaxpy", n=32, nprocs=2, version="row", slab_ratio=0.5),
+                mode=ExecutionMode.ESTIMATE,
+            )
+
+
+class TestSweepGaxpyShim:
+    def test_warns_and_matches_session_records(self, tmp_path):
+        points = [
+            SweepPoint(n=32, nprocs=2, version="column", slab_ratio=0.5),
+            SweepPoint(n=32, nprocs=2, version="row", slab_ratio=0.5),
+            SweepPoint(n=32, nprocs=2, version="incore"),
+        ]
+        mode = ExecutionMode.EXECUTE
+        with pytest.warns(DeprecationWarning, match="sweep_gaxpy is deprecated"):
+            legacy = sweep_gaxpy(points, mode=mode, config=RunConfig(scratch_dir=tmp_path))
+        session = Session(config=RunConfig(scratch_dir=tmp_path))
+        records = session.sweep([p.to_workload_point() for p in points], mode=mode)
+        assert len(legacy) == len(points)
+        for flat, point, record in zip(legacy, points, records):
+            assert flat["version"] == point.version  # the legacy extra key
+            assert_legacy_equal(flat, expected_legacy_record(record, point, mode))
+
+    def test_point_validation_still_enforced(self):
+        with pytest.raises(ExperimentError, match="unknown program version"):
+            SweepPoint(n=8, nprocs=2, version="diagonal")
+        with pytest.raises(ExperimentError, match="slab ratio"):
+            SweepPoint(n=8, nprocs=2, version="row")

@@ -1,7 +1,5 @@
 """Smoke tests for the package-level public API and configuration objects."""
 
-import numpy as np
-import pytest
 
 import repro
 from repro.config import ExecutionMode, RunConfig, default_config
