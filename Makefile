@@ -3,10 +3,14 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-unified bench-reset
+.PHONY: test cov lint bench bench-unified bench-program bench-reset
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Coverage gate (needs pytest-cov): fails under 85% line coverage of repro.
+cov:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=85
 
 # Static checks (rule selection lives in ruff.toml).
 lint:
@@ -23,6 +27,12 @@ bench:
 # 10% (and charges identical statistics) on the N=256 P=4 EXECUTE sweep.
 bench-unified:
 	$(PYTHON) -m benchmarks.bench_unified_lowering --json BENCH_unified.json
+
+# Whole-program pipeline (t = a @ b; c = t + d): EXECUTE wall clock plus a
+# drift check over the charged statistics, including the per-statement
+# breakdown and the intermediate's charged-once LAF reuse.
+bench-program:
+	$(PYTHON) -m benchmarks.bench_program --json BENCH_program.json
 
 # Re-record the baseline (after an intentional change to the benchmark
 # configuration, never to paper over a perf regression).

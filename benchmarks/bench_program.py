@@ -1,0 +1,178 @@
+"""Wall-clock + charged-statistics benchmark of whole-program execution.
+
+Runs the fixed two-statement pipeline ``t = a @ b; c = t + d`` (N=256, P=4,
+slab ratio 0.25) through the Session API in EXECUTE mode and records the wall
+clock together with the charged statistics, including the per-statement
+breakdown.  The first run against a repository writes the ``baseline`` entry
+of the JSON file; later runs append ``current`` and fail on any drift of a
+charged number — the whole-program machinery (LAF reuse included) may only
+change host time, never simulated cost.
+
+The run also asserts the structural invariants of the schedule: the ESTIMATE
+record must charge exactly the EXECUTE counters, and the numerics must verify
+against the in-core NumPy oracle.
+
+Usage::
+
+    python -m benchmarks.bench_program --json BENCH_program.json
+    make bench-program
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import Session, WorkloadPoint  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
+
+N = 256
+NPROCS = 4
+SLAB_RATIO = 0.25
+
+PIPELINE_SOURCE = f"""
+program pipeline
+  parameter (n = {N}, nprocs = {NPROCS})
+  real a(n, n), b(n, n), t(n, n), d(n, n), c(n, n)
+!hpf$ processors Pr(nprocs)
+!hpf$ template tmpl(n)
+!hpf$ distribute tmpl(block) onto Pr
+!hpf$ align a(*, :) with tmpl
+!hpf$ align t(*, :) with tmpl
+!hpf$ align d(*, :) with tmpl
+!hpf$ align c(*, :) with tmpl
+!hpf$ align b(:, *) with tmpl
+  do j = 1, n
+    forall (k = 1 : n)
+      t(:, j) = sum(a(:, k) * b(k, j))
+    end forall
+  end do
+  c(:, :) = add(t(:, :), d(:, :))
+end program
+"""
+
+SIMULATED_FIELDS = ("simulated_seconds", "io_time", "compute_time", "comm_time",
+                    "io_requests_per_proc", "io_read_bytes_per_proc",
+                    "io_write_bytes_per_proc")
+
+STATEMENT_FIELDS = ("seconds", "io", "compute", "comm", "io_requests_per_proc",
+                    "bytes_read_per_proc", "bytes_written_per_proc")
+
+
+def _point() -> WorkloadPoint:
+    return WorkloadPoint("hpf", slab_ratio=SLAB_RATIO,
+                         options={"source": PIPELINE_SOURCE})
+
+
+def measure(repeats: int = 2) -> dict:
+    best_wall = None
+    record = None
+    estimate = None
+    for _ in range(max(1, repeats)):
+        with tempfile.TemporaryDirectory(prefix="bench-program-") as scratch:
+            session = Session(config=RunConfig(scratch_dir=scratch))
+            estimate = session.estimate(_point())
+            start = time.perf_counter()
+            record = session.execute(_point())
+            wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    mode_drift = [
+        field
+        for field in ("io_requests_per_proc", "io_read_bytes_per_proc",
+                      "io_write_bytes_per_proc")
+        if getattr(estimate, field) != getattr(record, field)
+    ]
+    return {
+        "wall_seconds": best_wall,
+        "repeats": repeats,
+        "verified": record.verified is True,
+        "estimate_matches_execute_charges": not mode_drift,
+        "simulated": {field: getattr(record, field) for field in SIMULATED_FIELDS},
+        "statements": [
+            {field: stmt.get(field, 0.0) for field in STATEMENT_FIELDS}
+            for stmt in record.statements
+        ],
+    }
+
+
+def _drift(baseline: dict, current: dict) -> list:
+    drift = []
+    for field, value in baseline.get("simulated", {}).items():
+        now = current["simulated"].get(field)
+        if now != value:
+            drift.append(f"simulated.{field}: {value!r} -> {now!r}")
+    for index, stmt in enumerate(baseline.get("statements", [])):
+        for field, value in stmt.items():
+            now = current["statements"][index].get(field)
+            if now != value:
+                drift.append(f"statement{index + 1}.{field}: {value!r} -> {now!r}")
+    return drift
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=Path("BENCH_program.json"),
+                        help="result file (baseline is kept across runs)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="take the best wall clock of this many runs")
+    parser.add_argument("--reset-baseline", action="store_true",
+                        help="overwrite the stored baseline with this run")
+    args = parser.parse_args(argv)
+
+    existing = {}
+    if args.json.exists():
+        existing = json.loads(args.json.read_text())
+
+    measurement = measure(repeats=args.repeats)
+    measurement["unix_time"] = time.time()
+
+    if not measurement["verified"]:
+        print("ERROR: the executed pipeline failed oracle verification")
+        return 1
+    if not measurement["estimate_matches_execute_charges"]:
+        print("ERROR: ESTIMATE and EXECUTE charged different I/O counters")
+        return 1
+
+    result = {
+        "benchmark": "two-statement-program-execute",
+        "config": {"n": N, "nprocs": NPROCS, "slab_ratio": SLAB_RATIO,
+                   "statements": 2},
+    }
+    if args.reset_baseline or "baseline" not in existing:
+        result["baseline"] = measurement
+        print(f"recorded baseline: {measurement['wall_seconds']:.3f}s wall")
+    else:
+        result["baseline"] = existing["baseline"]
+        result["current"] = measurement
+        baseline_wall = existing["baseline"]["wall_seconds"]
+        result["speedup"] = baseline_wall / measurement["wall_seconds"]
+        print(f"baseline: {baseline_wall:.3f}s wall")
+        print(f"current:  {measurement['wall_seconds']:.3f}s wall "
+              f"({result['speedup']:.2f}x)")
+        drift = _drift(existing["baseline"], measurement)
+        result["simulated_drift"] = drift
+        if drift:
+            print("ERROR: charged statistics moved (whole-program execution "
+                  "must only change host time):")
+            for line in drift:
+                print(f"  {line}")
+            args.json.write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+        print("charged statistics identical to baseline "
+              "(per-statement breakdown included)")
+
+    args.json.write_text(json.dumps(result, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

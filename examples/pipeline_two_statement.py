@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Whole-program compilation: a two-statement HPF pipeline, end to end.
+
+The program below computes ``t = a @ b`` (the paper's GAXPY reduction) and
+then ``c = t + d`` elementwise.  The whole-program compiler lowers both
+statements through the one Figure-7 pipeline and schedules the intermediate
+``t`` to be *reused from its Local Array File*: statement one writes it once,
+statement two reads it once, and it is never regenerated or re-scattered.
+
+The script
+
+1. compiles the source and prints the generated whole-program schedule
+   (with the LAF-reuse annotations),
+2. estimates the program analytically — the record carries a per-statement
+   cost breakdown that sums to the program total, and
+3. really executes it, verifying the numerics against an in-core NumPy
+   evaluation of the same statement list.
+
+Run with::
+
+    python examples/pipeline_two_statement.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import Session  # noqa: E402
+
+PIPELINE_SOURCE = """
+program pipeline
+  parameter (n = 128, nprocs = 4)
+  real a(n, n), b(n, n), t(n, n), d(n, n), c(n, n)
+!hpf$ processors Pr(nprocs)
+!hpf$ template tmpl(n)
+!hpf$ distribute tmpl(block) onto Pr
+!hpf$ align a(*, :) with tmpl
+!hpf$ align t(*, :) with tmpl
+!hpf$ align d(*, :) with tmpl
+!hpf$ align c(*, :) with tmpl
+!hpf$ align b(:, *) with tmpl
+  do j = 1, n
+    forall (k = 1 : n)
+      t(:, j) = sum(a(:, k) * b(k, j))
+    end forall
+  end do
+  c(:, :) = add(t(:, :), d(:, :))
+end program
+"""
+
+
+def main() -> None:
+    session = Session()
+
+    # -- 1. compile: one whole-program schedule, intermediates reused --------
+    compiled = session.compile(source=PIPELINE_SOURCE, slab_ratio=0.25)
+    whole = compiled.program  # the CompiledWholeProgram
+    print(whole.describe())
+    print()
+    print(whole.schedule.pretty())
+    print()
+
+    # -- 2. estimate: per-statement breakdown sums to the program total ------
+    estimate = session.estimate(compiled)
+    print(f"ESTIMATE: {estimate.simulated_seconds:.2f} simulated seconds "
+          f"(io {estimate.io_time:.2f}s, compute {estimate.compute_time:.2f}s, "
+          f"comm {estimate.comm_time:.2f}s)")
+    for index, stmt in enumerate(estimate.statements, start=1):
+        print(f"  statement {index}: {stmt['seconds']:.2f}s "
+              f"(io {stmt['io']:.2f}s, "
+              f"{stmt['bytes_read_per_proc'] / 1e6:.2f} MB read/proc, "
+              f"{stmt['bytes_written_per_proc'] / 1e6:.2f} MB written/proc)")
+    print()
+
+    # -- 3. execute: real LAFs, real arithmetic, oracle-verified -------------
+    record = session.execute(compiled)
+    print(f"EXECUTE: verified={record.verified} "
+          f"(max |error| = {record.max_abs_error:.2e})")
+    print(f"  charged I/O identical to the estimate: "
+          f"{record.io_requests_per_proc == estimate.io_requests_per_proc and record.io_bytes_per_proc == estimate.io_bytes_per_proc}")
+
+
+if __name__ == "__main__":
+    main()

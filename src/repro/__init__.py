@@ -58,13 +58,14 @@ def _load_public_api() -> None:
     installations (e.g. documentation builds) to still import ``repro``.
     """
     global Machine, ProcessorGrid, Template, Alignment, ArrayDescriptor
-    global compile_program, compile_gaxpy, compile_source, VirtualMachine, NodeProgramExecutor
+    global compile_program, compile_whole_program, compile_gaxpy, compile_source
+    global VirtualMachine, NodeProgramExecutor, ProgramExecutor
     global Session, WorkloadPoint, CompiledWorkload, RunRecord, Workload, Lowering
     global register_workload, get_workload, available_workloads
     from repro.machine import Machine  # noqa: F401
     from repro.hpf import ProcessorGrid, Template, Alignment, ArrayDescriptor, compile_source  # noqa: F401
-    from repro.core import compile_program, compile_gaxpy  # noqa: F401
-    from repro.runtime import VirtualMachine, NodeProgramExecutor  # noqa: F401
+    from repro.core import compile_program, compile_whole_program, compile_gaxpy  # noqa: F401
+    from repro.runtime import VirtualMachine, NodeProgramExecutor, ProgramExecutor  # noqa: F401
     from repro.api import (  # noqa: F401
         CompiledWorkload,
         Lowering,
@@ -86,9 +87,11 @@ def _load_public_api() -> None:
             "ArrayDescriptor",
             "compile_source",
             "compile_program",
+            "compile_whole_program",
             "compile_gaxpy",
             "VirtualMachine",
             "NodeProgramExecutor",
+            "ProgramExecutor",
             "Session",
             "WorkloadPoint",
             "CompiledWorkload",

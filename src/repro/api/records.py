@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["RunRecord"]
 
@@ -42,6 +42,11 @@ class RunRecord:
         (``ESTIMATE`` mode, or ``verify=False``).
     max_abs_error:
         Largest absolute deviation from the reference, when measured.
+    statements:
+        Whole-program evaluations carry one mapping of charged-cost deltas
+        per statement (simulated ``seconds``, the time breakdown and the
+        I/O counters attributable to that statement); single-statement
+        workloads leave it empty.
     extras:
         Workload-specific numeric extras (kept out of the typed core).
     """
@@ -63,6 +68,7 @@ class RunRecord:
     slab_ratio: Optional[float] = None
     verified: Optional[bool] = None
     max_abs_error: Optional[float] = None
+    statements: Tuple[Mapping[str, float], ...] = ()
     extras: Mapping[str, float] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -98,6 +104,7 @@ class RunRecord:
         slab_ratio: Optional[float] = None,
         verified: Optional[bool] = None,
         max_abs_error: Optional[float] = None,
+        statements: Sequence[Mapping[str, float]] = (),
         extras: Optional[Mapping[str, float]] = None,
     ) -> "RunRecord":
         """Build a record from a machine's time breakdown and I/O statistics."""
@@ -119,6 +126,7 @@ class RunRecord:
             slab_ratio=slab_ratio,
             verified=verified,
             max_abs_error=max_abs_error,
+            statements=tuple(dict(s) for s in statements),
             extras=dict(extras or {}),
         )
 
@@ -145,6 +153,8 @@ class RunRecord:
             "verified": self.verified,
             "max_abs_error": self.max_abs_error,
         }
+        if self.statements:
+            out["statements"] = [dict(s) for s in self.statements]
         out.update(self.extras)
         return out
 

@@ -32,7 +32,7 @@ import abc
 import collections
 import dataclasses
 import threading
-from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.exceptions import WorkloadError
 from repro.machine.parameters import MachineParameters
@@ -301,17 +301,27 @@ class Workload(abc.ABC):
         )
 
     @staticmethod
+    def _is_whole_program(program: object) -> bool:
+        """True for multi-statement :class:`CompiledWholeProgram` results."""
+        from repro.core.pipeline import CompiledWholeProgram
+
+        return isinstance(program, CompiledWholeProgram)
+
+    @staticmethod
     def _resolve_point(point: WorkloadPoint, program: "CompiledProgram") -> WorkloadPoint:
         """Fill ``n`` / ``nprocs`` from the compiled program when unspecified."""
         if point.n:
             return point
         from repro.core.ir import ReductionStatement
 
-        statement = program.program.statement
-        if isinstance(statement, ReductionStatement):
-            reference = program.analysis.streamed
+        if Workload._is_whole_program(program):
+            reference = program.program.result_arrays()[-1]
         else:
-            reference = statement.result.array
+            statement = program.program.statement
+            if isinstance(statement, ReductionStatement):
+                reference = program.analysis.streamed
+            else:
+                reference = statement.result.array
         return dataclasses.replace(
             point,
             n=int(program.program.arrays[reference].shape[0]),
@@ -325,6 +335,8 @@ class Workload(abc.ABC):
         """The version string reported in records (strategy choice for ``""``)."""
         if compiled.point.version or compiled.program is None:
             return compiled.point.version
+        if self._is_whole_program(compiled.program):
+            return "program"
         return compiled.program.plan.strategy.value
 
     def _record(
@@ -337,6 +349,7 @@ class Workload(abc.ABC):
         io_statistics: Mapping[str, float],
         verified: Optional[bool] = None,
         max_abs_error: Optional[float] = None,
+        statements: Sequence[Mapping[str, float]] = (),
     ) -> "RunRecord":
         from repro.api.records import RunRecord
 
@@ -355,6 +368,7 @@ class Workload(abc.ABC):
             io_statistics=io_statistics,
             verified=verified,
             max_abs_error=max_abs_error,
+            statements=statements,
         )
 
     # ------------------------------------------------------------------
@@ -376,8 +390,15 @@ class Workload(abc.ABC):
 
         program = compiled.program
         arrays = program.program.arrays
-        statement = program.program.statement
         rng = np.random.default_rng(seed)
+        if self._is_whole_program(program):
+            # Dense data for the *program inputs* only: intermediates are
+            # produced by the run itself and reused from their LAFs.
+            return {
+                name: rng.standard_normal(arrays[name].shape).astype(arrays[name].dtype)
+                for name in program.program.input_arrays()
+            }
+        statement = program.program.statement
         if isinstance(statement, ReductionStatement):
             analysis = program.analysis
             s_desc = arrays[analysis.streamed]
@@ -401,12 +422,16 @@ class Workload(abc.ABC):
     def estimate(self, compiled: CompiledWorkload, vm: "VirtualMachine") -> "RunRecord":
         """Charge ``vm``'s machine analytically and return the record."""
         from repro.core.ir import ReductionStatement
-        from repro.runtime.executor import NodeProgramExecutor
+        from repro.runtime.executor import NodeProgramExecutor, ProgramExecutor
 
         program = self._require_program(compiled)
         if compiled.baseline == "incore":
             return self._estimate_incore(compiled)
-        if isinstance(program.program.statement, ReductionStatement):
+        if self._is_whole_program(program):
+            # Whole programs drive every statement's slab loops charge-only,
+            # so ESTIMATE counters equal an EXECUTE run's exactly.
+            result = ProgramExecutor(program).estimate(vm)
+        elif isinstance(program.program.statement, ReductionStatement):
             result = NodeProgramExecutor(program).estimate(machine=vm.machine)
         else:
             # Elementwise/transpose loop structure *is* the cost model: run
@@ -418,6 +443,7 @@ class Workload(abc.ABC):
             simulated_seconds=result.simulated_seconds,
             time_breakdown=result.time_breakdown,
             io_statistics=result.io_statistics,
+            statements=result.statements,
         )
 
     def _estimate_incore(self, compiled: CompiledWorkload) -> "RunRecord":
@@ -442,12 +468,18 @@ class Workload(abc.ABC):
 
     def execute(self, compiled: CompiledWorkload, vm: "VirtualMachine", verify: bool) -> "RunRecord":
         """Really execute on ``vm`` and return the record."""
-        from repro.runtime.executor import NodeProgramExecutor, run_reduction_incore
+        from repro.runtime.executor import (
+            NodeProgramExecutor,
+            ProgramExecutor,
+            run_reduction_incore,
+        )
 
         program = self._require_program(compiled)
         inputs = self.generate_inputs(compiled, vm.config.seed)
         if compiled.baseline == "incore":
             result = run_reduction_incore(vm, program, inputs, verify)
+        elif self._is_whole_program(program):
+            result = ProgramExecutor(program).execute(vm, inputs, verify)
         else:
             result = NodeProgramExecutor(program).execute(vm, inputs, verify)
         return self._record(
@@ -458,6 +490,7 @@ class Workload(abc.ABC):
             io_statistics=result.io_statistics,
             verified=result.verified,
             max_abs_error=result.max_abs_error,
+            statements=result.statements,
         )
 
     def _require_program(self, compiled: CompiledWorkload) -> "CompiledProgram":

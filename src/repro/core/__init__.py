@@ -21,13 +21,16 @@ Compilation proceeds in the two phases of Figure 7 of the paper:
 from repro.core.ir import (
     ArrayRef,
     Constant,
+    ElementwiseStatement,
     FullRange,
     Loop,
     LoopIndex,
     LoopKind,
     ProgramIR,
     ReductionStatement,
+    TransposeStatement,
     build_gaxpy_ir,
+    build_pipeline_ir,
 )
 from repro.core.analysis import ArrayRole, InCorePhaseResult, analyze_program
 from repro.core.stripmine import SlabPlanEntry, slab_elements_from_ratio, slab_elements_from_bytes
@@ -40,8 +43,14 @@ from repro.core.memory_alloc import (
 )
 from repro.core.reorganize import AccessPlan, ReorganizationDecision, reorganize
 from repro.core.node_program import NodeProgram, NodeOp
-from repro.core.codegen import generate_node_program
-from repro.core.pipeline import CompiledProgram, compile_program, compile_gaxpy
+from repro.core.codegen import ProgramSchedule, generate_node_program, generate_program_schedule
+from repro.core.pipeline import (
+    CompiledProgram,
+    CompiledWholeProgram,
+    compile_program,
+    compile_whole_program,
+    compile_gaxpy,
+)
 
 __all__ = [
     "ArrayRef",
@@ -52,7 +61,10 @@ __all__ = [
     "LoopKind",
     "ProgramIR",
     "ReductionStatement",
+    "ElementwiseStatement",
+    "TransposeStatement",
     "build_gaxpy_ir",
+    "build_pipeline_ir",
     "ArrayRole",
     "InCorePhaseResult",
     "analyze_program",
@@ -72,7 +84,11 @@ __all__ = [
     "NodeProgram",
     "NodeOp",
     "generate_node_program",
+    "ProgramSchedule",
+    "generate_program_schedule",
     "CompiledProgram",
+    "CompiledWholeProgram",
     "compile_program",
+    "compile_whole_program",
     "compile_gaxpy",
 ]

@@ -13,12 +13,19 @@ the counts the cost model predicts — a consistency the test suite checks.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Sequence, Tuple, TYPE_CHECKING
+
 from repro.exceptions import CompilationError
 from repro.core.analysis import (
     ElementwisePhaseResult,
     InCorePhaseResult,
     TransposePhaseResult,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ir import ProgramIR
+    from repro.core.pipeline import CompiledProgram
 from repro.core.node_program import (
     AllToAllOp,
     ComputeOp,
@@ -32,7 +39,7 @@ from repro.core.node_program import (
 from repro.core.reorganize import AccessPlan
 from repro.runtime.slab import SlabbingStrategy
 
-__all__ = ["generate_node_program"]
+__all__ = ["generate_node_program", "ScheduleStep", "ProgramSchedule", "generate_program_schedule"]
 
 
 def _result_column_length(analysis: InCorePhaseResult) -> int:
@@ -86,6 +93,106 @@ def _generate_transpose(analysis: TransposePhaseResult, plan: AccessPlan) -> Nod
         comment=f"write the exchanged slabs of {analysis.target}",
     )
     return NodeProgram(analysis.program.name, "column-slab transpose", [body, flush])
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleStep:
+    """One statement of a whole-program schedule.
+
+    ``laf_inputs`` names the operand arrays this statement reads straight from
+    the Local Array Files a *previous* step produced — the inter-statement
+    reuse that makes an intermediate's I/O get charged exactly once (one write
+    pass by its producer, one read pass here, no regeneration).
+    ``fresh_inputs`` are operands staged from the program's external inputs.
+    """
+
+    index: int
+    statement_name: str
+    node_program: NodeProgram
+    writes: str
+    laf_inputs: Tuple[str, ...]
+    fresh_inputs: Tuple[str, ...]
+
+    def pretty(self) -> str:
+        lines = [f"! step {self.index + 1}: {self.statement_name}"]
+        for name in self.laf_inputs:
+            lines.append(f"!   operand {name}: reuse LAF written by an earlier step")
+        for name in self.fresh_inputs:
+            lines.append(f"!   operand {name}: program input")
+        lines.append(self.node_program.pretty())
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramSchedule:
+    """The generated whole-program schedule: one node program per statement."""
+
+    name: str
+    steps: Tuple[ScheduleStep, ...]
+    intermediates: Tuple[str, ...]
+
+    def step(self, index: int) -> ScheduleStep:
+        return self.steps[index]
+
+    def pretty(self) -> str:
+        lines = [
+            f"! whole-program schedule for {self.name} "
+            f"({len(self.steps)} statements)"
+        ]
+        if self.intermediates:
+            lines.append(
+                "! intermediates kept in their Local Array Files between "
+                f"statements: {', '.join(self.intermediates)}"
+            )
+        for step in self.steps:
+            lines.append(step.pretty())
+        return "\n".join(lines)
+
+    def operation_totals(self) -> dict:
+        """Statically counted operations of the whole schedule (summed steps)."""
+        totals: dict = {}
+        for step in self.steps:
+            for key, value in step.node_program.operation_totals().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+
+def generate_program_schedule(
+    program: "ProgramIR", compiled_statements: Sequence["CompiledProgram"]
+) -> ProgramSchedule:
+    """Assemble the per-statement node programs into a :class:`ProgramSchedule`."""
+    if len(compiled_statements) != len(program.statements):
+        raise CompilationError(
+            f"{len(program.statements)} statements but "
+            f"{len(compiled_statements)} compiled units"
+        )
+    produced: set = set()
+    steps = []
+    for index, (statement, compiled) in enumerate(
+        zip(program.statements, compiled_statements)
+    ):
+        operand_names = []
+        for ref in statement.operands:
+            if ref.array not in operand_names:
+                operand_names.append(ref.array)
+        laf_inputs = tuple(n for n in operand_names if n in produced)
+        fresh_inputs = tuple(n for n in operand_names if n not in produced)
+        steps.append(
+            ScheduleStep(
+                index=index,
+                statement_name=statement.describe(),
+                node_program=compiled.node_program,
+                writes=statement.result.array,
+                laf_inputs=laf_inputs,
+                fresh_inputs=fresh_inputs,
+            )
+        )
+        produced.add(statement.result.array)
+    return ProgramSchedule(
+        name=program.name,
+        steps=tuple(steps),
+        intermediates=program.intermediate_arrays(),
+    )
 
 
 def generate_node_program(analysis, plan: AccessPlan) -> NodeProgram:

@@ -33,7 +33,7 @@ slab.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.exceptions import CostModelError
 from repro.core.analysis import ElementwisePhaseResult, InCorePhaseResult, TransposePhaseResult
@@ -41,7 +41,7 @@ from repro.core.stripmine import SlabPlanEntry
 from repro.machine.parameters import MachineParameters
 from repro.runtime.slab import SlabbingStrategy
 
-__all__ = ["ArrayIOCost", "PlanCost", "CostModel"]
+__all__ = ["ArrayIOCost", "PlanCost", "CostModel", "combine_plan_costs"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,6 +79,10 @@ class PlanCost:
     io_time: float
     compute_time: float
     comm_time: float
+    #: display label overriding the strategy name; ``strategy=None`` means
+    #: "in-core" for single-statement costs but "mixed" for combined
+    #: whole-program costs, so the combiner sets this explicitly
+    label: Optional[str] = None
 
     @property
     def total_time(self) -> float:
@@ -104,7 +108,7 @@ class PlanCost:
         return max(self.arrays.values(), key=lambda cost: cost.total_elements).array
 
     def describe(self) -> str:
-        label = self.strategy.value if self.strategy else "in-core"
+        label = self.label or (self.strategy.value if self.strategy else "in-core")
         lines = [f"plan [{label}] on {self.nprocs} processors:"]
         for name, cost in self.arrays.items():
             lines.append(
@@ -116,6 +120,63 @@ class PlanCost:
             f"comm={self.comm_time:.2f}s total={self.total_time:.2f}s"
         )
         return "\n".join(lines)
+
+
+def _sum_array_costs(name: str, costs: Sequence[ArrayIOCost]) -> ArrayIOCost:
+    return ArrayIOCost(
+        array=name,
+        fetch_requests=sum(c.fetch_requests for c in costs),
+        fetch_elements=sum(c.fetch_elements for c in costs),
+        write_requests=sum(c.write_requests for c in costs),
+        write_elements=sum(c.write_elements for c in costs),
+    )
+
+
+def combine_plan_costs(costs: Sequence[PlanCost]) -> PlanCost:
+    """Sum per-statement plan costs into one program-level :class:`PlanCost`.
+
+    Statements of a whole program execute back to back, so times, flops and
+    I/O counts add.  An array touched by several statements (an intermediate:
+    written by its producer, read by its consumer) gets one merged
+    :class:`ArrayIOCost` carrying the sum of both access patterns — charged
+    once each, never regenerated.  ``strategy`` is the shared per-statement
+    strategy when all agree and ``None`` for mixed programs; the collective
+    payload is the count-weighted average.
+    """
+    costs = list(costs)
+    if not costs:
+        raise CostModelError("combine_plan_costs needs at least one statement cost")
+    if len({cost.nprocs for cost in costs}) != 1:
+        raise CostModelError("cannot combine plan costs across processor counts")
+    if len({cost.itemsize for cost in costs}) != 1:
+        raise CostModelError("cannot combine plan costs across item sizes")
+    arrays: Dict[str, list] = {}
+    for cost in costs:
+        for name, array_cost in cost.arrays.items():
+            arrays.setdefault(name, []).append(array_cost)
+    merged = {name: _sum_array_costs(name, parts) for name, parts in arrays.items()}
+    strategies = {cost.strategy for cost in costs}
+    collective_count = sum(cost.collective_count for cost in costs)
+    collective_elements = (
+        sum(cost.collective_count * cost.collective_elements_each for cost in costs)
+        / collective_count
+        if collective_count
+        else 0.0
+    )
+    shared = next(iter(strategies)) if len(strategies) == 1 else None
+    return PlanCost(
+        strategy=shared,
+        arrays=merged,
+        flops=sum(cost.flops for cost in costs),
+        collective_count=collective_count,
+        collective_elements_each=collective_elements,
+        itemsize=costs[0].itemsize,
+        nprocs=costs[0].nprocs,
+        io_time=sum(cost.io_time for cost in costs),
+        compute_time=sum(cost.compute_time for cost in costs),
+        comm_time=sum(cost.comm_time for cost in costs),
+        label=shared.value if shared is not None else "mixed",
+    )
 
 
 class CostModel:

@@ -32,6 +32,12 @@ patterns").
 Every statement kind flows through the same Figure-7 lowering pipeline —
 analysis, strip-mining, cost estimation, access planning, code generation —
 so one executor can run any of them (see :mod:`repro.core.pipeline`).
+
+A :class:`ProgramIR` holds an ordered *sequence* of such statements, each
+with its own loop nest; multi-statement programs are validated for
+sequential dataflow and compiled whole
+(:func:`repro.core.pipeline.compile_whole_program`), with intermediates
+passed between statements through their Local Array Files.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ __all__ = [
     "build_gaxpy_ir",
     "build_elementwise_ir",
     "build_transpose_ir",
+    "build_pipeline_ir",
 ]
 
 
@@ -283,39 +290,190 @@ class TransposeStatement(Statement):
 # ---------------------------------------------------------------------------
 # the program
 # ---------------------------------------------------------------------------
-@dataclasses.dataclass
 class ProgramIR:
-    """A data-parallel program in the restricted form the compiler handles."""
+    """A data-parallel program in the restricted form the compiler handles.
 
-    name: str
-    arrays: Dict[str, ArrayDescriptor]
-    loops: Tuple[Loop, ...]
-    statement: Statement
+    A program is an ordered sequence of statements, each with its own
+    (possibly empty) perfect loop nest.  The historical single-statement
+    constructor ``ProgramIR(name, arrays, loops, statement)`` still works and
+    the :attr:`statement` / :attr:`loops` accessors keep serving
+    single-statement programs, which is the unit the per-statement lowering
+    pipeline consumes; whole-program compilation splits a multi-statement
+    program into those units with :meth:`statement_program`.
 
-    def __post_init__(self) -> None:
-        self.loops = tuple(self.loops)
-        loop_names = [loop.index for loop in self.loops]
-        if len(set(loop_names)) != len(loop_names):
-            raise CompilationError(f"duplicate loop indices in {loop_names}")
-        if isinstance(self.statement, ReductionStatement):
-            if self.statement.reduce_index not in loop_names:
-                raise CompilationError(
-                    f"reduction index {self.statement.reduce_index!r} is not a loop of the nest"
-                )
-        for ref in self.statement.references():
-            if ref.array not in self.arrays:
-                raise CompilationError(f"statement references undeclared array {ref.array!r}")
-            descriptor = self.arrays[ref.array]
-            if ref.ndim != descriptor.ndim:
-                raise CompilationError(
-                    f"reference {ref.describe()} has {ref.ndim} subscripts but array "
-                    f"{ref.array!r} has {descriptor.ndim} dimensions"
-                )
-            for subscript in ref.subscripts:
-                if isinstance(subscript, LoopIndex) and subscript.name not in loop_names:
+    Multi-statement programs are validated for sequential dataflow: every
+    operand of statement *k* must be either a program input (an array no
+    statement assigns) or the result of a statement *before* ``k``.  Forward
+    and cyclic uses, and assigning one array twice, are compilation errors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arrays: Dict[str, ArrayDescriptor],
+        loops: Sequence[Loop] = (),
+        statement: "Statement | None" = None,
+        *,
+        statements: "Sequence[Statement] | None" = None,
+        loop_nests: "Sequence[Sequence[Loop]] | None" = None,
+    ):
+        self.name = str(name)
+        self.arrays = dict(arrays)
+        if (statement is None) == (statements is None):
+            raise CompilationError("give a ProgramIR either statement= or statements=")
+        if statement is not None:
+            if loop_nests is not None:
+                raise CompilationError("loop_nests applies to statements=, not statement=")
+            self.statements: Tuple[Statement, ...] = (statement,)
+            self.loop_nests: Tuple[Tuple[Loop, ...], ...] = (tuple(loops),)
+        else:
+            self.statements = tuple(statements)
+            if not self.statements:
+                raise CompilationError("a program needs at least one statement")
+            if loop_nests is None:
+                if loops:
                     raise CompilationError(
-                        f"reference {ref.describe()} uses unknown loop index {subscript.name!r}"
+                        "multi-statement programs take per-statement loop_nests"
                     )
+                loop_nests = [()] * len(self.statements)
+            self.loop_nests = tuple(tuple(nest) for nest in loop_nests)
+            if len(self.loop_nests) != len(self.statements):
+                raise CompilationError(
+                    f"{len(self.statements)} statements but {len(self.loop_nests)} loop nests"
+                )
+        self._validate()
+
+    # -- construction-time validation ---------------------------------------
+    def _validate(self) -> None:
+        for nest, statement in zip(self.loop_nests, self.statements):
+            loop_names = [loop.index for loop in nest]
+            if len(set(loop_names)) != len(loop_names):
+                raise CompilationError(f"duplicate loop indices in {loop_names}")
+            if isinstance(statement, ReductionStatement):
+                if statement.reduce_index not in loop_names:
+                    raise CompilationError(
+                        f"reduction index {statement.reduce_index!r} is not a loop of the nest"
+                    )
+            for ref in statement.references():
+                if ref.array not in self.arrays:
+                    raise CompilationError(
+                        f"statement references undeclared array {ref.array!r}"
+                    )
+                descriptor = self.arrays[ref.array]
+                if ref.ndim != descriptor.ndim:
+                    raise CompilationError(
+                        f"reference {ref.describe()} has {ref.ndim} subscripts but array "
+                        f"{ref.array!r} has {descriptor.ndim} dimensions"
+                    )
+                for subscript in ref.subscripts:
+                    if isinstance(subscript, LoopIndex) and subscript.name not in loop_names:
+                        raise CompilationError(
+                            f"reference {ref.describe()} uses unknown loop index "
+                            f"{subscript.name!r}"
+                        )
+        self._validate_dataflow()
+
+    def _validate_dataflow(self) -> None:
+        """Sequential dataflow over the statement list (multi-statement only).
+
+        Single-statement programs keep their historical latitude (e.g. the
+        degenerate ``c = a @ a``); once statements are sequenced, every
+        operand must be an input or an earlier result.
+        """
+        if len(self.statements) == 1:
+            return
+        results = [stmt.result.array for stmt in self.statements]
+        produced: set = set()
+        for position, stmt in enumerate(self.statements, start=1):
+            target = stmt.result.array
+            if target in produced:
+                raise CompilationError(
+                    f"array {target!r} is assigned by more than one statement; "
+                    "the whole-program compiler handles single-assignment sequences"
+                )
+            for ref in stmt.operands:
+                if ref.array in produced:
+                    continue  # a prior statement's result, read from its LAF
+                if ref.array == target:
+                    raise CompilationError(
+                        f"cyclic dataflow: statement {position} "
+                        f"({stmt.describe()}) consumes its own result {ref.array!r}"
+                    )
+                if ref.array in results:
+                    defined_at = results.index(ref.array) + 1
+                    raise CompilationError(
+                        f"forward dataflow: statement {position} consumes "
+                        f"{ref.array!r} before statement {defined_at} defines it"
+                    )
+            produced.add(target)
+
+    # -- single-statement accessors (the pipeline's unit of work) ------------
+    @property
+    def statement(self) -> Statement:
+        if len(self.statements) != 1:
+            raise CompilationError(
+                f"program {self.name!r} has {len(self.statements)} statements; "
+                "use .statements (or statement_program(k)) for whole programs"
+            )
+        return self.statements[0]
+
+    @property
+    def loops(self) -> Tuple[Loop, ...]:
+        if len(self.statements) != 1:
+            raise CompilationError(
+                f"program {self.name!r} has {len(self.statements)} statements; "
+                "use .loop_nests for whole programs"
+            )
+        return self.loop_nests[0]
+
+    # -- whole-program queries ------------------------------------------------
+    def is_multi_statement(self) -> bool:
+        return len(self.statements) > 1
+
+    def result_arrays(self) -> Tuple[str, ...]:
+        """Arrays assigned by the statements, in statement order."""
+        return tuple(stmt.result.array for stmt in self.statements)
+
+    def input_arrays(self) -> Tuple[str, ...]:
+        """Arrays read by some statement but assigned by none, in first-use order."""
+        results = set(self.result_arrays())
+        seen: List[str] = []
+        for stmt in self.statements:
+            for ref in stmt.operands:
+                if ref.array not in results and ref.array not in seen:
+                    seen.append(ref.array)
+        return tuple(seen)
+
+    def intermediate_arrays(self) -> Tuple[str, ...]:
+        """Arrays produced by one statement and consumed by a later one."""
+        consumed = set()
+        for stmt in self.statements:
+            consumed.update(ref.array for ref in stmt.operands)
+        return tuple(name for name in self.result_arrays() if name in consumed)
+
+    def output_arrays(self) -> Tuple[str, ...]:
+        """Results no later statement consumes (the program's visible outputs)."""
+        intermediates = set(self.intermediate_arrays())
+        return tuple(n for n in self.result_arrays() if n not in intermediates)
+
+    def statement_program(self, index: int) -> "ProgramIR":
+        """The single-statement sub-program of statement ``index``.
+
+        Array descriptors are shared with the whole program (same objects), so
+        the per-statement compilations agree on shapes, distributions and Local
+        Array File layouts — the basis of inter-statement LAF reuse.
+        """
+        stmt = self.statements[index]
+        arrays = {
+            name: self.arrays[name] for name in stmt.referenced_arrays()
+        }
+        suffix = f"[{index}]" if self.is_multi_statement() else ""
+        return ProgramIR(
+            name=f"{self.name}{suffix}",
+            arrays=arrays,
+            loops=self.loop_nests[index],
+            statement=stmt,
+        )
 
     # -- queries -------------------------------------------------------------
     def loop(self, index: str) -> Loop:
@@ -343,12 +501,19 @@ class ProgramIR:
         lines = [f"program {self.name}"]
         for name, desc in self.arrays.items():
             lines.append(f"  array {desc.describe()}")
-        indent = "  "
-        for loop in self.loops:
-            lines.append(f"{indent}{loop.describe()}")
-            indent += "  "
-        lines.append(f"{indent}{self.statement.describe()}")
+        for nest, statement in zip(self.loop_nests, self.statements):
+            indent = "  "
+            for loop in nest:
+                lines.append(f"{indent}{loop.describe()}")
+                indent += "  "
+            lines.append(f"{indent}{statement.describe()}")
         return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProgramIR({self.name!r}, {len(self.arrays)} arrays, "
+            f"{len(self.statements)} statement(s))"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -447,3 +612,60 @@ def build_gaxpy_ir(
         reduce_index="k",
     )
     return ProgramIR(name=name, arrays=arrays, loops=loops, statement=statement)
+
+
+def build_pipeline_ir(
+    n: int,
+    nprocs: int,
+    dtype="float32",
+    out_of_core: bool = True,
+    op: str = "add",
+    name: str = "matmul_then_add",
+) -> ProgramIR:
+    """Build the canonical two-statement pipeline ``t = a @ b; c = op(t, d)``.
+
+    Statement one is the paper's GAXPY reduction into the intermediate ``t``;
+    statement two consumes ``t`` elementwise against ``d``.  The whole-program
+    compiler schedules ``t`` to be written once by statement one and read once
+    by statement two straight from its Local Array File.
+    """
+    from repro.hpf.align import Alignment
+    from repro.hpf.processors import ProcessorGrid
+    from repro.hpf.template import Template
+
+    grid = ProcessorGrid("Pr", nprocs)
+    template = Template("d", n, grid, ["block"])
+    column_align = Alignment(template, ["*", ":"])
+    row_align = Alignment(template, [":", "*"])
+    arrays = {
+        "a": ArrayDescriptor("a", (n, n), column_align, dtype=dtype, out_of_core=out_of_core),
+        "b": ArrayDescriptor("b", (n, n), row_align, dtype=dtype, out_of_core=out_of_core),
+        "t": ArrayDescriptor("t", (n, n), column_align, dtype=dtype, out_of_core=out_of_core),
+        "d": ArrayDescriptor("d", (n, n), column_align, dtype=dtype, out_of_core=out_of_core),
+        "c": ArrayDescriptor("c", (n, n), column_align, dtype=dtype, out_of_core=out_of_core),
+    }
+    matmul = ReductionStatement(
+        result=ArrayRef("t", [FullRange(), LoopIndex("j")]),
+        operands=(
+            ArrayRef("a", [FullRange(), LoopIndex("k")]),
+            ArrayRef("b", [LoopIndex("k"), LoopIndex("j")]),
+        ),
+        reduce_index="k",
+    )
+    combine = ElementwiseStatement(
+        result=ArrayRef("c", [FullRange(), FullRange()]),
+        operands=(
+            ArrayRef("t", [FullRange(), FullRange()]),
+            ArrayRef("d", [FullRange(), FullRange()]),
+        ),
+        op=op,
+    )
+    return ProgramIR(
+        name=name,
+        arrays=arrays,
+        statements=(matmul, combine),
+        loop_nests=(
+            (Loop("j", n, LoopKind.SEQUENTIAL), Loop("k", n, LoopKind.FORALL)),
+            (),
+        ),
+    )

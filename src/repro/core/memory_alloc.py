@@ -19,6 +19,10 @@ Three policies are provided:
 All policies reserve one line (one column / row of the local array) for the
 result array, which is only written, and divide the remainder between the
 streamed and coefficient arrays.
+
+The concrete policies are frozen (hashable, value-compared) dataclasses, so
+they can take part in compile-cache keys such as
+:func:`repro.core.pipeline.compile_gaxpy_cached`.
 """
 
 from __future__ import annotations
@@ -111,7 +115,7 @@ class AllocationPolicy(abc.ABC):
         return result
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class EqualAllocation(AllocationPolicy):
     """Divide the budget equally between the streamed and coefficient arrays."""
 
@@ -125,7 +129,7 @@ class EqualAllocation(AllocationPolicy):
         return self._package(analysis, strategy, half, available - half)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class ProportionalAllocation(AllocationPolicy):
     """Split proportionally to how much I/O each array's slab size controls.
 
@@ -172,7 +176,7 @@ class ProportionalAllocation(AllocationPolicy):
         return self._package(analysis, strategy, streamed_elements, coefficient_elements)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class SearchAllocation(AllocationPolicy):
     """Coarse search over split fractions, minimising the modelled total time."""
 

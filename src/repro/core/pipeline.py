@@ -25,8 +25,8 @@ from repro.core.analysis import (
     InCorePhaseResult,
     analyze_program,
 )
-from repro.core.codegen import generate_node_program
-from repro.core.cost_model import CostModel, PlanCost
+from repro.core.codegen import ProgramSchedule, generate_node_program, generate_program_schedule
+from repro.core.cost_model import CostModel, PlanCost, combine_plan_costs
 from repro.core.ir import ProgramIR, build_gaxpy_ir
 from repro.core.memory_alloc import AllocationPolicy, ProportionalAllocation
 from repro.core.node_program import NodeProgram
@@ -44,7 +44,14 @@ from repro.core.stripmine import (
 from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.runtime.slab import SlabbingStrategy
 
-__all__ = ["CompiledProgram", "compile_program", "compile_gaxpy", "compile_gaxpy_cached"]
+__all__ = [
+    "CompiledProgram",
+    "CompiledWholeProgram",
+    "compile_program",
+    "compile_whole_program",
+    "compile_gaxpy",
+    "compile_gaxpy_cached",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,6 +93,61 @@ class CompiledProgram:
         ]
         if self.decision is not None:
             lines.append("  " + self.decision.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledWholeProgram:
+    """A compiled multi-statement program.
+
+    ``statements`` holds one :class:`CompiledProgram` per statement (compiled
+    through the unchanged single-statement pipeline on a shared set of array
+    descriptors), ``schedule`` the assembled
+    :class:`~repro.core.codegen.ProgramSchedule`, and ``cost`` the summed
+    program-level :class:`~repro.core.cost_model.PlanCost` in which each
+    intermediate is charged one write pass (producer) plus one read pass
+    (consumer) — never a regeneration.  Frozen for the same cache-sharing
+    reasons as :class:`CompiledProgram`.
+    """
+
+    program: ProgramIR
+    statements: Tuple[CompiledProgram, ...]
+    schedule: ProgramSchedule
+    cost: PlanCost
+    params: MachineParameters
+    nprocs: int
+    compile_seconds: float
+
+    @property
+    def predicted_cost(self) -> PlanCost:
+        return self.cost
+
+    @property
+    def intermediates(self) -> Tuple[str, ...]:
+        return self.schedule.intermediates
+
+    def statement_costs(self) -> Tuple[PlanCost, ...]:
+        return tuple(compiled.plan.cost for compiled in self.statements)
+
+    def describe(self) -> str:
+        lines = [
+            f"compiled whole program {self.program.name} "
+            f"({len(self.statements)} statements) for {self.nprocs} processors "
+            f"on {self.params.name}",
+            f"  predicted time: {self.cost.total_time:.2f}s "
+            f"(io {self.cost.io_time:.2f}s, compute {self.cost.compute_time:.2f}s, "
+            f"comm {self.cost.comm_time:.2f}s)",
+            f"  intermediates reused from LAF: "
+            f"{', '.join(self.intermediates) or '<none>'}",
+            f"  compile time: {self.compile_seconds * 1e3:.2f} ms",
+        ]
+        for index, compiled in enumerate(self.statements):
+            cost = compiled.plan.cost
+            lines.append(
+                f"  statement {index + 1} [{compiled.plan.strategy.value}]: "
+                f"io={cost.io_time:.2f}s compute={cost.compute_time:.2f}s "
+                f"comm={cost.comm_time:.2f}s"
+            )
         return "\n".join(lines)
 
 
@@ -180,7 +242,21 @@ def compile_program(
       (the convention of the paper's Figure 10 / Table 1 sweeps);
     * ``slab_elements`` — explicit per-array slab sizes in elements
       (the convention of Table 2).
+
+    Multi-statement programs are dispatched to :func:`compile_whole_program`
+    (and return a :class:`CompiledWholeProgram`).
     """
+    if program.is_multi_statement():
+        return compile_whole_program(
+            program,
+            params,
+            memory_budget_bytes=memory_budget_bytes,
+            slab_ratio=slab_ratio,
+            slab_elements=slab_elements,
+            policy=policy,
+            force_strategy=force_strategy,
+            strategies=strategies,
+        )
     params = params or touchstone_delta()
     start = time.perf_counter()
     analysis = analyze_program(program)
@@ -279,6 +355,89 @@ def compile_program(
     )
 
 
+def compile_whole_program(
+    program: ProgramIR,
+    params: Optional[MachineParameters] = None,
+    *,
+    memory_budget_bytes: Optional[int] = None,
+    slab_ratio: Optional[float] = None,
+    slab_elements: Optional[Dict[str, int]] = None,
+    policy: Optional[AllocationPolicy] = None,
+    force_strategy: Optional[SlabbingStrategy | str] = None,
+    strategies: Sequence[SlabbingStrategy | str] = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
+) -> CompiledWholeProgram:
+    """Compile a (possibly multi-statement) program for out-of-core execution.
+
+    Each statement goes through the unchanged single-statement pipeline —
+    analysis, strip-mining, cost estimation, reorganization, code generation —
+    on the whole program's shared array descriptors, so consecutive statements
+    agree on every array's distribution and Local Array File layout.  The slab
+    specification is interpreted per statement:
+
+    * ``memory_budget_bytes`` is one *shared* node budget: statements execute
+      back to back, but the compiler conservatively splits the budget evenly
+      between them so a schedule interleaving statement windows (e.g. with
+      prefetch) stays within memory;
+    * ``slab_ratio`` applies to every array of every statement;
+    * ``slab_elements`` entries are routed to the statements referencing them.
+
+    The per-statement plans are summed into one program-level
+    :class:`~repro.core.cost_model.PlanCost`; an intermediate's I/O appears
+    exactly once as a write (producer statement) and once as a read (consumer
+    statement).
+    """
+    params = params or touchstone_delta()
+    start = time.perf_counter()
+    statements = program.statements
+    specified = sum(x is not None for x in (memory_budget_bytes, slab_ratio, slab_elements))
+    if specified != 1:
+        raise CompilationError(
+            "specify exactly one of memory_budget_bytes, slab_ratio or slab_elements"
+        )
+    per_statement_budget: Optional[int] = None
+    if memory_budget_bytes is not None:
+        per_statement_budget = int(memory_budget_bytes) // len(statements)
+        if per_statement_budget < 1:
+            raise CompilationError(
+                f"memory budget of {memory_budget_bytes} bytes cannot be split "
+                f"between {len(statements)} statements"
+            )
+
+    compiled_statements = []
+    for index in range(len(statements)):
+        sub_program = program.statement_program(index)
+        sub_slabs: Optional[Dict[str, int]] = None
+        if slab_elements is not None:
+            referenced = sub_program.statement.referenced_arrays()
+            sub_slabs = {
+                name: int(slab_elements[name]) for name in referenced if name in slab_elements
+            }
+        compiled_statements.append(
+            compile_program(
+                sub_program,
+                params,
+                memory_budget_bytes=per_statement_budget,
+                slab_ratio=slab_ratio,
+                slab_elements=sub_slabs,
+                policy=policy,
+                force_strategy=force_strategy,
+                strategies=strategies,
+            )
+        )
+
+    schedule = generate_program_schedule(program, compiled_statements)
+    cost = combine_plan_costs([compiled.plan.cost for compiled in compiled_statements])
+    return CompiledWholeProgram(
+        program=program,
+        statements=tuple(compiled_statements),
+        schedule=schedule,
+        cost=cost,
+        params=params,
+        nprocs=program.nprocs(),
+        compile_seconds=time.perf_counter() - start,
+    )
+
+
 def compile_gaxpy(
     n: int,
     nprocs: int,
@@ -312,6 +471,8 @@ def _compile_gaxpy_cached(
     dtype: str,
     slab_ratio: Optional[float],
     slab_items: Optional[Tuple[Tuple[str, int], ...]],
+    memory_budget_bytes: Optional[int],
+    policy: Optional[AllocationPolicy],
     force_name: Optional[str],
 ) -> CompiledProgram:
     return compile_gaxpy(
@@ -321,6 +482,8 @@ def _compile_gaxpy_cached(
         dtype=dtype,
         slab_ratio=slab_ratio,
         slab_elements=dict(slab_items) if slab_items is not None else None,
+        memory_budget_bytes=memory_budget_bytes,
+        policy=policy,
         force_strategy=force_name,
     )
 
@@ -333,16 +496,21 @@ def compile_gaxpy_cached(
     dtype="float32",
     slab_ratio: Optional[float] = None,
     slab_elements: Optional[Dict[str, int]] = None,
+    memory_budget_bytes: Optional[int] = None,
+    policy: Optional[AllocationPolicy] = None,
     force_strategy: Optional[SlabbingStrategy | str] = None,
 ) -> CompiledProgram:
     """LRU-cached :func:`compile_gaxpy` for sweep drivers.
 
     Keyed on ``(n, nprocs, machine parameters, dtype, slab configuration,
-    forced strategy)``; sweeps that revisit a configuration (or evaluate the
-    same point in several modes) share one :class:`CompiledProgram`.  The
-    returned object is shared between callers — treat it as immutable.
-    Memory-budget compilation is not cached (allocation policies are not
-    hashable); use :func:`compile_gaxpy` directly for it.
+    memory budget, allocation policy, forced strategy)``; sweeps that revisit
+    a configuration (or evaluate the same point in several modes) share one
+    :class:`CompiledProgram`.  The returned object is shared between callers —
+    treat it as immutable.  Memory-budget compilation is cached too: the
+    built-in allocation policies are frozen (hashable) dataclasses, and an
+    unspecified policy defaults to a :class:`ProportionalAllocation` so equal
+    calls key identically.  A custom unhashable policy is the one case that
+    falls back to an uncached :func:`compile_gaxpy`.
     """
     params = params or touchstone_delta()
     slab_items = (
@@ -351,6 +519,30 @@ def compile_gaxpy_cached(
     force_name = (
         SlabbingStrategy.from_name(force_strategy).value if force_strategy is not None else None
     )
+    if memory_budget_bytes is not None and policy is None:
+        policy = ProportionalAllocation()
+    try:
+        hash(policy)
+    except TypeError:
+        return compile_gaxpy(
+            n,
+            nprocs,
+            params,
+            dtype=dtype,
+            slab_ratio=slab_ratio,
+            slab_elements=slab_elements,
+            memory_budget_bytes=memory_budget_bytes,
+            policy=policy,
+            force_strategy=force_name,
+        )
     return _compile_gaxpy_cached(
-        int(n), int(nprocs), params, np.dtype(dtype).name, slab_ratio, slab_items, force_name,
+        int(n),
+        int(nprocs),
+        params,
+        np.dtype(dtype).name,
+        slab_ratio,
+        slab_items,
+        int(memory_budget_bytes) if memory_budget_bytes is not None else None,
+        policy,
+        force_name,
     )

@@ -20,6 +20,8 @@ __all__ = [
     "SubscriptExpr",
     "ArrayRefExpr",
     "ReductionAssignment",
+    "ElementwiseAssignment",
+    "TransposeAssignment",
     "LoopNode",
     "ProgramNode",
 ]
@@ -110,6 +112,30 @@ class ReductionAssignment:
     def describe(self) -> str:
         rhs = " * ".join(op.describe() for op in self.operands)
         return f"{self.target.describe()} = {self.reduction}({rhs})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ElementwiseAssignment:
+    """``c(:, :) = add(a(:, :), b(:, :))`` — an elementwise assignment."""
+
+    target: ArrayRefExpr
+    operands: Tuple[ArrayRefExpr, ArrayRefExpr]
+    op: str               # "add", "multiply", "subtract"
+
+    def describe(self) -> str:
+        lhs, rhs = self.operands
+        return f"{self.target.describe()} = {self.op}({lhs.describe()}, {rhs.describe()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransposeAssignment:
+    """``b(:, :) = transpose(a(:, :))`` — a transpose assignment."""
+
+    target: ArrayRefExpr
+    operand: ArrayRefExpr
+
+    def describe(self) -> str:
+        return f"{self.target.describe()} = transpose({self.operand.describe()})"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -2,8 +2,12 @@
 
 The front end resolves parameter names, applies the ``PROCESSORS``,
 ``TEMPLATE``, ``DISTRIBUTE`` and ``ALIGN`` directives to build array
-descriptors, and lowers the loop nest with its reduction assignment into the
-:class:`~repro.core.ir.ProgramIR` the out-of-core compiler consumes.
+descriptors, and lowers the program body — a *sequence* of constructs, each
+either a perfect loop nest ending in a reduction assignment or a bare
+elementwise / transpose assignment — into the (possibly multi-statement)
+:class:`~repro.core.ir.ProgramIR` the out-of-core compiler consumes.  The IR
+validates the inter-statement dataflow (operands must be program inputs or
+prior results).
 """
 
 from __future__ import annotations
@@ -13,7 +17,14 @@ from typing import Dict, List, Tuple
 from repro.exceptions import HPFSemanticError
 from repro.hpf.align import Alignment
 from repro.hpf.array_desc import ArrayDescriptor
-from repro.hpf.ast_nodes import LoopNode, ProgramNode, ReductionAssignment, SubscriptExpr
+from repro.hpf.ast_nodes import (
+    ElementwiseAssignment,
+    LoopNode,
+    ProgramNode,
+    ReductionAssignment,
+    SubscriptExpr,
+    TransposeAssignment,
+)
 from repro.hpf.parser import parse_program
 from repro.hpf.processors import ProcessorGrid
 from repro.hpf.template import DimDistributionSpec, Template
@@ -43,7 +54,16 @@ def _lower_subscript(sub: SubscriptExpr, loop_indices: Tuple[str, ...]):
 
 def frontend_to_ir(program: ProgramNode, dtype_default: str = "float32", out_of_core: bool = True):
     """Lower a parsed mini-HPF program into the compiler IR."""
-    from repro.core.ir import ArrayRef, Loop, LoopKind, ProgramIR, ReductionStatement
+    from repro.core.ir import (
+        ArrayRef,
+        ElementwiseStatement,
+        Loop,
+        LoopKind,
+        ProgramIR,
+        ReductionStatement,
+        Statement,
+        TransposeStatement,
+    )
 
     parameters = dict(program.parameters)
 
@@ -98,49 +118,91 @@ def frontend_to_ir(program: ProgramNode, dtype_default: str = "float32", out_of_
             out_of_core=out_of_core,
         )
 
-    # Loop nest: must be a perfect nest ending in one reduction assignment.
-    loops: List[Loop] = []
-    node = program.body
-    statement: ReductionAssignment | None = None
-    current: Tuple[object, ...] = node
-    while True:
-        if len(current) != 1:
-            raise HPFSemanticError(
-                "the compiler handles a perfect loop nest with a single statement; "
-                f"found {len(current)} constructs at one nesting level"
-            )
-        item = current[0]
-        if isinstance(item, LoopNode):
-            extent = _resolve_extent(item.upper, parameters) - _resolve_extent(item.lower, parameters) + 1
-            kind = LoopKind.FORALL if item.kind == "forall" else LoopKind.SEQUENTIAL
-            loops.append(Loop(item.index, extent, kind))
-            current = item.body
-            continue
-        if isinstance(item, ReductionAssignment):
-            statement = item
-            break
-        raise HPFSemanticError(f"unsupported construct {type(item).__name__} in the loop nest")
-    if statement is None:  # pragma: no cover - loop above always sets or raises
-        raise HPFSemanticError("no reduction assignment found")
-
-    loop_indices = tuple(loop.index for loop in loops)
-    forall_loops = [loop for loop in loops if loop.kind is LoopKind.FORALL]
-    if not forall_loops:
-        raise HPFSemanticError("the loop nest contains no FORALL loop to reduce over")
-    reduce_index = forall_loops[-1].index
-
-    def lower_ref(ref) -> "ArrayRef":
+    # Program body: a sequence of constructs, each either a perfect loop nest
+    # ending in one reduction assignment, or a bare (loop-free) elementwise /
+    # transpose assignment.  Inter-statement dataflow is validated by the IR.
+    def lower_ref(ref, loop_indices: Tuple[str, ...]) -> "ArrayRef":
         if ref.array not in descriptors:
             raise HPFSemanticError(f"statement references undeclared array {ref.array!r}")
-        return ArrayRef(ref.array, [_lower_subscript(s, loop_indices) for s in ref.subscripts])
+        return ArrayRef(
+            ref.array, [_lower_subscript(s, loop_indices) for s in ref.subscripts]
+        )
 
-    ir_statement = ReductionStatement(
-        result=lower_ref(statement.target),
-        operands=[lower_ref(op) for op in statement.operands],
-        reduce_index=reduce_index,
-        op=statement.reduction,
+    def lower_assignment(item, loop_indices: Tuple[str, ...]) -> "Statement":
+        if isinstance(item, ReductionAssignment):
+            raise HPFSemanticError(
+                f"reduction assignment {item.describe()} must sit inside a FORALL "
+                "loop nest"
+            )
+        if isinstance(item, ElementwiseAssignment):
+            return ElementwiseStatement(
+                result=lower_ref(item.target, loop_indices),
+                operands=[lower_ref(op, loop_indices) for op in item.operands],
+                op=item.op,
+            )
+        if isinstance(item, TransposeAssignment):
+            return TransposeStatement(
+                result=lower_ref(item.target, loop_indices),
+                operand=lower_ref(item.operand, loop_indices),
+            )
+        raise HPFSemanticError(f"unsupported construct {type(item).__name__}")
+
+    def lower_nest(node: LoopNode) -> Tuple[Tuple[Loop, ...], "Statement"]:
+        loops: List[Loop] = []
+        current: Tuple[object, ...] = (node,)
+        while True:
+            if len(current) != 1:
+                raise HPFSemanticError(
+                    "the compiler handles a perfect loop nest with a single statement; "
+                    f"found {len(current)} constructs at one nesting level"
+                )
+            item = current[0]
+            if isinstance(item, LoopNode):
+                extent = (
+                    _resolve_extent(item.upper, parameters)
+                    - _resolve_extent(item.lower, parameters) + 1
+                )
+                kind = LoopKind.FORALL if item.kind == "forall" else LoopKind.SEQUENTIAL
+                loops.append(Loop(item.index, extent, kind))
+                current = item.body
+                continue
+            break
+        if not isinstance(item, ReductionAssignment):
+            raise HPFSemanticError(
+                "a loop nest must end in a reduction assignment; found "
+                f"{type(item).__name__}"
+            )
+        loop_indices = tuple(loop.index for loop in loops)
+        forall_loops = [loop for loop in loops if loop.kind is LoopKind.FORALL]
+        if not forall_loops:
+            raise HPFSemanticError("the loop nest contains no FORALL loop to reduce over")
+        reduce_index = forall_loops[-1].index
+        statement = ReductionStatement(
+            result=lower_ref(item.target, loop_indices),
+            operands=[lower_ref(op, loop_indices) for op in item.operands],
+            reduce_index=reduce_index,
+            op=item.reduction,
+        )
+        return tuple(loops), statement
+
+    if not program.body:
+        raise HPFSemanticError("the program body contains no statement")
+    statements: List[Statement] = []
+    loop_nests: List[Tuple[Loop, ...]] = []
+    for construct in program.body:
+        if isinstance(construct, LoopNode):
+            nest, statement = lower_nest(construct)
+        else:
+            nest, statement = (), lower_assignment(construct, ())
+        loop_nests.append(nest)
+        statements.append(statement)
+
+    return ProgramIR(
+        name=program.name,
+        arrays=descriptors,
+        statements=tuple(statements),
+        loop_nests=tuple(loop_nests),
     )
-    return ProgramIR(name=program.name, arrays=descriptors, loops=tuple(loops), statement=ir_statement)
 
 
 def compile_source(source: str, params=None, **compile_kwargs):

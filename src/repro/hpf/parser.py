@@ -2,7 +2,8 @@
 
 Grammar (informally)::
 
-    program     ::= "program" IDENT NL { declaration | directive } { loop } "end" ...
+    program     ::= "program" IDENT NL { declaration | directive }
+                    { loop | statement } "end" ...
     declaration ::= "parameter" "(" IDENT "=" NUMBER { "," IDENT "=" NUMBER } ")" NL
                   | TYPE array_decl { "," array_decl } NL
     array_decl  ::= IDENT "(" extent { "," extent } ")"
@@ -10,9 +11,15 @@ Grammar (informally)::
     loop        ::= "do" IDENT "=" extent "," extent NL { loop | statement } "end" "do" NL
                   | "forall" "(" IDENT "=" extent ":" extent ")" NL { loop | statement }
                     "end" "forall" NL
-    statement   ::= arrayref "=" IDENT "(" arrayref { "*" arrayref } ")" NL
+    statement   ::= arrayref "=" REDUCTION "(" arrayref { "*" arrayref } ")" NL
+                  | arrayref "=" ELEMENTWISE "(" arrayref "," arrayref ")" NL
+                  | arrayref "=" "transpose" "(" arrayref ")" NL
     arrayref    ::= IDENT "(" subscript { "," subscript } ")"
     subscript   ::= ":" | IDENT | NUMBER
+
+The program body is a *sequence* of loop nests and assignments; the front
+end checks the dataflow between them.  REDUCTION is sum/min/max/prod,
+ELEMENTWISE is add/multiply/subtract.
 
 Only the constructs the out-of-core compiler understands are accepted;
 anything else raises :class:`~repro.exceptions.HPFSyntaxError` with the
@@ -29,12 +36,14 @@ from repro.hpf.ast_nodes import (
     ArrayDecl,
     ArrayRefExpr,
     DistributeDirective,
+    ElementwiseAssignment,
     LoopNode,
     ProcessorsDirective,
     ProgramNode,
     ReductionAssignment,
     SubscriptExpr,
     TemplateDirective,
+    TransposeAssignment,
 )
 from repro.hpf.lexer import DIRECTIVE, EOF, IDENT, NEWLINE, NUMBER, Token, tokenize
 
@@ -42,6 +51,7 @@ __all__ = ["parse_program"]
 
 _TYPE_NAMES = {"real", "integer", "double", "logical", "complex"}
 _REDUCTIONS = {"sum", "max", "min", "prod", "product"}
+_ELEMENTWISE = {"add", "multiply", "subtract"}
 
 
 class _Parser:
@@ -229,24 +239,39 @@ class _Parser:
             return LoopNode("forall", index.text, lower, upper, tuple(body))
         raise self.error("expected 'do' or 'forall'")
 
-    def parse_statement(self) -> ReductionAssignment:
+    def parse_statement(self):
         target = self.parse_array_ref()
         self.expect_punct("=")
         head = self.expect_ident()
-        if head.text.lower() not in _REDUCTIONS:
-            raise self.error(
-                f"only reduction assignments (sum/min/max/prod) are supported, found "
-                f"{head.text!r}", head,
-            )
-        self.expect_punct("(")
-        operands = [self.parse_array_ref()]
-        while self.peek().is_punct("*"):
-            self.advance()
-            operands.append(self.parse_array_ref())
-        self.expect_punct(")")
-        self.expect_newline()
-        reduction = "sum" if head.text.lower() == "sum" else head.text.lower()
-        return ReductionAssignment(target, tuple(operands), reduction)
+        head_name = head.text.lower()
+        if head_name in _REDUCTIONS:
+            self.expect_punct("(")
+            operands = [self.parse_array_ref()]
+            while self.peek().is_punct("*"):
+                self.advance()
+                operands.append(self.parse_array_ref())
+            self.expect_punct(")")
+            self.expect_newline()
+            reduction = "sum" if head_name == "sum" else head_name
+            return ReductionAssignment(target, tuple(operands), reduction)
+        if head_name in _ELEMENTWISE:
+            self.expect_punct("(")
+            lhs = self.parse_array_ref()
+            self.expect_punct(",")
+            rhs = self.parse_array_ref()
+            self.expect_punct(")")
+            self.expect_newline()
+            return ElementwiseAssignment(target, (lhs, rhs), head_name)
+        if head_name == "transpose":
+            self.expect_punct("(")
+            operand = self.parse_array_ref()
+            self.expect_punct(")")
+            self.expect_newline()
+            return TransposeAssignment(target, operand)
+        raise self.error(
+            "only reduction (sum/min/max/prod), elementwise (add/multiply/subtract) "
+            f"and transpose assignments are supported, found {head.text!r}", head,
+        )
 
     def parse_body(self, terminator: str) -> List[object]:
         body: List[object] = []
@@ -300,6 +325,10 @@ class _Parser:
                 break
             elif token.is_ident("do", "forall"):
                 body.append(self.parse_loop())
+            elif token.kind == IDENT and self.peek(1).is_punct("("):
+                # A bare assignment statement: programs are statement
+                # *sequences*, each item a loop nest or an assignment.
+                body.append(self.parse_statement())
             else:
                 raise self.error(f"unexpected {token.text!r} at program level", token)
         program.body = tuple(body)

@@ -30,7 +30,9 @@ from repro.runtime.vm import VirtualMachine, OutOfCoreArray
 from repro.runtime.executor import (
     ExecutionResult,
     NodeProgramExecutor,
+    ProgramExecutor,
     ReductionInputs,
+    program_reference,
     reduction_reference,
 )
 
@@ -52,9 +54,11 @@ __all__ = [
     "VirtualMachine",
     "OutOfCoreArray",
     "NodeProgramExecutor",
+    "ProgramExecutor",
     "ExecutionResult",
     "ReductionInputs",
     "reduction_reference",
+    "program_reference",
     "PrefetchPolicy",
     "NoPrefetch",
     "OverlapPrefetch",

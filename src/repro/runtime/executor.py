@@ -24,6 +24,12 @@ harnesses can switch between them freely.  The engine functions
 array names — they read the roles from the compiled analysis — so any
 program of the right class runs through them; the historical per-kernel
 entry points in :mod:`repro.kernels` are thin wrappers over this module.
+
+Multi-statement programs run through :class:`ProgramExecutor`, which drives
+the per-statement engines in order on one virtual machine so intermediates
+are consumed straight from the Local Array Files their producers wrote
+(charged once, never regenerated), and verifies the whole statement list
+against the in-core NumPy oracle (:func:`program_reference`).
 """
 
 from __future__ import annotations
@@ -42,14 +48,17 @@ from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, make_slabs,
 from repro.runtime.vm import OutOfCoreArray, VirtualMachine
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
-    from repro.core.pipeline import CompiledProgram
+    from repro.core.ir import ProgramIR
+    from repro.core.pipeline import CompiledProgram, CompiledWholeProgram
     from repro.core.reorganize import AccessPlan
 
 __all__ = [
     "ExecutionResult",
     "ReductionInputs",
     "reduction_reference",
+    "program_reference",
     "NodeProgramExecutor",
+    "ProgramExecutor",
     "run_reduction_column",
     "run_reduction_row",
     "run_reduction_incore",
@@ -89,9 +98,69 @@ def reduction_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return c
 
 
+_REFERENCE_OPS = {
+    "add": np.add,
+    "multiply": np.multiply,
+    "subtract": np.subtract,
+}
+
+
+def program_reference(
+    program: "ProgramIR", inputs: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """The in-core NumPy oracle: evaluate the statement list on dense inputs.
+
+    Returns the environment after the last statement — program inputs (cast to
+    ``float64``) plus every statement result.  This is what the differential
+    tests and the whole-program executor's verification compare against.
+    """
+    from repro.core.ir import ElementwiseStatement, ReductionStatement, TransposeStatement
+
+    env: Dict[str, np.ndarray] = {
+        name: np.asarray(value, dtype=np.float64) for name, value in inputs.items()
+    }
+    for statement in program.statements:
+        missing = [ref.array for ref in statement.operands if ref.array not in env]
+        if missing:
+            raise RuntimeExecutionError(
+                f"program_reference is missing dense data for {sorted(set(missing))} "
+                f"(statement {statement.describe()})"
+            )
+        if isinstance(statement, ReductionStatement):
+            streamed = next(
+                (
+                    ref.array
+                    for ref in statement.operands
+                    if ref.full_range_dims() and ref.uses_index(statement.reduce_index)
+                ),
+                statement.operands[0].array,
+            )
+            others = [ref.array for ref in statement.operands if ref.array != streamed]
+            coefficient = others[0] if others else streamed
+            env[statement.result.array] = env[streamed] @ env[coefficient]
+        elif isinstance(statement, ElementwiseStatement):
+            lhs, rhs = statement.operands
+            env[statement.result.array] = _REFERENCE_OPS[statement.op](
+                env[lhs.array], env[rhs.array]
+            )
+        elif isinstance(statement, TransposeStatement):
+            env[statement.result.array] = env[statement.operand.array].T.copy()
+        else:
+            raise RuntimeExecutionError(
+                f"no reference evaluation for statement of type {type(statement).__name__}"
+            )
+    return env
+
+
 @dataclasses.dataclass
 class ExecutionResult:
-    """Outcome of running (or estimating) one compiled program."""
+    """Outcome of running (or estimating) one compiled program.
+
+    Whole-program runs additionally carry ``statements`` — one mapping of
+    charged-cost deltas per statement — and ``outputs``, the gathered dense
+    result of every statement (``EXECUTE`` mode only); ``result`` is then the
+    final statement's output.
+    """
 
     strategy: str
     mode: ExecutionMode
@@ -101,6 +170,8 @@ class ExecutionResult:
     result: Optional[np.ndarray] = None
     verified: Optional[bool] = None
     max_abs_error: Optional[float] = None
+    statements: Tuple[Dict[str, float], ...] = ()
+    outputs: Optional[Dict[str, np.ndarray]] = None
 
     def describe(self) -> str:
         lines = [
@@ -181,13 +252,15 @@ def _setup_reduction_arrays(
         )
     streamed_dense = inputs.streamed if inputs is not None else None
     coefficient_dense = inputs.coefficient if inputs is not None else None
-    ooc_s = vm.create_array(s_desc, initial=streamed_dense, storage_order=streamed_order)
+    # ensure_array (not create_array): in a whole-program run an operand that
+    # is a previous statement's result already lives in its LAFs and is reused.
+    ooc_s = vm.ensure_array(s_desc, initial=streamed_dense, storage_order=streamed_order)
     if b_desc.name == s_desc.name:
         # Single-operand statement: one array plays both roles.
         ooc_b = ooc_s
     else:
-        ooc_b = vm.create_array(b_desc, initial=coefficient_dense, storage_order="F")
-    ooc_c = vm.create_array(c_desc, initial=None if not vm.perform_io else
+        ooc_b = vm.ensure_array(b_desc, initial=coefficient_dense, storage_order="F")
+    ooc_c = vm.ensure_array(c_desc, initial=None if not vm.perform_io else
                             np.zeros(c_desc.shape, dtype=c_desc.dtype), storage_order=result_order)
     return ooc_s, ooc_b, ooc_c
 
@@ -598,10 +671,10 @@ def run_elementwise_plan(
         raise RuntimeExecutionError("the elementwise engine handles two-dimensional arrays")
 
     order = "F" if strategy is SlabbingStrategy.COLUMN else "C"
-    ooc_a = vm.create_array(a_desc, initial=a_dense, storage_order=order)
-    ooc_b = vm.create_array(b_desc, initial=b_dense, storage_order=order)
+    ooc_a = vm.ensure_array(a_desc, initial=a_dense, storage_order=order)
+    ooc_b = vm.ensure_array(b_desc, initial=b_dense, storage_order=order)
     zeros = np.zeros(c_desc.shape, dtype=c_desc.dtype) if vm.perform_io else None
-    ooc_c = vm.create_array(c_desc, initial=zeros, storage_order=order)
+    ooc_c = vm.ensure_array(c_desc, initial=zeros, storage_order=order)
 
     flops_per_element = 1.0
     for rank in range(vm.nprocs):
@@ -655,9 +728,9 @@ def run_transpose_plan(
     nprocs = vm.nprocs
     itemsize = src_desc.itemsize
 
-    source = vm.create_array(src_desc, initial=a_dense, storage_order="F")
+    source = vm.ensure_array(src_desc, initial=a_dense, storage_order="F")
     zeros = np.zeros(dst_desc.shape, dtype=dst_desc.dtype) if vm.perform_io else None
-    target = vm.create_array(dst_desc, initial=zeros, storage_order="F")
+    target = vm.ensure_array(dst_desc, initial=zeros, storage_order="F")
 
     result_locals: Dict[int, np.ndarray] = {}
     if vm.perform_io:
@@ -905,3 +978,186 @@ class NodeProgramExecutor:
             time_breakdown=breakdown,
             io_statistics=machine.io_statistics(),
         )
+
+
+# ---------------------------------------------------------------------------
+# the whole-program executor
+# ---------------------------------------------------------------------------
+class ProgramExecutor:
+    """Runs or estimates a compiled multi-statement program on one machine.
+
+    Statements execute in order on one :class:`VirtualMachine`, so out-of-core
+    arrays persist between them: an intermediate produced by statement *k*
+    stays in the Local Array Files its producer wrote and statement *k+1*
+    reads it from there directly — its I/O is charged exactly once per pass
+    (one write by the producer, one read by the consumer) and the data is
+    never regenerated or re-scattered.
+
+    Both modes drive the same per-statement slab loops through
+    :class:`NodeProgramExecutor` (``ESTIMATE`` runs them charge-only), so the
+    charged I/O counters of the two modes are identical by construction.
+    """
+
+    def __init__(self, compiled: "CompiledWholeProgram"):
+        self.compiled = compiled
+
+    # ------------------------------------------------------------------
+    def _statement_inputs(self, compiled_statement: "CompiledProgram",
+                          dense: Dict[str, np.ndarray]):
+        """Per-statement inputs: dense data for program inputs only.
+
+        Operands that are earlier results resolve to ``None`` here — the
+        engines find their arrays already present in the VM (``ensure_array``)
+        and read the producer's LAFs instead of scattering fresh data.
+        """
+        from repro.core.ir import ReductionStatement
+
+        statement = compiled_statement.program.statement
+        if isinstance(statement, ReductionStatement):
+            analysis = compiled_statement.analysis
+            return ReductionInputs(
+                streamed=dense.get(analysis.streamed),
+                coefficient=dense.get(analysis.coefficient),
+            )
+        return {
+            ref.array: dense[ref.array]
+            for ref in statement.operands
+            if ref.array in dense
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        vm: VirtualMachine,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        verify: bool = True,
+        collect_outputs: Optional[bool] = None,
+    ) -> ExecutionResult:
+        """Drive ``vm`` through every statement's slab loops, in order.
+
+        Honors the virtual machine's execution mode.  ``inputs`` maps the
+        *program input* arrays to dense data (required for ``EXECUTE`` runs;
+        ignored in ``ESTIMATE`` mode).  Verification compares every statement
+        result against the in-core NumPy oracle (:func:`program_reference`).
+
+        ``collect_outputs`` controls how much is gathered densely in
+        ``EXECUTE`` mode: when true, every statement result (intermediates
+        included) lands in ``ExecutionResult.outputs``; when false, only the
+        final statement's result is gathered.  The default follows ``verify``
+        (verification needs everything; an unverified run skips the extra
+        read pass over the intermediates).
+        """
+        program = self.compiled.program
+        dense = dict(inputs or {})
+        if vm.perform_io:
+            missing = [name for name in program.input_arrays() if name not in dense]
+            if missing:
+                raise RuntimeExecutionError(
+                    f"EXECUTE-mode program runs need dense data for every program "
+                    f"input; missing {missing}"
+                )
+
+        per_statement = []
+        previous_time = vm.time_breakdown()
+        previous_io = vm.io_statistics()
+        previous_elapsed = vm.elapsed()
+        with vm.array_reuse():
+            for compiled_statement in self.compiled.statements:
+                statement_inputs = self._statement_inputs(compiled_statement, dense)
+                NodeProgramExecutor(compiled_statement).run(
+                    vm, statement_inputs, verify=False
+                )
+                time_now = vm.time_breakdown()
+                io_now = vm.io_statistics()
+                elapsed_now = vm.elapsed()
+                breakdown = {"seconds": elapsed_now - previous_elapsed}
+                breakdown.update(
+                    {key: time_now[key] - previous_time.get(key, 0.0) for key in time_now}
+                )
+                breakdown.update(
+                    {key: io_now[key] - previous_io.get(key, 0.0) for key in io_now}
+                )
+                per_statement.append(breakdown)
+                previous_time, previous_io, previous_elapsed = time_now, io_now, elapsed_now
+
+        # Verification always needs every result; otherwise honor the caller.
+        collect = verify or bool(collect_outputs)
+        outputs: Optional[Dict[str, np.ndarray]] = None
+        result_dense: Optional[np.ndarray] = None
+        verified: Optional[bool] = None
+        max_err: Optional[float] = None
+        if vm.perform_io:
+            gather = (
+                program.result_arrays() if collect else program.result_arrays()[-1:]
+            )
+            outputs = {name: vm.to_dense(name) for name in gather}
+            result_dense = outputs[program.result_arrays()[-1]]
+            if verify:
+                reference = program_reference(program, dense)
+                max_err = 0.0
+                verified = True
+                for name in program.result_arrays():
+                    expected = reference[name]
+                    err = float(np.max(np.abs(
+                        outputs[name].astype(np.float64) - expected
+                    ))) if expected.size else 0.0
+                    scale = float(np.max(np.abs(expected))) or 1.0
+                    tolerance = (
+                        1e-3 if np.dtype(program.arrays[name].dtype).itemsize <= 4
+                        else 1e-9
+                    )
+                    max_err = max(max_err, err)
+                    if err > tolerance * scale:
+                        verified = False
+
+        strategies = "+".join(
+            compiled.plan.strategy.value for compiled in self.compiled.statements
+        )
+        return ExecutionResult(
+            strategy=f"program[{strategies}]",
+            mode=_mode(vm),
+            simulated_seconds=vm.elapsed(),
+            time_breakdown=vm.time_breakdown(),
+            io_statistics=vm.io_statistics(),
+            result=result_dense,
+            verified=verified,
+            max_abs_error=max_err,
+            statements=tuple(per_statement),
+            outputs=outputs,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        vm: VirtualMachine,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        verify: bool = True,
+        collect_outputs: Optional[bool] = None,
+    ) -> ExecutionResult:
+        """Execute the whole program on ``vm`` (which must be in EXECUTE mode)."""
+        if not vm.perform_io:
+            raise RuntimeExecutionError(
+                "ProgramExecutor.execute needs a VirtualMachine in EXECUTE mode; "
+                "use estimate() for analytic runs"
+            )
+        return self.run(vm, inputs, verify, collect_outputs=collect_outputs)
+
+    # ------------------------------------------------------------------
+    def estimate(self, vm: Optional[VirtualMachine] = None) -> ExecutionResult:
+        """Charge the statements' slab loops on an ESTIMATE-mode machine.
+
+        Every statement — including reductions — runs its loops charge-only,
+        so the reported counters equal an EXECUTE run's counters exactly.
+        """
+        if vm is None:
+            vm = VirtualMachine(
+                self.compiled.nprocs,
+                self.compiled.params,
+                RunConfig(mode=ExecutionMode.ESTIMATE),
+            )
+        if vm.perform_io:
+            raise RuntimeExecutionError(
+                "ProgramExecutor.estimate needs a VirtualMachine in ESTIMATE mode; "
+                "use execute() for real runs"
+            )
+        return self.run(vm, None, verify=False)

@@ -14,10 +14,11 @@ create one per configuration point.
 
 from __future__ import annotations
 
+import contextlib
 import shutil
 import uuid
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -97,6 +98,10 @@ class VirtualMachine:
             prefetch=self.prefetch_policy,
         )
         self.arrays: Dict[str, OutOfCoreArray] = {}
+        # Opt-in switch for cross-statement array reuse (see array_reuse()):
+        # off by default so independent runs on one VM keep the historical
+        # duplicate-array guard instead of silently reading stale LAF data.
+        self.allow_array_reuse = False
         # Bounds how many persistent LAF memmap handles stay open at once so
         # runs with hundreds of LAFs cannot exhaust file descriptors.
         self.handle_cache = LafHandleCache(capacity=max_open_handles)
@@ -188,6 +193,59 @@ class VirtualMachine:
         array = OutOfCoreArray(descriptor, locals_)
         self.arrays[descriptor.name] = array
         return array
+
+    @contextlib.contextmanager
+    def array_reuse(self) -> Iterator["VirtualMachine"]:
+        """Allow :meth:`ensure_array` to resolve to existing arrays.
+
+        Scoped opt-in used by the whole-program executor: inside the context
+        a statement consuming an intermediate finds the Local Array Files its
+        producer wrote and reads them directly.  Outside it, ``ensure_array``
+        behaves exactly like :meth:`create_array` — a duplicate name raises —
+        so independent runs on one VM cannot silently read stale data.
+        """
+        previous = self.allow_array_reuse
+        self.allow_array_reuse = True
+        try:
+            yield self
+        finally:
+            self.allow_array_reuse = previous
+
+    def ensure_array(
+        self,
+        descriptor: ArrayDescriptor,
+        initial: Optional[np.ndarray] = None,
+        storage_order: str = "F",
+        icla_elements: Optional[int] = None,
+        charge_initial_write: bool = False,
+    ) -> OutOfCoreArray:
+        """Create the array, or — inside :meth:`array_reuse` — return the existing one.
+
+        The reuse path of whole-program execution: a statement consuming an
+        intermediate finds the Local Array Files its producer wrote and reads
+        them directly (``initial`` and ``storage_order`` are ignored then — the
+        data and on-disk layout are whatever the producer left behind), so the
+        intermediate is never scattered or regenerated.  A shape or dtype
+        mismatch with the existing array is an error, as is an existing array
+        outside an :meth:`array_reuse` scope (matching ``create_array``).
+        """
+        existing = self.arrays.get(descriptor.name)
+        if existing is None or not self.allow_array_reuse:
+            return self.create_array(
+                descriptor,
+                initial=initial,
+                storage_order=storage_order,
+                icla_elements=icla_elements,
+                charge_initial_write=charge_initial_write,
+            )
+        held = existing.descriptor
+        if held.shape != descriptor.shape or str(held.dtype) != str(descriptor.dtype):
+            raise RuntimeExecutionError(
+                f"array {descriptor.name!r} already exists with shape {held.shape} "
+                f"dtype {held.dtype}, which does not match the requested shape "
+                f"{descriptor.shape} dtype {descriptor.dtype}"
+            )
+        return existing
 
     def get_array(self, name: str) -> OutOfCoreArray:
         try:
