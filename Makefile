@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test cov lint bench bench-unified bench-program bench-reset
+.PHONY: test cov lint bench bench-unified bench-program bench-planner bench-reset
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -33,6 +33,14 @@ bench-unified:
 # breakdown and the intermediate's charged-once LAF reuse.
 bench-program:
 	$(PYTHON) -m benchmarks.bench_program --json BENCH_program.json
+
+# Plan optimizer: even-split vs cost-model-searched plans on a 3-statement
+# chain under one node memory budget.  Fails unless the optimized plan beats
+# the even split's charged I/O bytes, both plans verify against the oracle,
+# ESTIMATE==EXECUTE counters hold, and no charged statistic drifts from the
+# committed baseline (the search is deterministic).
+bench-planner:
+	$(PYTHON) -m benchmarks.bench_planner --json BENCH_planner.json
 
 # Re-record the baseline (after an intentional change to the benchmark
 # configuration, never to paper over a perf regression).

@@ -1,0 +1,211 @@
+"""Even-split vs planner-optimized plans: charged I/O and drift gate.
+
+Runs a fixed three-statement program (``t = a @ b; u = t + d; c = u * e``,
+N=256, P=4) under one 48 KiB node memory budget twice through the Session
+API in EXECUTE mode — once with ``optimize="none"`` (the legacy even split)
+and once with ``optimize="greedy"`` (the cost-model-driven plan search) —
+and records the charged statistics of both.
+
+The run asserts the planner's contract:
+
+* both configurations verify against the in-core NumPy oracle,
+* ESTIMATE charges exactly the EXECUTE counters in both configurations,
+* the optimized plan's *predicted* cost is no worse than the even split's,
+* the optimized plan's *charged* I/O bytes strictly beat the even split's
+  (the acceptance criterion of the planner subsystem).
+
+As with the other benchmarks, the first run records a ``baseline`` entry and
+later runs fail on any drift of a charged number — the planner is
+deterministic, so its chosen plan (and therefore every simulated statistic)
+must be bit-stable across commits.
+
+Usage::
+
+    python -m benchmarks.bench_planner --json BENCH_planner.json
+    make bench-planner
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import Session, WorkloadPoint  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
+
+N = 256
+NPROCS = 4
+BUDGET = 48 * 1024
+
+CHAIN_SOURCE = f"""
+program chain
+  parameter (n = {N}, nprocs = {NPROCS})
+  real a(n, n), b(n, n), t(n, n), d(n, n), u(n, n), e(n, n), c(n, n)
+!hpf$ processors Pr(nprocs)
+!hpf$ template tmpl(n)
+!hpf$ distribute tmpl(block) onto Pr
+!hpf$ align a(*, :) with tmpl
+!hpf$ align t(*, :) with tmpl
+!hpf$ align d(*, :) with tmpl
+!hpf$ align u(*, :) with tmpl
+!hpf$ align e(*, :) with tmpl
+!hpf$ align c(*, :) with tmpl
+!hpf$ align b(:, *) with tmpl
+  do j = 1, n
+    forall (k = 1 : n)
+      t(:, j) = sum(a(:, k) * b(k, j))
+    end forall
+  end do
+  u(:, :) = add(t(:, :), d(:, :))
+  c(:, :) = multiply(u(:, :), e(:, :))
+end program
+"""
+
+SIMULATED_FIELDS = ("simulated_seconds", "io_time", "compute_time", "comm_time",
+                    "io_requests_per_proc", "io_read_bytes_per_proc",
+                    "io_write_bytes_per_proc")
+
+
+def _point(optimize: str) -> WorkloadPoint:
+    return WorkloadPoint(
+        "hpf",
+        optimize=optimize,
+        options={"source": CHAIN_SOURCE, "memory_budget_bytes": BUDGET},
+    )
+
+
+def _evaluate(optimize: str) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-planner-") as scratch:
+        session = Session(config=RunConfig(scratch_dir=scratch))
+        estimate = session.estimate(_point(optimize))
+        start = time.perf_counter()
+        record = session.execute(_point(optimize))
+        wall = time.perf_counter() - start
+    mode_drift = [
+        field
+        for field in ("io_requests_per_proc", "io_read_bytes_per_proc",
+                      "io_write_bytes_per_proc")
+        if getattr(estimate, field) != getattr(record, field)
+    ]
+    return {
+        "wall_seconds": wall,
+        "verified": record.verified is True,
+        "estimate_matches_execute_charges": not mode_drift,
+        "statement_budgets": list(record.plan.get("statement_budgets", [])),
+        "policies": list(record.plan.get("policies", [])),
+        "predicted_seconds": record.plan["predicted_seconds"],
+        "charged_io_bytes_per_proc": record.io_bytes_per_proc,
+        "simulated": {field: getattr(record, field) for field in SIMULATED_FIELDS},
+    }
+
+
+def measure() -> dict:
+    even = _evaluate("none")
+    optimized = _evaluate("greedy")
+    return {
+        "even": even,
+        "optimized": optimized,
+        "io_bytes_saved_per_proc": (
+            even["charged_io_bytes_per_proc"] - optimized["charged_io_bytes_per_proc"]
+        ),
+        "predicted_speedup": (
+            even["predicted_seconds"] / optimized["predicted_seconds"]
+            if optimized["predicted_seconds"] else 1.0
+        ),
+    }
+
+
+def _drift(baseline: dict, current: dict) -> list:
+    drift = []
+    for config in ("even", "optimized"):
+        base = baseline.get(config, {})
+        for field, value in base.get("simulated", {}).items():
+            now = current[config]["simulated"].get(field)
+            if now != value:
+                drift.append(f"{config}.{field}: {value!r} -> {now!r}")
+        for field in ("statement_budgets", "policies"):
+            if base.get(field) != current[config].get(field):
+                drift.append(
+                    f"{config}.{field}: {base.get(field)!r} -> "
+                    f"{current[config].get(field)!r}"
+                )
+    return drift
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=Path("BENCH_planner.json"),
+                        help="result file (baseline is kept across runs)")
+    parser.add_argument("--reset-baseline", action="store_true",
+                        help="overwrite the stored baseline with this run")
+    args = parser.parse_args(argv)
+
+    existing = {}
+    if args.json.exists():
+        existing = json.loads(args.json.read_text())
+
+    measurement = measure()
+    measurement["unix_time"] = time.time()
+
+    for config in ("even", "optimized"):
+        if not measurement[config]["verified"]:
+            print(f"ERROR: the {config} plan failed oracle verification")
+            return 1
+        if not measurement[config]["estimate_matches_execute_charges"]:
+            print(f"ERROR: {config}: ESTIMATE and EXECUTE charged different counters")
+            return 1
+    if (measurement["optimized"]["predicted_seconds"]
+            > measurement["even"]["predicted_seconds"]):
+        print("ERROR: the optimized plan's predicted cost exceeds the even split's")
+        return 1
+    if measurement["io_bytes_saved_per_proc"] <= 0:
+        print("ERROR: the optimized plan did not beat the even split's charged "
+              "I/O bytes")
+        return 1
+
+    result = {
+        "benchmark": "planner-even-vs-optimized",
+        "config": {"n": N, "nprocs": NPROCS, "memory_budget_bytes": BUDGET,
+                   "statements": 3},
+    }
+    saved = measurement["io_bytes_saved_per_proc"]
+    even_bytes = measurement["even"]["charged_io_bytes_per_proc"]
+    print(f"even split:  {even_bytes / 1e6:.3f} MB charged I/O per proc")
+    print(f"optimized:   "
+          f"{measurement['optimized']['charged_io_bytes_per_proc'] / 1e6:.3f} MB "
+          f"({saved / 1e6:.3f} MB saved, "
+          f"{100 * saved / even_bytes:.1f}%), "
+          f"budgets {measurement['optimized']['statement_budgets']}")
+    print(f"predicted speedup: {measurement['predicted_speedup']:.2f}x")
+
+    if args.reset_baseline or "baseline" not in existing:
+        result["baseline"] = measurement
+        print("recorded baseline")
+    else:
+        result["baseline"] = existing["baseline"]
+        result["current"] = measurement
+        drift = _drift(existing["baseline"], measurement)
+        result["simulated_drift"] = drift
+        if drift:
+            print("ERROR: charged statistics moved (the planner is deterministic; "
+                  "its chosen plan must be bit-stable):")
+            for line in drift:
+                print(f"  {line}")
+            args.json.write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+        print("charged statistics identical to baseline (both configurations)")
+
+    args.json.write_text(json.dumps(result, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,17 +60,20 @@ def _load_public_api() -> None:
     global Machine, ProcessorGrid, Template, Alignment, ArrayDescriptor
     global compile_program, compile_whole_program, compile_gaxpy, compile_source
     global VirtualMachine, NodeProgramExecutor, ProgramExecutor
-    global Session, WorkloadPoint, CompiledWorkload, RunRecord, Workload, Lowering
+    global Session, SweepResult, WorkloadPoint, CompiledWorkload, RunRecord, Workload, Lowering
     global register_workload, get_workload, available_workloads
+    global PlanCache, PlanDecision, plan_whole_program
     from repro.machine import Machine  # noqa: F401
     from repro.hpf import ProcessorGrid, Template, Alignment, ArrayDescriptor, compile_source  # noqa: F401
     from repro.core import compile_program, compile_whole_program, compile_gaxpy  # noqa: F401
     from repro.runtime import VirtualMachine, NodeProgramExecutor, ProgramExecutor  # noqa: F401
+    from repro.planner import PlanCache, PlanDecision, plan_whole_program  # noqa: F401
     from repro.api import (  # noqa: F401
         CompiledWorkload,
         Lowering,
         RunRecord,
         Session,
+        SweepResult,
         Workload,
         WorkloadPoint,
         available_workloads,
@@ -93,6 +96,7 @@ def _load_public_api() -> None:
             "NodeProgramExecutor",
             "ProgramExecutor",
             "Session",
+            "SweepResult",
             "WorkloadPoint",
             "CompiledWorkload",
             "Lowering",
@@ -101,6 +105,9 @@ def _load_public_api() -> None:
             "register_workload",
             "get_workload",
             "available_workloads",
+            "PlanCache",
+            "PlanDecision",
+            "plan_whole_program",
         ]
     )
 

@@ -33,7 +33,7 @@ from repro.api.workload import (
     register_workload,
     unregister_workload,
 )
-from repro.api.session import Session
+from repro.api.session import Session, SweepResult
 
 # Importing the built-ins registers them (gaxpy, transpose, elementwise, hpf).
 import repro.api.builtin  # noqa: F401  (imported for its registration side effect)
@@ -45,6 +45,7 @@ __all__ = [
     "CompiledWorkload",
     "Workload",
     "Session",
+    "SweepResult",
     "register_workload",
     "unregister_workload",
     "get_workload",

@@ -47,6 +47,15 @@ class RunRecord:
         per statement (simulated ``seconds``, the time breakdown and the
         I/O counters attributable to that statement); single-statement
         workloads leave it empty.
+    plan:
+        The chosen access plan and its *predicted* cost: the plan optimizer
+        used (``"none"`` .. ``"exhaustive"``), the chosen strategy label, the
+        model's predicted seconds / I/O bytes per processor and — when the
+        planner searched a memory budget — the per-statement byte budgets,
+        allocation policies, the even-split baseline cost and the plan-cache
+        status.  Comparing ``plan["predicted_io_bytes_per_proc"]`` against
+        the charged ``io_bytes_per_proc`` keeps ESTIMATE/EXECUTE parity
+        checkable from the record alone.
     extras:
         Workload-specific numeric extras (kept out of the typed core).
     """
@@ -69,6 +78,7 @@ class RunRecord:
     verified: Optional[bool] = None
     max_abs_error: Optional[float] = None
     statements: Tuple[Mapping[str, float], ...] = ()
+    plan: Mapping[str, object] = dataclasses.field(default_factory=dict)
     extras: Mapping[str, float] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -105,6 +115,7 @@ class RunRecord:
         verified: Optional[bool] = None,
         max_abs_error: Optional[float] = None,
         statements: Sequence[Mapping[str, float]] = (),
+        plan: Optional[Mapping[str, object]] = None,
         extras: Optional[Mapping[str, float]] = None,
     ) -> "RunRecord":
         """Build a record from a machine's time breakdown and I/O statistics."""
@@ -127,6 +138,7 @@ class RunRecord:
             verified=verified,
             max_abs_error=max_abs_error,
             statements=tuple(dict(s) for s in statements),
+            plan=dict(plan or {}),
             extras=dict(extras or {}),
         )
 
@@ -155,6 +167,8 @@ class RunRecord:
         }
         if self.statements:
             out["statements"] = [dict(s) for s in self.statements]
+        if self.plan:
+            out["plan"] = dict(self.plan)
         out.update(self.extras)
         return out
 

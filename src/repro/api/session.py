@@ -20,18 +20,36 @@ from __future__ import annotations
 
 import collections
 import concurrent.futures
+import dataclasses
 import threading
-from typing import Dict, Iterable, List, Optional, Union
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.records import RunRecord
 from repro.api.workload import CompiledWorkload, WorkloadPoint, get_workload
 from repro.config import ExecutionMode, RunConfig
 from repro.exceptions import WorkloadError
 from repro.machine.parameters import MachineParameters, touchstone_delta
+from repro.planner.plan_cache import PlanCache, use_plan_cache
+from repro.planner.search import normalize_optimizer
 
-__all__ = ["Session"]
+__all__ = ["Session", "SweepResult"]
 
 PointLike = Union[WorkloadPoint, CompiledWorkload]
+
+
+class SweepResult(List[RunRecord]):
+    """The records of one sweep, plus a ``summary`` of what the sweep cost.
+
+    A plain ``list`` subclass, so every existing consumer of
+    :meth:`Session.sweep` keeps working; ``summary`` adds the per-sweep
+    compile-cache and planner-cache hit/miss deltas and the optimizer mix of
+    the evaluated points.
+    """
+
+    def __init__(self, records: Iterable[RunRecord], summary: Dict[str, object]):
+        super().__init__(records)
+        self.summary = dict(summary)
 
 
 class Session:
@@ -56,6 +74,20 @@ class Session:
         objects (keyed on the full :class:`WorkloadPoint`).  Cached programs
         are shared between runs and threads — they are frozen and must not
         be mutated.
+    optimize:
+        The session's default plan optimizer for memory-budget compilations
+        (``"none"`` | ``"greedy"`` | ``"beam"`` | ``"exhaustive"``; default
+        ``"greedy"``).  A point's own ``optimize`` field, or the per-call
+        override of :meth:`compile` / :meth:`run` / :meth:`sweep`, wins over
+        this default.  The effective choice is folded into the point before
+        it keys any compile cache, so different budget-allocation policies
+        never share a cached compilation.
+    plan_cache_dir:
+        Directory of the persistent plan cache.  ``None`` (the default)
+        keeps search winners in memory only; with a directory, winners are
+        written to disk and replayed by any later Session pointed at it.
+    plan_cache_size:
+        In-memory entry capacity of the plan cache.
     """
 
     def __init__(
@@ -64,11 +96,16 @@ class Session:
         config: Optional[RunConfig] = None,
         *,
         compile_cache_size: int = 128,
+        optimize: str = "greedy",
+        plan_cache_dir: Optional[Path | str] = None,
+        plan_cache_size: int = 256,
     ):
         if compile_cache_size < 1:
             raise WorkloadError("compile_cache_size must be at least 1")
         self.params = params or touchstone_delta()
         self.config = config or RunConfig()
+        self.optimize = normalize_optimizer(optimize)
+        self.plan_cache = PlanCache(plan_cache_dir, capacity=plan_cache_size)
         self._cache: "collections.OrderedDict[WorkloadPoint, CompiledWorkload]" = (
             collections.OrderedDict()
         )
@@ -85,6 +122,7 @@ class Session:
         point: Optional[WorkloadPoint] = None,
         *,
         source: Optional[str] = None,
+        optimize: Optional[str] = None,
         **point_kwargs,
     ) -> CompiledWorkload:
         """Compile a workload point (LRU-cached on the full point).
@@ -98,6 +136,11 @@ class Session:
 
         ``source=...`` builds an ``"hpf"`` point carrying the program text;
         the compiled program's own sizes fill in ``n`` and ``nprocs``.
+
+        ``optimize`` overrides the plan-optimizer choice for this call; the
+        resolution order is call override → the point's ``optimize`` field →
+        the session default.  The effective choice is written into the point
+        before it keys the compile cache.
         """
         if point is not None and (source is not None or point_kwargs):
             raise WorkloadError("pass either a WorkloadPoint or keyword fields, not both")
@@ -108,6 +151,7 @@ class Session:
                 point = WorkloadPoint(workload="hpf", options=options, **point_kwargs)
             else:
                 point = WorkloadPoint(**point_kwargs)
+        point = self._resolve_optimize(point, optimize)
 
         with self._cache_lock:
             cached = self._cache.get(point)
@@ -119,7 +163,8 @@ class Session:
 
         workload = get_workload(point.workload)
         workload.validate(point)
-        compiled = workload.compile(point, self.params)
+        with use_plan_cache(self.plan_cache):
+            compiled = workload.compile(point, self.params)
 
         with self._cache_lock:
             self._cache[point] = compiled
@@ -128,13 +173,30 @@ class Session:
                 self._cache.popitem(last=False)
         return compiled
 
+    def _resolve_optimize(
+        self, point: WorkloadPoint, override: Optional[str]
+    ) -> WorkloadPoint:
+        """Fold the effective optimizer choice into the point (cache key)."""
+        effective = normalize_optimizer(
+            override if override is not None else (point.optimize or self.optimize)
+        )
+        if point.optimize == effective:
+            return point
+        return dataclasses.replace(point, optimize=effective)
+
     def cache_info(self) -> Dict[str, int]:
+        planner = self.plan_cache.stats()
         with self._cache_lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "size": len(self._cache),
                 "capacity": self._cache_capacity,
+                "planner_hits": planner["hits"],
+                "planner_misses": planner["misses"],
+                "planner_stores": planner["stores"],
+                "planner_size": planner["size"],
+                "planner_persistent": planner["persistent"],
             }
 
     def clear_cache(self) -> None:
@@ -149,15 +211,22 @@ class Session:
         point: PointLike,
         mode: Optional[ExecutionMode | str] = None,
         verify: Optional[bool] = None,
+        optimize: Optional[str] = None,
     ) -> RunRecord:
         """Evaluate one point (or pre-compiled workload) and return its record.
 
         ``mode`` defaults to the session config's mode; ``verify`` defaults
         to the config's ``verify`` flag and only matters in ``EXECUTE`` mode.
+        ``optimize`` overrides the plan-optimizer choice for this evaluation
+        (ignored for pre-compiled workloads, whose plan is already fixed).
         """
         from repro.runtime.vm import VirtualMachine
 
-        compiled = point if isinstance(point, CompiledWorkload) else self.compile(point)
+        compiled = (
+            point
+            if isinstance(point, CompiledWorkload)
+            else self.compile(point, optimize=optimize)
+        )
         if mode is None:
             mode = self.config.mode
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
@@ -186,7 +255,8 @@ class Session:
         mode: Optional[ExecutionMode | str] = None,
         workers: int = 1,
         verify: Optional[bool] = None,
-    ) -> List[RunRecord]:
+        optimize: Optional[str | Sequence[Optional[str]]] = None,
+    ) -> SweepResult:
         """Evaluate many points — possibly of different workloads — in order.
 
         ``workers > 1`` evaluates points concurrently in a thread pool.  Each
@@ -199,14 +269,62 @@ class Session:
         Unlike the legacy ``sweep_gaxpy`` driver, the ``verify`` flag is
         forwarded to every point on both the sequential and the thread-pool
         paths.
+
+        ``optimize`` sets the plan-optimizer choice: one string applies to
+        every point, a sequence gives a per-point override (``None`` entries
+        defer to the point / session default).  The returned
+        :class:`SweepResult` is a list of records whose ``summary`` reports
+        the compile-cache and planner-cache hit/miss deltas of this sweep
+        and the optimizer mix actually evaluated.
         """
         points = list(points)
+        overrides = self._sweep_overrides(points, optimize)
+        before = self.cache_info()
         if workers > 1 and len(points) > 1:
             with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(
-                    pool.map(lambda p: self.run(p, mode=mode, verify=verify), points)
+                records = list(
+                    pool.map(
+                        lambda pair: self.run(
+                            pair[0], mode=mode, verify=verify, optimize=pair[1]
+                        ),
+                        zip(points, overrides),
+                    )
                 )
-        return [self.run(p, mode=mode, verify=verify) for p in points]
+        else:
+            records = [
+                self.run(p, mode=mode, verify=verify, optimize=o)
+                for p, o in zip(points, overrides)
+            ]
+        after = self.cache_info()
+        optimizers = collections.Counter(
+            str(record.plan.get("optimizer", "none")) for record in records
+        )
+        summary = {
+            "points": len(records),
+            "compile_hits": after["hits"] - before["hits"],
+            "compile_misses": after["misses"] - before["misses"],
+            "planner_hits": after["planner_hits"] - before["planner_hits"],
+            "planner_misses": after["planner_misses"] - before["planner_misses"],
+            "planner_stores": after["planner_stores"] - before["planner_stores"],
+            "optimizers": dict(optimizers),
+        }
+        return SweepResult(records, summary)
+
+    @staticmethod
+    def _sweep_overrides(
+        points: List[PointLike],
+        optimize: Optional[str | Sequence[Optional[str]]],
+    ) -> List[Optional[str]]:
+        """Normalise the sweep's ``optimize`` argument to one entry per point."""
+        if optimize is None or isinstance(optimize, str):
+            return [optimize] * len(points)
+        overrides = list(optimize)
+        if len(overrides) != len(points):
+            raise WorkloadError(
+                f"sweep got {len(points)} points but {len(overrides)} optimize "
+                "overrides; pass one string or one entry per point"
+            )
+        return overrides
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

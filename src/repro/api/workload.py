@@ -102,6 +102,12 @@ class WorkloadPoint:
     slab_elements: Optional[Mapping[str, int]] = None
     dtype: str = "float32"
     options: Mapping[str, object] = dataclasses.field(default_factory=tuple)
+    #: plan-optimizer choice for memory-budget compilations
+    #: (``"none"`` | ``"greedy"`` | ``"beam"`` | ``"exhaustive"``); ``None``
+    #: defers to the owning Session's default.  Part of the point — and
+    #: therefore of every compile-cache key — so two budget-allocation
+    #: policies never silently share one cached compilation.
+    optimize: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.workload:
@@ -110,6 +116,14 @@ class WorkloadPoint:
             raise WorkloadError(f"nprocs must be positive, got {self.nprocs}")
         if self.n < 0:
             raise WorkloadError(f"n must be non-negative, got {self.n}")
+        if self.optimize is not None:
+            from repro.planner.search import OPTIMIZERS
+
+            if self.optimize not in OPTIMIZERS:
+                raise WorkloadError(
+                    f"unknown optimize choice {self.optimize!r} "
+                    f"(choose from {sorted(OPTIMIZERS)})"
+                )
         object.__setattr__(
             self, "slab_elements", _freeze_mapping(self.slab_elements, "slab_elements")
         )
@@ -291,6 +305,8 @@ class Workload(abc.ABC):
             kwargs["memory_budget_bytes"] = int(lowering.memory_budget_bytes)
         if lowering.force_strategy is not None:
             kwargs["force_strategy"] = lowering.force_strategy
+        if point.optimize is not None:
+            kwargs["optimizer"] = point.optimize
         program = compile_program(lowering.ir, params, **kwargs)
         return CompiledWorkload(
             workload=self,
@@ -339,6 +355,42 @@ class Workload(abc.ABC):
             return "program"
         return compiled.program.plan.strategy.value
 
+    def plan_info(self, compiled: CompiledWorkload) -> Dict[str, object]:
+        """The record's ``plan`` mapping: chosen plan plus predicted cost.
+
+        Reports the compiled program's predicted :class:`PlanCost` (so
+        predicted-vs-charged stays checkable on every record) and, when the
+        plan optimizer searched a memory budget, its
+        :class:`~repro.planner.search.PlanDecision` — per-statement budgets,
+        policies, the even-split baseline and the plan-cache status.
+        """
+        program = compiled.program
+        if program is None:
+            return {}
+        cost = program.predicted_cost
+        decision = getattr(program, "planner", None)
+        info: Dict[str, object] = {
+            # What actually happened: the attached decision's optimizer, or
+            # "none" when no plan search ran (slab_ratio / slab_elements
+            # compilations ignore the session's optimize default).
+            "optimizer": decision.optimizer if decision is not None else "none",
+            "strategy": cost.label
+            or (cost.strategy.value if cost.strategy is not None else "in-core"),
+            "predicted_seconds": cost.total_time,
+            "predicted_io_time": cost.io_time,
+            "predicted_io_bytes_per_proc": cost.io_bytes,
+        }
+        if decision is not None:
+            info.update(
+                statement_budgets=tuple(decision.statement_budgets),
+                policies=tuple(decision.policies),
+                even_predicted_seconds=decision.even_total_time,
+                even_predicted_io_bytes_per_proc=decision.even_io_bytes,
+                planner_cache=decision.cache_status,
+                candidates_evaluated=decision.candidates_evaluated,
+            )
+        return info
+
     def _record(
         self,
         compiled: CompiledWorkload,
@@ -369,6 +421,7 @@ class Workload(abc.ABC):
             verified=verified,
             max_abs_error=max_abs_error,
             statements=statements,
+            plan=self.plan_info(compiled),
         )
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import time
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -43,6 +43,10 @@ from repro.core.stripmine import (
 )
 from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.runtime.slab import SlabbingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner imports us)
+    from repro.planner.plan_cache import PlanCache
+    from repro.planner.search import PlanDecision
 
 __all__ = [
     "CompiledProgram",
@@ -73,6 +77,9 @@ class CompiledProgram:
     params: MachineParameters
     nprocs: int
     compile_seconds: float
+    #: the plan optimizer's decision when the compilation went through the
+    #: planner (``optimizer=`` with a memory budget); ``None`` otherwise
+    planner: Optional["PlanDecision"] = None
 
     @property
     def strategy(self) -> SlabbingStrategy:
@@ -117,6 +124,10 @@ class CompiledWholeProgram:
     params: MachineParameters
     nprocs: int
     compile_seconds: float
+    #: the plan optimizer's decision when a memory budget was searched
+    #: (per-statement budgets, policies, predicted-vs-even cost); ``None``
+    #: for ``slab_ratio`` / ``slab_elements`` compilations
+    planner: Optional["PlanDecision"] = None
 
     @property
     def predicted_cost(self) -> PlanCost:
@@ -148,6 +159,8 @@ class CompiledWholeProgram:
                 f"io={cost.io_time:.2f}s compute={cost.compute_time:.2f}s "
                 f"comm={cost.comm_time:.2f}s"
             )
+        if self.planner is not None:
+            lines.append("  " + self.planner.describe().replace("\n", "\n  "))
         return "\n".join(lines)
 
 
@@ -203,10 +216,19 @@ def _plan_data_movement(
                 f"every array the same slab_elements (got { {n: int(sizes[n]) for n in names} })"
             )
     else:
-        per_array = memory_budget_bytes // len(names)
-        sizes = {
-            name: slab_elements_from_bytes(program.arrays[name], per_array) for name in names
-        }
+        from repro.planner.budget import split_evenly
+
+        # An exact even split: the remainder is redistributed one byte at a
+        # time instead of being silently dropped (shares differ by <= 1 byte).
+        # The fused schedule streams one *conformal* slab of every array per
+        # iteration, so all arrays share the smallest element count any share
+        # affords.
+        shares = split_evenly(int(memory_budget_bytes), len(names))
+        common = min(
+            slab_elements_from_bytes(program.arrays[name], share)
+            for name, share in zip(names, shares)
+        )
+        sizes = {name: common for name in names}
 
     entries = {
         name: build_plan_entry(program.arrays[name], strategy, sizes[name]) for name in names
@@ -230,6 +252,8 @@ def compile_program(
     policy: Optional[AllocationPolicy] = None,
     force_strategy: Optional[SlabbingStrategy | str] = None,
     strategies: Sequence[SlabbingStrategy | str] = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
+    optimizer: Optional[str] = None,
+    plan_cache: Optional["PlanCache"] = None,
 ) -> CompiledProgram:
     """Compile a program for out-of-core execution.
 
@@ -242,6 +266,15 @@ def compile_program(
       (the convention of the paper's Figure 10 / Table 1 sweeps);
     * ``slab_elements`` — explicit per-array slab sizes in elements
       (the convention of Table 2).
+
+    ``optimizer`` (``"none"`` | ``"greedy"`` | ``"beam"`` | ``"exhaustive"``)
+    hands the memory-budget case to the plan optimizer
+    (:mod:`repro.planner`), which searches allocation policies — and, for
+    whole programs, per-statement budget splits — using the cost model as
+    the objective; the chosen plan is never worse than the even split.  It
+    only applies when ``memory_budget_bytes`` is given and ``policy`` is not
+    pinned.  ``plan_cache`` (or the ambient Session cache) replays previous
+    search winners.
 
     Multi-statement programs are dispatched to :func:`compile_whole_program`
     (and return a :class:`CompiledWholeProgram`).
@@ -256,18 +289,43 @@ def compile_program(
             policy=policy,
             force_strategy=force_strategy,
             strategies=strategies,
+            optimizer=optimizer,
+            plan_cache=plan_cache,
         )
     params = params or touchstone_delta()
     start = time.perf_counter()
-    analysis = analyze_program(program)
-    nprocs = program.nprocs()
-    cost_model = CostModel(params, nprocs)
-
     specified = sum(x is not None for x in (memory_budget_bytes, slab_ratio, slab_elements))
     if specified != 1:
         raise CompilationError(
             "specify exactly one of memory_budget_bytes, slab_ratio or slab_elements"
         )
+    if (
+        optimizer is not None
+        and optimizer != "none"
+        and memory_budget_bytes is not None
+        and policy is None
+    ):
+        from repro.planner.plan_cache import active_plan_cache
+        from repro.planner.search import plan_whole_program
+
+        cache = plan_cache if plan_cache is not None else active_plan_cache()
+        decision, units = plan_whole_program(
+            program,
+            params,
+            int(memory_budget_bytes),
+            optimizer=optimizer,
+            strategies=strategies,
+            force_strategy=force_strategy,
+            plan_cache=cache,
+        )
+        return dataclasses.replace(
+            units[0],
+            planner=decision,
+            compile_seconds=time.perf_counter() - start,
+        )
+    analysis = analyze_program(program)
+    nprocs = program.nprocs()
+    cost_model = CostModel(params, nprocs)
 
     if not isinstance(analysis, InCorePhaseResult):
         plan = _plan_data_movement(
@@ -365,6 +423,8 @@ def compile_whole_program(
     policy: Optional[AllocationPolicy] = None,
     force_strategy: Optional[SlabbingStrategy | str] = None,
     strategies: Sequence[SlabbingStrategy | str] = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
+    optimizer: Optional[str] = None,
+    plan_cache: Optional["PlanCache"] = None,
 ) -> CompiledWholeProgram:
     """Compile a (possibly multi-statement) program for out-of-core execution.
 
@@ -375,9 +435,19 @@ def compile_whole_program(
     specification is interpreted per statement:
 
     * ``memory_budget_bytes`` is one *shared* node budget: statements execute
-      back to back, but the compiler conservatively splits the budget evenly
-      between them so a schedule interleaving statement windows (e.g. with
-      prefetch) stays within memory;
+      back to back, but the compiler conservatively bounds every statement's
+      working set so a schedule interleaving statement windows (e.g. with
+      prefetch) stays within memory.  How the budget is divided is decided by
+      ``optimizer``: ``"none"`` (or a pinned ``policy``) keeps the even split
+      (remainder redistributed, no byte dropped), while ``"greedy"`` /
+      ``"beam"`` / ``"exhaustive"`` delegate the division to the plan
+      optimizer (:mod:`repro.planner`), which searches per-statement budgets
+      and allocation policies against the cost model and never returns a plan
+      worse than the even split; its :class:`~repro.planner.search.PlanDecision`
+      is attached as ``.planner``.  ``plan_cache`` (or the ambient Session
+      cache installed with
+      :func:`repro.planner.plan_cache.use_plan_cache`) replays previous
+      search winners;
     * ``slab_ratio`` applies to every array of every statement;
     * ``slab_elements`` entries are routed to the statements referencing them.
 
@@ -394,14 +464,45 @@ def compile_whole_program(
         raise CompilationError(
             "specify exactly one of memory_budget_bytes, slab_ratio or slab_elements"
         )
-    per_statement_budget: Optional[int] = None
+    statement_budgets: Optional[Sequence[int]] = None
+    planner_decision = None
     if memory_budget_bytes is not None:
-        per_statement_budget = int(memory_budget_bytes) // len(statements)
-        if per_statement_budget < 1:
+        from repro.planner.budget import split_evenly
+        from repro.planner.plan_cache import active_plan_cache
+        from repro.planner.search import normalize_optimizer, plan_whole_program
+
+        if int(memory_budget_bytes) < len(statements):
             raise CompilationError(
                 f"memory budget of {memory_budget_bytes} bytes cannot be split "
                 f"between {len(statements)} statements"
             )
+        effective = normalize_optimizer(optimizer)
+        if policy is None:
+            cache = plan_cache if plan_cache is not None else active_plan_cache()
+            planner_decision, units = plan_whole_program(
+                program,
+                params,
+                int(memory_budget_bytes),
+                optimizer=effective,
+                strategies=strategies,
+                force_strategy=force_strategy,
+                plan_cache=cache if effective != "none" else None,
+            )
+            schedule = generate_program_schedule(program, list(units))
+            cost = combine_plan_costs([unit.plan.cost for unit in units])
+            return CompiledWholeProgram(
+                program=program,
+                statements=tuple(units),
+                schedule=schedule,
+                cost=cost,
+                params=params,
+                nprocs=program.nprocs(),
+                compile_seconds=time.perf_counter() - start,
+                planner=planner_decision,
+            )
+        # A pinned allocation policy bypasses the search: even budget split
+        # (exact — the remainder is redistributed, not dropped).
+        statement_budgets = split_evenly(int(memory_budget_bytes), len(statements))
 
     compiled_statements = []
     for index in range(len(statements)):
@@ -416,7 +517,9 @@ def compile_whole_program(
             compile_program(
                 sub_program,
                 params,
-                memory_budget_bytes=per_statement_budget,
+                memory_budget_bytes=(
+                    statement_budgets[index] if statement_budgets is not None else None
+                ),
                 slab_ratio=slab_ratio,
                 slab_elements=sub_slabs,
                 policy=policy,
@@ -449,6 +552,7 @@ def compile_gaxpy(
     slab_elements: Optional[Dict[str, int]] = None,
     policy: Optional[AllocationPolicy] = None,
     force_strategy: Optional[SlabbingStrategy | str] = None,
+    optimizer: Optional[str] = None,
 ) -> CompiledProgram:
     """Build and compile the paper's out-of-core GAXPY matrix multiplication."""
     program = build_gaxpy_ir(n, nprocs, dtype=dtype)
@@ -460,6 +564,7 @@ def compile_gaxpy(
         slab_elements=slab_elements,
         policy=policy,
         force_strategy=force_strategy,
+        optimizer=optimizer,
     )
 
 
@@ -474,6 +579,7 @@ def _compile_gaxpy_cached(
     memory_budget_bytes: Optional[int],
     policy: Optional[AllocationPolicy],
     force_name: Optional[str],
+    optimizer: Optional[str],
 ) -> CompiledProgram:
     return compile_gaxpy(
         n,
@@ -485,6 +591,7 @@ def _compile_gaxpy_cached(
         memory_budget_bytes=memory_budget_bytes,
         policy=policy,
         force_strategy=force_name,
+        optimizer=optimizer,
     )
 
 
@@ -499,11 +606,13 @@ def compile_gaxpy_cached(
     memory_budget_bytes: Optional[int] = None,
     policy: Optional[AllocationPolicy] = None,
     force_strategy: Optional[SlabbingStrategy | str] = None,
+    optimizer: Optional[str] = None,
 ) -> CompiledProgram:
     """LRU-cached :func:`compile_gaxpy` for sweep drivers.
 
     Keyed on ``(n, nprocs, machine parameters, dtype, slab configuration,
-    memory budget, allocation policy, forced strategy)``; sweeps that revisit
+    memory budget, allocation policy, forced strategy, plan optimizer)``;
+    sweeps that revisit
     a configuration (or evaluate the same point in several modes) share one
     :class:`CompiledProgram`.  The returned object is shared between callers —
     treat it as immutable.  Memory-budget compilation is cached too: the
@@ -534,6 +643,7 @@ def compile_gaxpy_cached(
             memory_budget_bytes=memory_budget_bytes,
             policy=policy,
             force_strategy=force_name,
+            optimizer=optimizer,
         )
     return _compile_gaxpy_cached(
         int(n),
@@ -545,4 +655,5 @@ def compile_gaxpy_cached(
         int(memory_budget_bytes) if memory_budget_bytes is not None else None,
         policy,
         force_name,
+        optimizer,
     )

@@ -1,0 +1,95 @@
+"""Integer budget arithmetic for the plan optimizer.
+
+Every allocation decision in the planner ultimately divides one byte budget
+between competing consumers — statements of a whole program, or arrays of one
+statement.  The legacy pipeline did this with ``budget // parts``, silently
+discarding up to ``parts - 1`` bytes; these helpers split *exactly* (the
+remainder is redistributed one byte at a time) and split *non-uniformly*
+(proportionally to planner-chosen weights) while always conserving the total.
+
+The module is dependency-light on purpose: :mod:`repro.core.pipeline` imports
+it without pulling in the search machinery, so no import cycle forms between
+the compiler core and the planner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import CompilationError
+
+__all__ = ["split_evenly", "split_by_weights"]
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Divide ``total`` into ``parts`` near-equal integer shares summing to ``total``.
+
+    The first ``total % parts`` shares receive one extra unit, so no unit of
+    budget is silently dropped (the fix for the historical
+    ``budget // parts`` split) and the shares differ by at most one.
+    """
+    total = int(total)
+    parts = int(parts)
+    if parts < 1:
+        raise CompilationError(f"cannot split a budget into {parts} parts")
+    if total < parts:
+        raise CompilationError(
+            f"budget of {total} cannot give each of {parts} parts at least one unit"
+        )
+    base, remainder = divmod(total, parts)
+    return [base + 1 if index < remainder else base for index in range(parts)]
+
+
+def split_by_weights(
+    total: int,
+    weights: Sequence[float],
+    minimums: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Divide ``total`` proportionally to ``weights``, conserving the sum exactly.
+
+    Each share is floored to an integer and the leftover units are handed out
+    to the parts with the largest fractional remainders (largest-remainder
+    apportionment), so ``sum(result) == total`` always holds.  ``minimums``
+    optionally floors each share; the deficit is taken from the parts with the
+    largest surplus above their own minimum.
+    """
+    total = int(total)
+    if not weights:
+        raise CompilationError("split_by_weights needs at least one weight")
+    if any(w < 0 for w in weights):
+        raise CompilationError(f"weights must be non-negative, got {list(weights)}")
+    parts = len(weights)
+    minimums = [int(m) for m in (minimums or [0] * parts)]
+    if len(minimums) != parts:
+        raise CompilationError(
+            f"{parts} weights but {len(minimums)} minimums"
+        )
+    if sum(minimums) > total:
+        raise CompilationError(
+            f"budget of {total} cannot cover the minimum shares {minimums}"
+        )
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        # No signal: treat every part equally (still through the
+        # largest-remainder path, so minimums are enforced).
+        weights = [1.0] * parts
+        weight_sum = float(parts)
+
+    raw = [total * (w / weight_sum) for w in weights]
+    shares = [int(r) for r in raw]
+    leftover = total - sum(shares)
+    by_fraction = sorted(range(parts), key=lambda i: raw[i] - shares[i], reverse=True)
+    for index in by_fraction[:leftover]:
+        shares[index] += 1
+
+    # Enforce the minimums, taking the deficit from the richest parts.
+    for index in range(parts):
+        while shares[index] < minimums[index]:
+            donor = max(
+                (i for i in range(parts) if shares[i] > minimums[i]),
+                key=lambda i: shares[i] - minimums[i],
+            )
+            move = min(minimums[index] - shares[index], shares[donor] - minimums[donor])
+            shares[donor] -= move
+            shares[index] += move
+    return shares

@@ -1,0 +1,233 @@
+"""Persistent plan store: remember search winners across compiles and processes.
+
+The planner's searches are deterministic, so a winning :class:`PlanChoice`
+can be replayed without re-searching whenever the *inputs* of the search are
+identical.  The cache key is a SHA-256 fingerprint over
+
+* the program (statements, loop nests, array shapes / dtypes / distributions,
+  processor count),
+* the machine parameters (every disk / network / processor field),
+* the byte budget, the optimizer name, and the strategy constraints.
+
+Any change to any of these — a different dtype, a different machine preset, a
+different processor count — produces a different key, which is exactly the
+invalidation the cost model requires.
+
+Entries live in a bounded in-memory LRU; when the cache is constructed with a
+directory they are *also* written as one JSON file per key, so a new process
+(or a new :class:`~repro.api.Session`) pointed at the same directory replays
+earlier winners ("plan once / serve many").  Corrupt or unreadable files are
+treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import contextvars
+import dataclasses
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.core.ir import ProgramIR
+from repro.machine.parameters import MachineParameters
+from repro.planner.space import PlanChoice
+
+__all__ = [
+    "PlanCache",
+    "plan_fingerprint",
+    "use_plan_cache",
+    "active_plan_cache",
+]
+
+_PAYLOAD_VERSION = 1
+
+
+def plan_fingerprint(
+    program: ProgramIR,
+    params: MachineParameters,
+    *,
+    memory_budget_bytes: int,
+    optimizer: str,
+    strategies: Sequence[str],
+    force_strategy: Optional[str],
+) -> str:
+    """The cache key: a stable digest of everything the search depends on."""
+    arrays = {
+        name: {
+            "shape": list(desc.shape),
+            "dtype": str(desc.dtype),
+            "out_of_core": bool(desc.out_of_core),
+            "layout": desc.describe(),
+        }
+        for name, desc in sorted(program.arrays.items())
+    }
+    document = {
+        "version": _PAYLOAD_VERSION,
+        "program": {
+            "name": program.name,
+            "statements": [stmt.describe() for stmt in program.statements],
+            "loops": [
+                [loop.describe() for loop in nest] for nest in program.loop_nests
+            ],
+            "arrays": arrays,
+            "nprocs": program.nprocs(),
+        },
+        "machine": dataclasses.asdict(params),
+        "memory_budget_bytes": int(memory_budget_bytes),
+        "optimizer": str(optimizer),
+        "strategies": [str(s) for s in strategies],
+        "force_strategy": force_strategy,
+    }
+    canonical = json.dumps(document, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class PlanCache:
+    """Bounded LRU of winning plan choices, optionally persisted to a directory.
+
+    ``path=None`` keeps the cache in memory only (the default of a fresh
+    :class:`~repro.api.Session`); with a directory, every stored entry is
+    mirrored to ``<key>.json`` and lookups fall back to disk on a memory miss.
+    """
+
+    def __init__(self, path: Optional[Path | str] = None, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("PlanCache capacity must be at least 1")
+        self.path = Path(path) if path is not None else None
+        self._capacity = int(capacity)
+        self._entries: "collections.OrderedDict[str, Dict]" = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[PlanChoice]:
+        """Return the stored winner for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._decode(payload)
+        payload = self._read_disk(key)
+        with self._lock:
+            if payload is not None:
+                choice = self._decode(payload)
+                if choice is not None:
+                    self._remember(key, payload)
+                    self._hits += 1
+                    return choice
+            self._misses += 1
+            return None
+
+    def store(self, key: str, choice: PlanChoice, metadata: Optional[Dict] = None) -> None:
+        """Persist the winning ``choice`` under ``key``."""
+        payload = {
+            "version": _PAYLOAD_VERSION,
+            "statement_budgets": [int(b) for b in choice.statement_budgets],
+            "policies": list(choice.policies),
+        }
+        payload.update(metadata or {})
+        with self._lock:
+            self._remember(key, payload)
+            self._stores += 1
+        self._write_disk(key, payload)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "size": len(self._entries),
+                "persistent": int(self.path is not None),
+            }
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory entries (and, optionally, the on-disk files)."""
+        with self._lock:
+            self._entries.clear()
+        if disk and self.path is not None:
+            for file in self.path.glob("*.json"):
+                with contextlib.suppress(OSError):
+                    file.unlink()
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, payload: Dict) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    @staticmethod
+    def _decode(payload: Dict) -> Optional[PlanChoice]:
+        try:
+            if int(payload.get("version", -1)) != _PAYLOAD_VERSION:
+                return None
+            budgets = tuple(int(b) for b in payload["statement_budgets"])
+            policies = tuple(str(p) for p in payload["policies"])
+            return PlanChoice(budgets, policies)
+        except Exception:
+            return None
+
+    def _entry_file(self, key: str) -> Optional[Path]:
+        if self.path is None:
+            return None
+        return self.path / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[Dict]:
+        file = self._entry_file(key)
+        if file is None or not file.exists():
+            return None
+        try:
+            return json.loads(file.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _write_disk(self, key: str, payload: Dict) -> None:
+        file = self._entry_file(key)
+        if file is None:
+            return
+        try:
+            tmp = file.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            tmp.replace(file)
+        except OSError:
+            pass  # persistence is best-effort; the in-memory entry stands
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        where = str(self.path) if self.path is not None else "memory"
+        return f"PlanCache({where}, {stats['size']} entries, {stats['hits']} hits)"
+
+
+# ---------------------------------------------------------------------------
+# ambient cache: lets the Session hand its cache to the pipeline without
+# widening every Workload.compile() signature (third-party workloads override
+# that method with the historical two-argument form).
+# ---------------------------------------------------------------------------
+_ACTIVE_CACHE: "contextvars.ContextVar[Optional[PlanCache]]" = contextvars.ContextVar(
+    "repro_plan_cache", default=None
+)
+
+
+@contextlib.contextmanager
+def use_plan_cache(cache: Optional[PlanCache]) -> Iterator[None]:
+    """Make ``cache`` the ambient plan cache within the ``with`` block."""
+    token = _ACTIVE_CACHE.set(cache)
+    try:
+        yield
+    finally:
+        _ACTIVE_CACHE.reset(token)
+
+
+def active_plan_cache() -> Optional[PlanCache]:
+    """The ambient plan cache installed by :func:`use_plan_cache`, if any."""
+    return _ACTIVE_CACHE.get()

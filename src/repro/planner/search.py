@@ -1,0 +1,468 @@
+"""Plan-space search strategies: greedy, exhaustive and beam.
+
+Every search prices candidates with the *existing* cost model — a candidate
+is evaluated by compiling each statement under its assigned budget and policy
+through the unchanged Figure-7 pipeline and summing the per-statement
+:class:`~repro.core.cost_model.PlanCost` with
+:func:`~repro.core.cost_model.combine_plan_costs`.  Because every search
+seeds with the even-split baseline and only ever replaces it with a strictly
+cheaper candidate, the returned plan is provably no worse than the legacy
+even split under the model.
+
+* ``"none"`` — the even split itself (the legacy behaviour, remainder fixed);
+* ``"greedy"`` — hill-climbing quantum transfers between statements with a
+  halving step size, plus a per-statement allocation-policy refinement;
+* ``"exhaustive"`` — a full grid over the budget simplex with per-statement
+  best policies (compile-time is paid for; the grid and the
+  :class:`~repro.core.memory_alloc.SearchAllocation` fraction set are finer);
+* ``"beam"`` — greedy's neighbourhood expansion keeping the best
+  ``BEAM_WIDTH`` states per round (escapes single-path local minima at a
+  bounded multiple of greedy's compile cost).
+
+Per-statement compilations are memoized on ``(statement, budget, policy)``,
+so the searches share work: an exhaustive grid over three statements costs a
+few dozen statement compilations, not thousands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import PlanCost, combine_plan_costs
+from repro.exceptions import (
+    CompilationError,
+    CostModelError,
+    MemoryAllocationError,
+    ReproError,
+)
+from repro.machine.parameters import MachineParameters
+from repro.planner.plan_cache import PlanCache, plan_fingerprint
+from repro.planner.space import (
+    NO_POLICY,
+    POLICY_NAMES,
+    PlanChoice,
+    budget_grid,
+    even_choice,
+    policy_instance,
+    statement_kinds,
+    transfer_neighbors,
+)
+from repro.runtime.slab import SlabbingStrategy
+
+__all__ = ["OPTIMIZERS", "PlanDecision", "normalize_optimizer", "plan_whole_program"]
+
+#: recognised optimizer names, in increasing compile-time order.
+OPTIMIZERS: Tuple[str, ...] = ("none", "greedy", "beam", "exhaustive")
+
+#: states kept per round by the beam search.
+BEAM_WIDTH = 4
+#: hard cap on hill-climbing rounds (greedy and beam).
+MAX_ROUNDS = 64
+
+
+def normalize_optimizer(optimizer: Optional[str]) -> str:
+    """Map ``None`` to ``"none"`` and reject unknown optimizer names."""
+    name = "none" if optimizer is None else str(optimizer)
+    if name not in OPTIMIZERS:
+        raise CompilationError(
+            f"unknown plan optimizer {name!r} (choose from {sorted(OPTIMIZERS)})"
+        )
+    return name
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanDecision:
+    """What the planner decided and why — attached to compiled programs.
+
+    ``statement_budgets`` / ``policies`` pin the winning
+    :class:`~repro.planner.space.PlanChoice`; the ``predicted_*`` numbers are
+    the winner's modelled cost, the ``even_*`` numbers the even-split
+    baseline's, so callers can verify the no-worse guarantee and records can
+    report predicted-vs-charged quantities.  ``cache_status`` is ``"off"``
+    (no cache in play), ``"hit"`` (winner replayed from the plan cache) or
+    ``"miss"`` (search ran, winner stored).
+    """
+
+    optimizer: str
+    statement_budgets: Tuple[int, ...]
+    policies: Tuple[str, ...]
+    predicted_total_time: float
+    predicted_io_time: float
+    predicted_io_bytes: float
+    even_total_time: float
+    even_io_time: float
+    even_io_bytes: float
+    candidates_evaluated: int
+    cache_status: str = "off"
+
+    @property
+    def choice(self) -> PlanChoice:
+        return PlanChoice(self.statement_budgets, self.policies)
+
+    @property
+    def improvement(self) -> float:
+        """Even-split time over chosen-plan time (>= 1.0 by construction)."""
+        if self.predicted_total_time <= 0:
+            return 1.0
+        return self.even_total_time / self.predicted_total_time
+
+    def describe(self) -> str:
+        lines = [
+            f"plan optimizer [{self.optimizer}] "
+            f"(cache {self.cache_status}, {self.candidates_evaluated} candidates):",
+            f"  chosen budgets: {list(self.statement_budgets)} bytes, "
+            f"policies {list(self.policies)}",
+            f"  predicted time {self.predicted_total_time:.2f}s "
+            f"(io {self.predicted_io_time:.2f}s) vs even split "
+            f"{self.even_total_time:.2f}s (io {self.even_io_time:.2f}s) — "
+            f"{self.improvement:.2f}x",
+        ]
+        return "\n".join(lines)
+
+
+def _cost_key(cost: PlanCost) -> Tuple[float, float, float]:
+    """Total order over plan costs: time first, I/O time, then data volume."""
+    return (cost.total_time, cost.io_time, cost.io_bytes)
+
+
+@dataclasses.dataclass
+class _Evaluation:
+    """One priced candidate: its cost, knobs and compiled statements."""
+
+    cost: PlanCost
+    budgets: Tuple[int, ...]
+    policies: Tuple[str, ...]
+    compiled: Tuple[object, ...]  # CompiledProgram per statement
+
+
+class _ProgramEvaluator:
+    """Compiles and prices plan candidates, memoized per statement knob."""
+
+    def __init__(
+        self,
+        program,
+        params: MachineParameters,
+        strategies: Sequence,
+        force_strategy,
+        *,
+        fine: bool,
+    ):
+        self.program = program
+        self.params = params
+        self.strategies = tuple(strategies)
+        self.force_strategy = force_strategy
+        self.fine = fine
+        self.kinds = statement_kinds(program)
+        self.subs = [
+            program.statement_program(index)
+            for index in range(len(program.statements))
+        ]
+        self._statement_memo: Dict[Tuple[int, int, str], Optional[Tuple]] = {}
+        self._best_memo: Dict[Tuple[int, int], Optional[Tuple]] = {}
+        self.candidates_evaluated = 0
+
+    # ------------------------------------------------------------------
+    def _compile_statement(self, index: int, budget: int, policy_name: str):
+        """Price one statement under one budget/policy; ``None`` if infeasible."""
+        key = (index, int(budget), policy_name)
+        if key in self._statement_memo:
+            return self._statement_memo[key]
+        from repro.core.pipeline import compile_program
+
+        try:
+            compiled = compile_program(
+                self.subs[index],
+                self.params,
+                memory_budget_bytes=int(budget),
+                policy=policy_instance(policy_name, fine=self.fine),
+                force_strategy=self.force_strategy,
+                strategies=self.strategies,
+            )
+            result = (compiled.plan.cost, compiled)
+        except (CompilationError, MemoryAllocationError, CostModelError):
+            result = None
+        self._statement_memo[key] = result
+        return result
+
+    def _best_statement(self, index: int, budget: int):
+        """Cheapest (cost, policy, compiled) for one statement at one budget."""
+        key = (index, int(budget))
+        if key in self._best_memo:
+            return self._best_memo[key]
+        names = POLICY_NAMES if self.kinds[index] else (NO_POLICY,)
+        best = None
+        for name in names:
+            priced = self._compile_statement(index, budget, name)
+            if priced is None:
+                continue
+            cost, compiled = priced
+            if best is None or _cost_key(cost) < _cost_key(best[0]):
+                best = (cost, name, compiled)
+        self._best_memo[key] = best
+        return best
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        budgets: Sequence[int],
+        policies: Optional[Sequence[str]] = None,
+        *,
+        must_succeed: bool = False,
+    ) -> Optional[_Evaluation]:
+        """Price a full candidate; ``None`` when any statement is infeasible.
+
+        With ``policies`` the given policy names are used verbatim (the even
+        baseline, cached replays); without, each statement independently takes
+        its cheapest policy at its budget — the costs are separable, so the
+        per-statement optimum is the program optimum for that budget vector.
+        """
+        self.candidates_evaluated += 1
+        costs: List[PlanCost] = []
+        chosen_policies: List[str] = []
+        compiled: List = []
+        for index, budget in enumerate(budgets):
+            if policies is not None:
+                priced = self._compile_statement(index, budget, policies[index])
+                entry = (priced[0], policies[index], priced[1]) if priced else None
+            else:
+                entry = self._best_statement(index, budget)
+            if entry is None:
+                if must_succeed:
+                    # Surface the real error, exactly as the legacy path would.
+                    from repro.core.pipeline import compile_program
+
+                    compile_program(
+                        self.subs[index],
+                        self.params,
+                        memory_budget_bytes=int(budget),
+                        policy=policy_instance(
+                            policies[index] if policies is not None else NO_POLICY
+                        ),
+                        force_strategy=self.force_strategy,
+                        strategies=self.strategies,
+                    )
+                    raise ReproError(  # pragma: no cover - the line above raises
+                        "statement compilation failed without an error"
+                    )
+                return None
+            cost, name, unit = entry
+            costs.append(cost)
+            chosen_policies.append(name)
+            compiled.append(unit)
+        return _Evaluation(
+            cost=combine_plan_costs(costs),
+            budgets=tuple(int(b) for b in budgets),
+            policies=tuple(chosen_policies),
+            compiled=tuple(compiled),
+        )
+
+
+# ---------------------------------------------------------------------------
+# the search strategies
+# ---------------------------------------------------------------------------
+def _search_greedy(
+    evaluator: _ProgramEvaluator, start: _Evaluation, total: int
+) -> _Evaluation:
+    """Hill-climb quantum transfers between statements, halving the step."""
+    best = start
+    nstatements = len(start.budgets)
+    if nstatements < 2:
+        return best
+    quantum = max(total // (2 * nstatements), 1)
+    floor = max(total // 256, 1)
+    rounds = 0
+    while quantum >= floor and rounds < MAX_ROUNDS:
+        rounds += 1
+        winner = None
+        for candidate in transfer_neighbors(best.budgets, quantum):
+            priced = evaluator.evaluate(candidate)
+            if priced is None:
+                continue
+            if winner is None or _cost_key(priced.cost) < _cost_key(winner.cost):
+                winner = priced
+        if winner is not None and _cost_key(winner.cost) < _cost_key(best.cost):
+            best = winner
+        else:
+            quantum //= 2
+    return best
+
+
+def _search_beam(
+    evaluator: _ProgramEvaluator, start: _Evaluation, total: int
+) -> _Evaluation:
+    """Greedy's neighbourhood expansion, keeping ``BEAM_WIDTH`` states alive."""
+    best = start
+    nstatements = len(start.budgets)
+    if nstatements < 2:
+        return best
+    beam: List[_Evaluation] = [start]
+    quantum = max(total // (2 * nstatements), 1)
+    floor = max(total // 256, 1)
+    rounds = 0
+    while quantum >= floor and rounds < MAX_ROUNDS:
+        rounds += 1
+        frontier: Dict[Tuple[int, ...], _Evaluation] = {
+            state.budgets: state for state in beam
+        }
+        for state in beam:
+            for candidate in transfer_neighbors(state.budgets, quantum):
+                if candidate in frontier:
+                    continue
+                priced = evaluator.evaluate(candidate)
+                if priced is not None:
+                    frontier[candidate] = priced
+        ranked = sorted(frontier.values(), key=lambda e: _cost_key(e.cost))
+        improved = _cost_key(ranked[0].cost) < _cost_key(best.cost)
+        if improved:
+            best = ranked[0]
+        beam = ranked[:BEAM_WIDTH]
+        if not improved:
+            quantum //= 2
+    return best
+
+
+def _search_exhaustive(
+    evaluator: _ProgramEvaluator, start: _Evaluation, total: int
+) -> _Evaluation:
+    """Full budget-simplex grid with per-statement best policies."""
+    best = start
+    nstatements = len(start.budgets)
+    if nstatements < 2:
+        # Only the policy choice exists; evaluate() already optimized it.
+        refined = evaluator.evaluate(start.budgets)
+        if refined is not None and _cost_key(refined.cost) < _cost_key(best.cost):
+            best = refined
+        return best
+    steps = 12 if nstatements <= 3 else max(2 * nstatements, 8)
+    for budgets in budget_grid(total, nstatements, steps):
+        priced = evaluator.evaluate(budgets)
+        if priced is not None and _cost_key(priced.cost) < _cost_key(best.cost):
+            best = priced
+    # Polish the grid winner with fine-grained transfers: the grid quantum is
+    # total/steps, far coarser than greedy's final halved step.
+    return _search_greedy(evaluator, best, total)
+
+
+_SEARCHES = {
+    "greedy": _search_greedy,
+    "beam": _search_beam,
+    "exhaustive": _search_exhaustive,
+}
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
+def plan_whole_program(
+    program,
+    params: MachineParameters,
+    memory_budget_bytes: int,
+    *,
+    optimizer: Optional[str] = "greedy",
+    strategies: Sequence = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
+    force_strategy=None,
+    plan_cache: Optional[PlanCache] = None,
+) -> Tuple[PlanDecision, Tuple[object, ...]]:
+    """Search the plan space of ``program`` under one node byte budget.
+
+    Returns the :class:`PlanDecision` plus the winning candidate's compiled
+    statements (one :class:`~repro.core.pipeline.CompiledProgram` each), ready
+    for :func:`~repro.core.pipeline.compile_whole_program` to assemble.  The
+    winner's predicted cost is never worse than the even split's: the even
+    candidate seeds every search and is only displaced by strictly cheaper
+    plans.
+    """
+    optimizer = normalize_optimizer(optimizer)
+    total = int(memory_budget_bytes)
+    evaluator = _ProgramEvaluator(
+        program,
+        params,
+        strategies,
+        force_strategy,
+        fine=optimizer == "exhaustive",
+    )
+    even = even_choice(program, total)
+    baseline = evaluator.evaluate(
+        even.statement_budgets, even.policies, must_succeed=True
+    )
+    best = baseline
+    cache_status = "off"
+
+    if optimizer == "none":
+        return _decision(optimizer, best, baseline, evaluator, cache_status), best.compiled
+
+    key = None
+    if plan_cache is not None:
+        force_name = (
+            SlabbingStrategy.from_name(force_strategy).value
+            if force_strategy is not None
+            else None
+        )
+        key = plan_fingerprint(
+            program,
+            params,
+            memory_budget_bytes=total,
+            optimizer=optimizer,
+            strategies=[SlabbingStrategy.from_name(s).value for s in strategies],
+            force_strategy=force_name,
+        )
+        cached = plan_cache.lookup(key)
+        if (
+            cached is not None
+            and len(cached.statement_budgets) == len(program.statements)
+            and cached.total_budget == total
+        ):
+            replay = evaluator.evaluate(cached.statement_budgets, cached.policies)
+            if replay is not None:
+                if _cost_key(replay.cost) < _cost_key(best.cost):
+                    best = replay
+                return (
+                    _decision(optimizer, best, baseline, evaluator, "hit"),
+                    best.compiled,
+                )
+        cache_status = "miss"
+
+    # Refine the starting point: keep even budgets but let every statement
+    # take its cheapest allocation policy (costs are separable, so this is
+    # exact), then search budget transfers from there.
+    start = evaluator.evaluate(even.statement_budgets)
+    if start is None or _cost_key(baseline.cost) < _cost_key(start.cost):
+        start = baseline
+    best = _SEARCHES[optimizer](evaluator, start, total)
+    if _cost_key(baseline.cost) < _cost_key(best.cost):  # pragma: no cover - safety net
+        best = baseline
+    if key is not None and plan_cache is not None:
+        plan_cache.store(
+            key,
+            PlanChoice(best.budgets, best.policies),
+            metadata={
+                "optimizer": optimizer,
+                "predicted_total_time": best.cost.total_time,
+                "predicted_io_bytes": best.cost.io_bytes,
+                "even_total_time": baseline.cost.total_time,
+            },
+        )
+    return _decision(optimizer, best, baseline, evaluator, cache_status), best.compiled
+
+
+def _decision(
+    optimizer: str,
+    best: _Evaluation,
+    baseline: _Evaluation,
+    evaluator: _ProgramEvaluator,
+    cache_status: str,
+) -> PlanDecision:
+    return PlanDecision(
+        optimizer=optimizer,
+        statement_budgets=best.budgets,
+        policies=best.policies,
+        predicted_total_time=best.cost.total_time,
+        predicted_io_time=best.cost.io_time,
+        predicted_io_bytes=best.cost.io_bytes,
+        even_total_time=baseline.cost.total_time,
+        even_io_time=baseline.cost.io_time,
+        even_io_bytes=baseline.cost.io_bytes,
+        candidates_evaluated=evaluator.candidates_evaluated,
+        cache_status=cache_status,
+    )

@@ -1,0 +1,167 @@
+"""The plan search space: what the optimizer is allowed to vary.
+
+A whole-program access plan is determined by, per statement,
+
+* the **byte budget** the statement's In-core Local Arrays may occupy
+  (the knob the legacy pipeline fixed to an even split),
+* the **memory-allocation policy** dividing that budget between the
+  statement's arrays (reduction statements only — elementwise and transpose
+  statements stream conformal slabs, so their split is forced), and
+* the **slabbing strategy**, which the Figure-14 reorganizer already picks
+  per candidate allocation (and which therefore varies *implicitly* with the
+  budget the planner assigns).
+
+A :class:`PlanChoice` pins the explicit knobs; enumeration helpers generate
+the even-split baseline, grids over the budget simplex for the exhaustive
+search, and quantum-transfer neighbourhoods for the greedy/beam searches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.core.ir import ProgramIR, ReductionStatement
+from repro.core.memory_alloc import (
+    AllocationPolicy,
+    EqualAllocation,
+    ProportionalAllocation,
+    SearchAllocation,
+)
+from repro.exceptions import CompilationError
+from repro.planner.budget import split_by_weights, split_evenly
+
+__all__ = [
+    "NO_POLICY",
+    "POLICY_NAMES",
+    "PlanChoice",
+    "policy_instance",
+    "statement_kinds",
+    "even_choice",
+    "budget_grid",
+    "transfer_neighbors",
+]
+
+#: placeholder policy name for statements whose array split is forced
+#: (elementwise / transpose stream conformal slabs).
+NO_POLICY = "-"
+
+#: allocation policies a reduction statement may choose between, default first
+#: (``"proportional"`` is what the legacy pipeline applied unconditionally).
+POLICY_NAMES: Tuple[str, ...] = ("proportional", "equal", "search")
+
+
+def policy_instance(name: str, *, fine: bool = False) -> Optional[AllocationPolicy]:
+    """Instantiate a named allocation policy (``None`` for :data:`NO_POLICY`).
+
+    ``fine=True`` widens the :class:`SearchAllocation` fraction grid — used by
+    the exhaustive optimizer, which is explicitly paying for compile time.
+    """
+    if name == NO_POLICY:
+        return None
+    if name == "equal":
+        return EqualAllocation()
+    if name == "proportional":
+        return ProportionalAllocation()
+    if name == "search":
+        return SearchAllocation(fractions=31 if fine else 9)
+    raise CompilationError(
+        f"unknown allocation policy {name!r} (choose from {sorted(POLICY_NAMES)})"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanChoice:
+    """One candidate point of the plan space.
+
+    ``statement_budgets`` holds the byte budget of each statement (summing to
+    the program budget); ``policies`` the allocation policy name per statement
+    (:data:`NO_POLICY` where no choice exists).
+    """
+
+    statement_budgets: Tuple[int, ...]
+    policies: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.statement_budgets) != len(self.policies):
+            raise CompilationError(
+                f"{len(self.statement_budgets)} budgets but {len(self.policies)} policies"
+            )
+        if any(budget < 1 for budget in self.statement_budgets):
+            raise CompilationError(
+                f"every statement needs a positive budget, got {self.statement_budgets}"
+            )
+
+    @property
+    def total_budget(self) -> int:
+        return sum(self.statement_budgets)
+
+    def describe(self) -> str:
+        parts = [
+            f"s{i}:{budget}B/{policy}"
+            for i, (budget, policy) in enumerate(
+                zip(self.statement_budgets, self.policies)
+            )
+        ]
+        return " ".join(parts)
+
+
+def statement_kinds(program: ProgramIR) -> Tuple[bool, ...]:
+    """Per statement: does an allocation-policy choice exist (reduction)?"""
+    return tuple(
+        isinstance(statement, ReductionStatement) for statement in program.statements
+    )
+
+
+def even_choice(program: ProgramIR, memory_budget_bytes: int) -> PlanChoice:
+    """The status-quo candidate: even budget split, default policy everywhere.
+
+    This is the plan the legacy pipeline produced (modulo the remainder, which
+    :func:`~repro.planner.budget.split_evenly` now redistributes instead of
+    dropping); every search seeds with it and returns nothing worse.
+    """
+    budgets = split_evenly(int(memory_budget_bytes), len(program.statements))
+    policies = tuple(
+        POLICY_NAMES[0] if is_reduction else NO_POLICY
+        for is_reduction in statement_kinds(program)
+    )
+    return PlanChoice(tuple(budgets), policies)
+
+
+def budget_grid(
+    total: int, nstatements: int, steps: int
+) -> Iterator[Tuple[int, ...]]:
+    """Every division of ``total`` over ``nstatements`` on a ``steps``-point grid.
+
+    Enumerates the compositions of ``steps`` quanta into ``nstatements``
+    positive parts and scales each to bytes with exact conservation
+    (largest-remainder rounding), so every yielded vector sums to ``total``.
+    """
+    if steps < nstatements:
+        raise CompilationError(
+            f"a {steps}-step grid cannot give {nstatements} statements one quantum each"
+        )
+    for cut in itertools.combinations(range(1, steps), nstatements - 1):
+        bounds = (0, *cut, steps)
+        quanta = [bounds[i + 1] - bounds[i] for i in range(nstatements)]
+        yield tuple(split_by_weights(total, quanta))
+
+
+def transfer_neighbors(
+    budgets: Sequence[int], quantum: int, floors: Optional[Sequence[int]] = None
+) -> Iterator[Tuple[int, ...]]:
+    """All budget vectors reachable by moving one ``quantum`` between statements.
+
+    ``floors`` optionally gives the minimum budget each statement must keep
+    (default 1 byte); donors that would fall below their floor are skipped.
+    """
+    budgets = [int(b) for b in budgets]
+    floors = [int(f) for f in (floors or [1] * len(budgets))]
+    for donor, receiver in itertools.permutations(range(len(budgets)), 2):
+        if budgets[donor] - quantum < floors[donor]:
+            continue
+        moved = list(budgets)
+        moved[donor] -= quantum
+        moved[receiver] += quantum
+        yield tuple(moved)

@@ -1,0 +1,182 @@
+"""Plan-cache persistence: round-trips, invalidation, graceful corruption."""
+
+import json
+
+import pytest
+
+from repro.core.ir import build_pipeline_ir
+from repro.core.pipeline import compile_whole_program
+from repro.machine.parameters import ibm_sp1, touchstone_delta
+from repro.planner import PlanCache, PlanChoice, plan_fingerprint, plan_whole_program
+
+
+BUDGET = 48 * 1024
+
+
+def _fingerprint(ir, params=None, **overrides):
+    defaults = dict(
+        memory_budget_bytes=BUDGET,
+        optimizer="greedy",
+        strategies=["column", "row"],
+        force_strategy=None,
+    )
+    defaults.update(overrides)
+    return plan_fingerprint(ir, params or touchstone_delta(), **defaults)
+
+
+# ---------------------------------------------------------------------------
+# the store itself
+# ---------------------------------------------------------------------------
+class TestPlanCacheStore:
+    def test_memory_roundtrip(self):
+        cache = PlanCache()
+        choice = PlanChoice((100, 200), ("proportional", "-"))
+        assert cache.lookup("k") is None
+        cache.store("k", choice)
+        assert cache.lookup("k") == choice
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stores"] == 1
+        assert stats["persistent"] == 0
+
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        first = PlanCache(tmp_path)
+        choice = PlanChoice((300, 100), ("equal", "-"))
+        first.store("deadbeef", choice)
+        # A brand-new instance over the same directory replays the winner.
+        second = PlanCache(tmp_path)
+        assert second.lookup("deadbeef") == choice
+        assert second.stats()["hits"] == 1
+        assert second.stats()["persistent"] == 1
+
+    def test_lru_eviction_keeps_disk_copy(self, tmp_path):
+        cache = PlanCache(tmp_path, capacity=1)
+        cache.store("one", PlanChoice((10,), ("proportional",)))
+        cache.store("two", PlanChoice((20,), ("proportional",)))
+        # "one" was evicted from memory but survives on disk.
+        assert cache.lookup("one") == PlanChoice((10,), ("proportional",))
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.lookup("bad") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_wrong_payload_version_is_a_miss(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        (tmp_path / "old.json").write_text(
+            json.dumps({"version": 0, "statement_budgets": [1], "policies": ["-"]})
+        )
+        assert cache.lookup("old") is None
+
+    def test_clear_disk(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        cache.store("gone", PlanChoice((10,), ("-",)))
+        cache.clear(disk=True)
+        assert PlanCache(tmp_path).lookup("gone") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# fingerprint invalidation
+# ---------------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_for_identical_inputs(self):
+        assert _fingerprint(build_pipeline_ir(64, 4)) == _fingerprint(
+            build_pipeline_ir(64, 4)
+        )
+
+    def test_changes_with_machine_parameters(self):
+        ir = build_pipeline_ir(64, 4)
+        assert _fingerprint(ir, touchstone_delta()) != _fingerprint(ir, ibm_sp1())
+
+    def test_changes_with_dtype(self):
+        assert _fingerprint(build_pipeline_ir(64, 4)) != _fingerprint(
+            build_pipeline_ir(64, 4, dtype="float64")
+        )
+
+    def test_changes_with_processor_count(self):
+        assert _fingerprint(build_pipeline_ir(64, 4)) != _fingerprint(
+            build_pipeline_ir(64, 8)
+        )
+
+    def test_changes_with_budget_and_optimizer(self):
+        ir = build_pipeline_ir(64, 4)
+        base = _fingerprint(ir)
+        assert base != _fingerprint(ir, memory_budget_bytes=BUDGET + 1)
+        assert base != _fingerprint(ir, optimizer="exhaustive")
+        assert base != _fingerprint(ir, force_strategy="row")
+
+
+# ---------------------------------------------------------------------------
+# the planner using the cache
+# ---------------------------------------------------------------------------
+class TestPlannerWithCache:
+    def test_search_once_replay_after(self, tmp_path):
+        ir = build_pipeline_ir(256, 4)
+        cache = PlanCache(tmp_path)
+        first, _ = plan_whole_program(
+            ir, touchstone_delta(), BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        assert first.cache_status == "miss"
+        second, _ = plan_whole_program(
+            ir, touchstone_delta(), BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        assert second.cache_status == "hit"
+        assert second.statement_budgets == first.statement_budgets
+        assert second.policies == first.policies
+        assert second.predicted_total_time == pytest.approx(first.predicted_total_time)
+        # The replay skipped the search: far fewer candidates were priced.
+        assert second.candidates_evaluated < first.candidates_evaluated
+
+    def test_replay_across_processes_simulated(self, tmp_path):
+        """A fresh cache instance over the same directory replays the plan."""
+        ir = build_pipeline_ir(256, 4)
+        searched, _ = plan_whole_program(
+            ir, touchstone_delta(), BUDGET, optimizer="greedy",
+            plan_cache=PlanCache(tmp_path),
+        )
+        replayed, _ = plan_whole_program(
+            ir, touchstone_delta(), BUDGET, optimizer="greedy",
+            plan_cache=PlanCache(tmp_path),
+        )
+        assert replayed.cache_status == "hit"
+        assert replayed.statement_budgets == searched.statement_budgets
+
+    def test_changed_machine_is_a_fresh_search(self, tmp_path):
+        ir = build_pipeline_ir(256, 4)
+        cache = PlanCache(tmp_path)
+        plan_whole_program(
+            ir, touchstone_delta(), BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        other, _ = plan_whole_program(
+            ir, ibm_sp1(), BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        assert other.cache_status == "miss"
+
+    def test_stale_entry_with_wrong_shape_triggers_research(self, tmp_path):
+        """A cached choice that no longer matches the program is ignored."""
+        ir = build_pipeline_ir(256, 4)
+        cache = PlanCache(tmp_path)
+        key = _fingerprint(ir)
+        cache.store(key, PlanChoice((BUDGET,), ("proportional",)))  # 1 != 2 stmts
+        decision, _ = plan_whole_program(
+            ir, touchstone_delta(), BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        assert decision.cache_status == "miss"
+        assert len(decision.statement_budgets) == 2
+
+    def test_compile_whole_program_threads_the_cache(self, tmp_path):
+        ir = build_pipeline_ir(256, 4)
+        cache = PlanCache(tmp_path)
+        first = compile_whole_program(
+            ir, memory_budget_bytes=BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        second = compile_whole_program(
+            ir, memory_budget_bytes=BUDGET, optimizer="greedy", plan_cache=cache
+        )
+        assert first.planner.cache_status == "miss"
+        assert second.planner.cache_status == "hit"
+        assert second.cost.total_time == pytest.approx(first.cost.total_time)

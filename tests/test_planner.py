@@ -1,0 +1,386 @@
+"""The plan optimizer: budget arithmetic, search strategies, pipeline wiring.
+
+The load-bearing guarantee under test: for every program of the differential
+matrix, the planner's chosen plan has a predicted :class:`PlanCost` no worse
+than the even split's, the charged ``ESTIMATE`` counters equal the
+``EXECUTE`` counters, and the executed numerics still match the NumPy oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ExecutionMode, RunConfig
+from repro.core.ir import (
+    build_elementwise_ir,
+    build_gaxpy_ir,
+    build_pipeline_ir,
+    build_transpose_ir,
+)
+from repro.core.pipeline import compile_program, compile_whole_program
+from repro.exceptions import CompilationError
+from repro.hpf.frontend import frontend_to_ir
+from repro.hpf.parser import parse_program
+from repro.planner import (
+    OPTIMIZERS,
+    PlanChoice,
+    budget_grid,
+    even_choice,
+    plan_whole_program,
+    split_by_weights,
+    split_evenly,
+    transfer_neighbors,
+)
+from repro.runtime.vm import VirtualMachine
+
+from tests.test_differential import (
+    THREE_STATEMENT_SOURCE,
+    assert_matches_oracle,
+)
+
+
+# ---------------------------------------------------------------------------
+# budget arithmetic (satellite: the remainder-dropping even split)
+# ---------------------------------------------------------------------------
+class TestSplitEvenly:
+    @given(total=st.integers(1, 10**9), parts=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_conserves_total_and_is_near_equal(self, total, parts):
+        if total < parts:
+            with pytest.raises(CompilationError):
+                split_evenly(total, parts)
+            return
+        shares = split_evenly(total, parts)
+        assert sum(shares) == total
+        assert max(shares) - min(shares) <= 1
+        assert all(share >= 1 for share in shares)
+
+    def test_remainder_is_redistributed_not_dropped(self):
+        # The historical bug: 100 // 3 == 33 dropped one unit.
+        assert split_evenly(100, 3) == [34, 33, 33]
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(CompilationError):
+            split_evenly(10, 0)
+
+
+class TestSplitByWeights:
+    @given(
+        total=st.integers(10, 10**7),
+        weights=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conserves_total(self, total, weights):
+        shares = split_by_weights(total, weights)
+        assert sum(shares) == total
+        assert all(share >= 0 for share in shares)
+
+    def test_proportionality(self):
+        assert split_by_weights(100, [3.0, 1.0]) == [75, 25]
+
+    def test_minimums_are_respected(self):
+        shares = split_by_weights(100, [1.0, 0.0], minimums=[0, 10])
+        assert shares[1] >= 10 and sum(shares) == 100
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(CompilationError):
+            split_by_weights(10, [-1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# satellite property test: the per-array even split under one byte budget
+# never over-allocates, yet reaches the budget to within one slab line per
+# array (plus sub-element change) whenever no array is clamped to its full
+# local size.
+# ---------------------------------------------------------------------------
+class TestEvenSplitAllocation:
+    @given(
+        n=st.sampled_from([32, 48, 64, 96]),
+        nprocs=st.sampled_from([1, 2, 4]),
+        budget=st.integers(4 * 64, 4 * 64 * 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allocated_bytes_bounded_by_budget_within_one_line(
+        self, n, nprocs, budget
+    ):
+        ir = build_elementwise_ir(n, nprocs)
+        itemsize = ir.arrays["a"].itemsize
+        local = max(
+            ir.arrays["a"].local_shape(r)[0] * ir.arrays["a"].local_shape(r)[1]
+            for r in range(nprocs)
+        )
+        names = ("a", "b", "c")
+        # One slab line (column strategy: one local column) per array must fit.
+        line = max(ir.arrays["a"].local_shape(0)[0], 1)
+        if budget // len(names) < (line + 1) * itemsize:
+            return  # too small for a whole line; the compiler clamps to one line
+        compiled = compile_program(ir, memory_budget_bytes=budget)
+        entries = compiled.plan.entries
+        allocated = sum(entries[name].slab_elements for name in names) * itemsize
+        assert allocated <= budget, "allocation exceeded the byte budget"
+        if all(entries[name].slab_elements < local for name in names):
+            # Not clamped: the shortfall is less than one slab line plus one
+            # element of slack per array.
+            slack = sum((line + 1) * itemsize for _ in names)
+            assert budget - allocated < slack
+
+    def test_odd_budget_not_worse_than_floored_budget(self):
+        # Redistributing the remainder can only grow the common slab.
+        ir = build_elementwise_ir(64, 2)
+        odd = compile_program(ir, memory_budget_bytes=3 * 4096 + 2)
+        floored = compile_program(ir, memory_budget_bytes=3 * 4096)
+        assert (
+            odd.plan.entries["a"].slab_elements
+            >= floored.plan.entries["a"].slab_elements
+        )
+
+
+# ---------------------------------------------------------------------------
+# search-space enumeration
+# ---------------------------------------------------------------------------
+class TestSpace:
+    def test_even_choice_matches_split_evenly(self):
+        ir = build_pipeline_ir(64, 4)
+        choice = even_choice(ir, 100_001)
+        assert sum(choice.statement_budgets) == 100_001
+        assert choice.policies == ("proportional", "-")
+
+    def test_budget_grid_conserves_total(self):
+        vectors = list(budget_grid(10_000, 3, 12))
+        assert len(vectors) == 55  # C(11, 2)
+        for vector in vectors:
+            assert sum(vector) == 10_000
+            assert all(b >= 1 for b in vector)
+
+    def test_transfer_neighbors_conserve_total(self):
+        for moved in transfer_neighbors((100, 200, 300), 50):
+            assert sum(moved) == 600
+        assert len(list(transfer_neighbors((100, 200), 150))) == 1  # one donor fits
+
+    def test_plan_choice_validates(self):
+        with pytest.raises(CompilationError):
+            PlanChoice((100,), ("proportional", "-"))
+        with pytest.raises(CompilationError):
+            PlanChoice((0, 100), ("proportional", "-"))
+
+    def test_plan_choice_describe(self):
+        choice = PlanChoice((100, 200), ("proportional", "-"))
+        assert choice.describe() == "s0:100B/proportional s1:200B/-"
+        assert choice.total_budget == 300
+
+    def test_policy_instance_rejects_unknown_names(self):
+        from repro.planner import policy_instance
+
+        with pytest.raises(CompilationError, match="unknown allocation policy"):
+            policy_instance("random")
+
+    def test_zero_weights_fall_back_to_even_split(self):
+        assert split_by_weights(10, [0.0, 0.0]) == [5, 5]
+
+
+# ---------------------------------------------------------------------------
+# the no-worse guarantee over the differential matrix
+# ---------------------------------------------------------------------------
+N = 16
+BUDGET = 6 * 1024  # small enough that every N=16 program is genuinely slabbed
+
+MATRIX = [
+    pytest.param(lambda: build_gaxpy_ir(N, 1), id="gaxpy-p1"),
+    pytest.param(lambda: build_gaxpy_ir(N, 4), id="gaxpy-p4"),
+    pytest.param(lambda: build_gaxpy_ir(N, 4, dtype="float64"), id="gaxpy-f64"),
+    pytest.param(lambda: build_elementwise_ir(N, 4, op="add"), id="elementwise-add"),
+    pytest.param(
+        lambda: build_elementwise_ir(N, 1, op="multiply"), id="elementwise-mul"
+    ),
+    pytest.param(lambda: build_transpose_ir(N, 4), id="transpose"),
+    pytest.param(lambda: build_pipeline_ir(N, 1), id="pipeline-p1"),
+    pytest.param(lambda: build_pipeline_ir(N, 4), id="pipeline-p4"),
+    pytest.param(
+        lambda: build_pipeline_ir(N, 4, dtype="float64"), id="pipeline-f64"
+    ),
+    pytest.param(
+        lambda: frontend_to_ir(parse_program(THREE_STATEMENT_SOURCE)),
+        id="three-statement-chain",
+    ),
+]
+
+
+def _cost_key(cost):
+    return (cost.total_time, cost.io_time, cost.io_bytes)
+
+
+@pytest.mark.parametrize("build", MATRIX)
+@pytest.mark.parametrize("optimizer", ["greedy", "exhaustive"])
+def test_planner_no_worse_than_even_split(build, optimizer):
+    even = compile_program(build(), memory_budget_bytes=BUDGET, optimizer="none")
+    optimized = compile_program(build(), memory_budget_bytes=BUDGET, optimizer=optimizer)
+    assert _cost_key(optimized.predicted_cost) <= _cost_key(even.predicted_cost)
+    decision = optimized.planner
+    assert decision is not None and decision.optimizer == optimizer
+    assert decision.predicted_total_time <= decision.even_total_time
+    assert decision.improvement >= 1.0
+
+
+@pytest.mark.parametrize("build", MATRIX)
+def test_planner_matches_oracle_and_mode_parity(build, tmp_path):
+    """Optimized plans still execute correctly and charge mode-invariant I/O."""
+    compiled = compile_program(build(), memory_budget_bytes=BUDGET, optimizer="greedy")
+    assert_matches_oracle(compiled, tmp_path / "exec")
+
+    from repro.core.pipeline import CompiledWholeProgram
+    from repro.runtime.executor import NodeProgramExecutor, ProgramExecutor
+    from tests.test_differential import (
+        _single_statement_inputs,
+        generate_dense_inputs,
+    )
+
+    dense = generate_dense_inputs(compiled.program)
+    counters = {}
+    for mode in (ExecutionMode.ESTIMATE, ExecutionMode.EXECUTE):
+        with VirtualMachine(
+            compiled.nprocs,
+            compiled.params,
+            RunConfig(scratch_dir=tmp_path / mode.value, mode=mode),
+        ) as vm:
+            if isinstance(compiled, CompiledWholeProgram):
+                executor = ProgramExecutor(compiled)
+                result = (
+                    executor.estimate(vm)
+                    if mode is ExecutionMode.ESTIMATE
+                    else executor.execute(vm, dense, verify=False)
+                )
+            else:
+                executor = NodeProgramExecutor(compiled)
+                result = (
+                    executor.run(vm, None, verify=False)
+                    if mode is ExecutionMode.ESTIMATE
+                    else executor.execute(
+                        vm, _single_statement_inputs(compiled, dense), verify=False
+                    )
+                )
+            counters[mode] = {
+                key: result.io_statistics.get(key)
+                for key in (
+                    "io_requests_per_proc",
+                    "bytes_read_per_proc",
+                    "bytes_written_per_proc",
+                )
+            }
+    assert counters[ExecutionMode.ESTIMATE] == counters[ExecutionMode.EXECUTE]
+
+
+# ---------------------------------------------------------------------------
+# search behaviour specifics
+# ---------------------------------------------------------------------------
+class TestSearchStrategies:
+    def test_greedy_shifts_budget_toward_the_reduction(self):
+        # In t = a @ b; c = t + d the elementwise statement's I/O volume is
+        # slab-invariant while the reduction's re-reads shrink with memory:
+        # the search must give the reduction statement the larger share.
+        ir = build_pipeline_ir(256, 4)
+        optimized = compile_whole_program(
+            ir, memory_budget_bytes=48 * 1024, optimizer="greedy"
+        )
+        even = compile_whole_program(ir, memory_budget_bytes=48 * 1024)
+        budgets = optimized.planner.statement_budgets
+        assert budgets[0] > budgets[1]
+        assert optimized.cost.total_time < even.cost.total_time
+        assert optimized.cost.io_bytes < even.cost.io_bytes
+
+    def test_optimizer_none_reproduces_even_split(self):
+        ir = build_pipeline_ir(64, 4)
+        legacy = compile_whole_program(ir, memory_budget_bytes=32 * 1024 + 1)
+        assert legacy.planner.optimizer == "none"
+        assert legacy.planner.statement_budgets == (16_385, 16_384)
+        assert legacy.planner.predicted_total_time == legacy.planner.even_total_time
+
+    @pytest.mark.parametrize("optimizer", ["beam", "exhaustive"])
+    def test_other_strategies_at_least_match_even(self, optimizer):
+        ir = build_pipeline_ir(256, 4)
+        even = compile_whole_program(ir, memory_budget_bytes=48 * 1024)
+        optimized = compile_whole_program(
+            ir, memory_budget_bytes=48 * 1024, optimizer=optimizer
+        )
+        assert optimized.cost.total_time <= even.cost.total_time
+
+    def test_conflicting_slab_specs_rejected_with_optimizer_too(self):
+        # The exactly-one-spec validation must run before the planner
+        # fast-path, not only on the legacy path.
+        with pytest.raises(CompilationError, match="exactly one of"):
+            compile_program(
+                build_gaxpy_ir(N, 4),
+                memory_budget_bytes=BUDGET,
+                slab_ratio=0.25,
+                optimizer="greedy",
+            )
+
+    def test_unknown_optimizer_is_rejected(self):
+        with pytest.raises(CompilationError, match="unknown plan optimizer"):
+            compile_whole_program(
+                build_pipeline_ir(64, 4),
+                memory_budget_bytes=32 * 1024,
+                optimizer="simulated-annealing",
+            )
+
+    def test_optimizers_tuple_is_public(self):
+        assert set(OPTIMIZERS) == {"none", "greedy", "beam", "exhaustive"}
+
+    def test_pinned_policy_bypasses_the_search(self):
+        from repro.core.memory_alloc import EqualAllocation
+
+        compiled = compile_whole_program(
+            build_pipeline_ir(64, 4),
+            memory_budget_bytes=32 * 1024,
+            policy=EqualAllocation(),
+            optimizer="greedy",
+        )
+        assert compiled.planner is None
+
+    def test_plan_whole_program_returns_compiled_statements(self):
+        from repro.machine.parameters import touchstone_delta
+
+        ir = build_pipeline_ir(64, 4)
+        decision, units = plan_whole_program(
+            ir, touchstone_delta(), 64 * 1024, optimizer="greedy"
+        )
+        assert len(units) == 2
+        assert sum(decision.statement_budgets) == 64 * 1024
+
+    def test_budget_too_small_raises_legacy_message(self):
+        with pytest.raises(CompilationError, match="cannot be split"):
+            compile_whole_program(build_pipeline_ir(64, 4), memory_budget_bytes=1)
+
+    def test_infeasible_even_split_surfaces_the_real_error(self):
+        # 16 bytes over two statements: each statement's split cannot cover
+        # one slab line per array, and the planner must surface the original
+        # allocation error instead of swallowing it as "infeasible".
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            compile_whole_program(
+                build_pipeline_ir(64, 4), memory_budget_bytes=16, optimizer="greedy"
+            )
+
+    def test_decision_describe_and_whole_program_describe(self):
+        compiled = compile_whole_program(
+            build_pipeline_ir(256, 4), memory_budget_bytes=48 * 1024, optimizer="greedy"
+        )
+        text = compiled.describe()
+        assert "plan optimizer [greedy]" in text
+        assert "chosen budgets" in text
+        choice = compiled.planner.choice
+        assert sum(choice.statement_budgets) == 48 * 1024
+
+
+# ---------------------------------------------------------------------------
+# executed numerics of a searched three-statement program
+# ---------------------------------------------------------------------------
+def test_three_statement_chain_executes_under_every_optimizer(tmp_path):
+    for optimizer in ("none", "greedy"):
+        ir = frontend_to_ir(parse_program(THREE_STATEMENT_SOURCE))
+        compiled = compile_program(
+            ir, memory_budget_bytes=9 * 1024, optimizer=optimizer
+        )
+        outputs = assert_matches_oracle(compiled, tmp_path / optimizer)
+        assert set(outputs) == {"t", "u", "c"}
+        assert np.isfinite(compiled.cost.total_time)
