@@ -3,10 +3,18 @@
 
 PYTHON ?= python
 
-.PHONY: test cov lint bench bench-unified bench-program bench-planner bench-reset
+.PHONY: test test-faults cov lint bench bench-unified bench-program bench-planner \
+	bench-resilience bench-reset clean-scratch
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Fault-injection soak: the seed x rate x workload stress matrix plus the
+# kill-and-resume and property-based suites.  Its own CI job — heavier than
+# the tier-1 gate and meant to run even when tier-1 is already green.
+test-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_resilience_faults.py \
+		tests/test_resilience_resume.py tests/test_resilience_properties.py
 
 # Coverage gate (needs pytest-cov): fails under 85% line coverage of repro.
 cov:
@@ -41,6 +49,21 @@ bench-program:
 # committed baseline (the search is deterministic).
 bench-planner:
 	$(PYTHON) -m benchmarks.bench_planner --json BENCH_planner.json
+
+# Resilience: checksums-on wall overhead must stay under 5% of the
+# checksums-off fastpath, injected faults must leave every charged statistic
+# bit-identical, and the seeded fault schedule's resilience counters must
+# reproduce the committed baseline exactly.
+bench-resilience:
+	$(PYTHON) -m benchmarks.bench_resilience --json BENCH_resilience.json
+
+# Remove orphaned vm_* scratch directories (left by killed runs) from the
+# default scratch dir.  --max-age-s 0 reaps everything not alive right now;
+# sessions also do this automatically (age > 24h) at startup.
+# (imported as a function rather than -m: the package __init__ already pulls
+# in the reaper module, and runpy would warn about the double import)
+clean-scratch:
+	PYTHONPATH=src $(PYTHON) -c "from repro.resilience.reaper import main; raise SystemExit(main(['--max-age-s', '0']))"
 
 # Re-record the baseline (after an intentional change to the benchmark
 # configuration, never to paper over a perf regression).

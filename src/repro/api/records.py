@@ -56,6 +56,16 @@ class RunRecord:
         status.  Comparing ``plan["predicted_io_bytes_per_proc"]`` against
         the charged ``io_bytes_per_proc`` keeps ESTIMATE/EXECUTE parity
         checkable from the record alone.
+    resilience:
+        Host-side resilience counters of an ``EXECUTE`` run — ``retries``,
+        ``corruptions_detected``, ``slabs_recovered``,
+        ``statements_skipped`` and friends.  Strictly separate from the
+        charged I/O statistics: a run that retried transient faults reports
+        the same simulated seconds and byte counters as a clean run.
+    error:
+        ``"ExceptionType: message"`` when the point failed to evaluate and
+        the sweep ran with ``on_error="skip"``; ``None`` for successful
+        evaluations.
     extras:
         Workload-specific numeric extras (kept out of the typed core).
     """
@@ -79,6 +89,8 @@ class RunRecord:
     max_abs_error: Optional[float] = None
     statements: Tuple[Mapping[str, float], ...] = ()
     plan: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    resilience: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    error: Optional[str] = None
     extras: Mapping[str, float] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -93,8 +105,8 @@ class RunRecord:
 
     @property
     def ok(self) -> bool:
-        """True unless verification ran and failed."""
-        return self.verified is not False
+        """True unless the point failed or verification ran and failed."""
+        return self.error is None and self.verified is not False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -116,6 +128,8 @@ class RunRecord:
         max_abs_error: Optional[float] = None,
         statements: Sequence[Mapping[str, float]] = (),
         plan: Optional[Mapping[str, object]] = None,
+        resilience: Optional[Mapping[str, float]] = None,
+        error: Optional[str] = None,
         extras: Optional[Mapping[str, float]] = None,
     ) -> "RunRecord":
         """Build a record from a machine's time breakdown and I/O statistics."""
@@ -139,6 +153,8 @@ class RunRecord:
             max_abs_error=max_abs_error,
             statements=tuple(dict(s) for s in statements),
             plan=dict(plan or {}),
+            resilience=dict(resilience or {}),
+            error=error,
             extras=dict(extras or {}),
         )
 
@@ -169,10 +185,18 @@ class RunRecord:
             out["statements"] = [dict(s) for s in self.statements]
         if self.plan:
             out["plan"] = dict(self.plan)
+        # Quiet runs stay byte-identical to pre-resilience records: the
+        # counters only appear when something actually happened.
+        if any(self.resilience.values()):
+            out["resilience"] = dict(self.resilience)
+        if self.error is not None:
+            out["error"] = self.error
         out.update(self.extras)
         return out
 
     def describe(self) -> str:
+        if self.error is not None:
+            return f"{self.label} [{self.mode}]: FAILED — {self.error}"
         lines = [
             f"{self.label} [{self.mode}]: {self.simulated_seconds:.2f} simulated seconds",
             f"  io={self.io_time:.2f}s compute={self.compute_time:.2f}s comm={self.comm_time:.2f}s",

@@ -32,6 +32,7 @@ from repro.exceptions import WorkloadError
 from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.planner.plan_cache import PlanCache, use_plan_cache
 from repro.planner.search import normalize_optimizer
+from repro.resilience.reaper import DEFAULT_MAX_AGE_S, reap_scratch
 
 __all__ = ["Session", "SweepResult"]
 
@@ -88,6 +89,11 @@ class Session:
         written to disk and replayed by any later Session pointed at it.
     plan_cache_size:
         In-memory entry capacity of the plan cache.
+    reap_max_age_s:
+        On construction the session best-effort reaps orphaned ``vm_*``
+        scratch directories (left by killed processes) older than this many
+        seconds from its scratch dir.  ``None`` disables startup reaping —
+        use it when another process may be resumed from that scratch later.
     """
 
     def __init__(
@@ -99,6 +105,7 @@ class Session:
         optimize: str = "greedy",
         plan_cache_dir: Optional[Path | str] = None,
         plan_cache_size: int = 256,
+        reap_max_age_s: Optional[float] = DEFAULT_MAX_AGE_S,
     ):
         if compile_cache_size < 1:
             raise WorkloadError("compile_cache_size must be at least 1")
@@ -113,6 +120,11 @@ class Session:
         self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        if reap_max_age_s is not None:
+            try:
+                reap_scratch(self.config.scratch_dir, reap_max_age_s)
+            except (OSError, ValueError):  # startup reaping is best-effort
+                pass
 
     # ------------------------------------------------------------------
     # compilation
@@ -212,6 +224,7 @@ class Session:
         mode: Optional[ExecutionMode | str] = None,
         verify: Optional[bool] = None,
         optimize: Optional[str] = None,
+        resume: Optional[Path | str] = None,
     ) -> RunRecord:
         """Evaluate one point (or pre-compiled workload) and return its record.
 
@@ -219,6 +232,16 @@ class Session:
         to the config's ``verify`` flag and only matters in ``EXECUTE`` mode.
         ``optimize`` overrides the plan-optimizer choice for this evaluation
         (ignored for pre-compiled workloads, whose plan is already fixed).
+
+        ``resume`` points at the scratch directory (``vm_*``) of an earlier
+        killed run of the *same* point.  The virtual machine reopens that
+        directory, re-validates the checkpoint journal and its Local Array
+        Files against their checksum manifests, and re-executes only the
+        statements the journal does not record as completed — the record's
+        ``statements`` entries carry ``{"skipped": 1.0}`` for the rest.
+        Only meaningful for ``EXECUTE``-mode multi-statement programs; a
+        stale or mismatched checkpoint is discarded and the program simply
+        runs from the start.
         """
         from repro.runtime.vm import VirtualMachine
 
@@ -232,8 +255,14 @@ class Session:
         mode = ExecutionMode(mode) if isinstance(mode, str) else mode
         if verify is None:
             verify = self.config.verify
+        if resume is not None and mode is not ExecutionMode.EXECUTE:
+            raise WorkloadError("resume= needs EXECUTE mode — there is no "
+                                "checkpoint to resume in an analytic estimate")
         run_config = self.config.with_mode(mode)
-        with VirtualMachine(compiled.nprocs, compiled.params, run_config) as vm:
+        with VirtualMachine(
+            compiled.nprocs, compiled.params, run_config,
+            work_dir=Path(resume) if resume is not None else None,
+        ) as vm:
             if mode is ExecutionMode.ESTIMATE:
                 return compiled.workload.estimate(compiled, vm)
             return compiled.workload.execute(compiled, vm, verify)
@@ -256,6 +285,7 @@ class Session:
         workers: int = 1,
         verify: Optional[bool] = None,
         optimize: Optional[str | Sequence[Optional[str]]] = None,
+        on_error: str = "raise",
     ) -> SweepResult:
         """Evaluate many points — possibly of different workloads — in order.
 
@@ -276,25 +306,38 @@ class Session:
         :class:`SweepResult` is a list of records whose ``summary`` reports
         the compile-cache and planner-cache hit/miss deltas of this sweep
         and the optimizer mix actually evaluated.
+
+        ``on_error`` decides what a failing point does to the sweep.  The
+        default ``"raise"`` propagates the first exception, losing every
+        record.  ``"skip"`` converts the failure into an error record — its
+        ``error`` field carries ``"ExceptionType: message"``, its numeric
+        fields are zero and ``record.ok`` is False — and keeps sweeping, so
+        one malformed source program no longer costs a thousand-point
+        overnight sweep.  ``summary["failed"]`` counts the skipped points.
         """
+        if on_error not in ("raise", "skip"):
+            raise WorkloadError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}"
+            )
         points = list(points)
         overrides = self._sweep_overrides(points, optimize)
         before = self.cache_info()
+
+        def evaluate(point: PointLike, override: Optional[str]) -> RunRecord:
+            if on_error == "raise":
+                return self.run(point, mode=mode, verify=verify, optimize=override)
+            try:
+                return self.run(point, mode=mode, verify=verify, optimize=override)
+            except Exception as exc:  # noqa: BLE001 — converted into the record
+                return self._error_record(point, mode, exc)
+
         if workers > 1 and len(points) > 1:
             with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
                 records = list(
-                    pool.map(
-                        lambda pair: self.run(
-                            pair[0], mode=mode, verify=verify, optimize=pair[1]
-                        ),
-                        zip(points, overrides),
-                    )
+                    pool.map(lambda pair: evaluate(*pair), zip(points, overrides))
                 )
         else:
-            records = [
-                self.run(p, mode=mode, verify=verify, optimize=o)
-                for p, o in zip(points, overrides)
-            ]
+            records = [evaluate(p, o) for p, o in zip(points, overrides)]
         after = self.cache_info()
         optimizers = collections.Counter(
             str(record.plan.get("optimizer", "none")) for record in records
@@ -307,8 +350,38 @@ class Session:
             "planner_misses": after["planner_misses"] - before["planner_misses"],
             "planner_stores": after["planner_stores"] - before["planner_stores"],
             "optimizers": dict(optimizers),
+            "failed": sum(1 for record in records if record.error is not None),
         }
         return SweepResult(records, summary)
+
+    def _error_record(
+        self,
+        point: PointLike,
+        mode: Optional[ExecutionMode | str],
+        exc: Exception,
+    ) -> RunRecord:
+        """Stand-in record for a point that failed under ``on_error="skip"``."""
+        raw = point.point if isinstance(point, CompiledWorkload) else point
+        effective = self.config.mode if mode is None else mode
+        effective = ExecutionMode(effective) if isinstance(effective, str) else effective
+        return RunRecord(
+            workload=raw.workload,
+            label=raw.label(),
+            version=raw.version,
+            mode=effective.value,
+            n=raw.n,
+            nprocs=raw.nprocs,
+            dtype=raw.dtype,
+            simulated_seconds=0.0,
+            io_time=0.0,
+            compute_time=0.0,
+            comm_time=0.0,
+            io_requests_per_proc=0.0,
+            io_read_bytes_per_proc=0.0,
+            io_write_bytes_per_proc=0.0,
+            slab_ratio=raw.slab_ratio,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     @staticmethod
     def _sweep_overrides(

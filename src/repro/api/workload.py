@@ -402,6 +402,7 @@ class Workload(abc.ABC):
         verified: Optional[bool] = None,
         max_abs_error: Optional[float] = None,
         statements: Sequence[Mapping[str, float]] = (),
+        resilience: Optional[Mapping[str, float]] = None,
     ) -> "RunRecord":
         from repro.api.records import RunRecord
 
@@ -422,6 +423,7 @@ class Workload(abc.ABC):
             max_abs_error=max_abs_error,
             statements=statements,
             plan=self.plan_info(compiled),
+            resilience=resilience,
         )
 
     # ------------------------------------------------------------------
@@ -544,6 +546,7 @@ class Workload(abc.ABC):
             verified=result.verified,
             max_abs_error=result.max_abs_error,
             statements=result.statements,
+            resilience=vm.resilience.as_dict(),
         )
 
     def _require_program(self, compiled: CompiledWorkload) -> "CompiledProgram":

@@ -72,6 +72,23 @@ class RunConfig:
     prefetch_efficiency:
         Fraction of the preceding compute window usable for hiding I/O when
         ``prefetch="overlap"`` (1.0 = perfect overlap).
+    checksums:
+        When true (the default) every ``EXECUTE``-mode Local Array File keeps
+        a sidecar manifest of slab checksums, written on slab writes and
+        verified on reads.  Purely host-side: charged simulated statistics
+        are identical with checksums on or off.
+    fault_policy:
+        Optional :class:`~repro.resilience.faults.FaultPolicy` injecting
+        seeded transient I/O errors and slab corruption into ``EXECUTE``-mode
+        file accesses.  ``None`` (the default) disables injection entirely.
+    io_retries:
+        How many times the I/O engine retries a transient fault on one file
+        operation before giving up.  Must stay above the fault policy's
+        ``max_failures_per_site`` for injected schedules to converge.
+    io_retry_backoff_s:
+        Base host-side sleep of the exponential backoff between retries
+        (attempt ``k`` sleeps ``io_retry_backoff_s * 2**k``).  Host wall
+        clock only; the simulated clocks never see it.
     """
 
     scratch_dir: Path = dataclasses.field(default_factory=lambda: Path(tempfile.gettempdir()) / "repro-laf")
@@ -81,6 +98,10 @@ class RunConfig:
     seed: int = 1994  # year of the technical report
     prefetch: str = "none"
     prefetch_efficiency: float = 1.0
+    checksums: bool = True
+    fault_policy: "object | None" = None  # FaultPolicy; untyped to avoid an import cycle
+    io_retries: int = 4
+    io_retry_backoff_s: float = 0.001
 
     def __post_init__(self) -> None:
         self.scratch_dir = Path(self.scratch_dir)
@@ -90,6 +111,19 @@ class RunConfig:
             raise ValueError(
                 f"unknown prefetch policy {self.prefetch!r} (choose 'none' or 'overlap')"
             )
+        if self.io_retries < 0:
+            raise ValueError(f"io_retries must be non-negative, got {self.io_retries}")
+        if self.io_retry_backoff_s < 0:
+            raise ValueError(
+                f"io_retry_backoff_s must be non-negative, got {self.io_retry_backoff_s}"
+            )
+        if self.fault_policy is not None:
+            cap = getattr(self.fault_policy, "max_failures_per_site", 0)
+            if cap >= self.io_retries:
+                raise ValueError(
+                    f"fault_policy.max_failures_per_site ({cap}) must stay below "
+                    f"io_retries ({self.io_retries}) or injected faults cannot converge"
+                )
 
     def ensure_scratch_dir(self) -> Path:
         """Create the scratch directory if needed and return it."""

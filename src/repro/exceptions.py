@@ -19,6 +19,8 @@ __all__ = [
     "MemoryAllocationError",
     "RuntimeExecutionError",
     "IOEngineError",
+    "TransientIOError",
+    "SlabCorruptionError",
     "CollectiveError",
     "MachineConfigurationError",
     "ExperimentError",
@@ -86,6 +88,31 @@ class RuntimeExecutionError(ReproError):
 
 class IOEngineError(ReproError):
     """Raised for invalid Local Array File operations (bad extents, closed files)."""
+
+
+class TransientIOError(IOEngineError):
+    """A retryable I/O failure (injected EIO/ENOSPC or a real transient error).
+
+    The I/O engine retries these with bounded exponential backoff; only after
+    the retry budget is exhausted does the failure surface as a plain
+    :class:`IOEngineError`.
+    """
+
+
+class SlabCorruptionError(IOEngineError):
+    """A slab read back from a Local Array File failed checksum verification.
+
+    Carries the logical ``array`` name, the ``rank`` owning the file and the
+    offending slab's extents so recovery code can regenerate the data from
+    its producer.
+    """
+
+    def __init__(self, message: str, array: str = "", rank: int | None = None,
+                 slab_key: tuple | None = None):
+        self.array = array
+        self.rank = rank
+        self.slab_key = slab_key
+        super().__init__(message)
 
 
 class CollectiveError(ReproError):

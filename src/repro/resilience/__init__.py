@@ -1,0 +1,35 @@
+"""Resilient out-of-core execution.
+
+The paper's premise — every slab makes a round-trip through the file system —
+is exactly where real machines fail: transient ``EIO``, torn writes, bit rot,
+``ENOSPC``, a process killed mid-program.  This package makes the runtime
+survive and *account for* those faults without ever disturbing the charged
+simulated statistics:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault injector
+  (:class:`FaultPolicy` spec + per-VM :class:`FaultInjector` state) plus the
+  :class:`ResilienceStats` counters every run reports,
+* :mod:`repro.resilience.checksums` — per-LAF sidecar manifests of slab
+  checksums (CRC32C when the host has it, CRC-32 otherwise), written on every
+  slab write and verified on read,
+* :mod:`repro.resilience.journal` — the fsync'd statement-level checkpoint
+  journal behind ``Session.run(..., resume=...)``,
+* :mod:`repro.resilience.reaper` — age-based reaping of orphaned
+  ``vm_<uuid>`` scratch directories left behind by killed processes.
+"""
+
+from repro.resilience.checksums import SlabManifest, slab_checksum
+from repro.resilience.faults import FaultInjector, FaultPolicy, ResilienceStats
+from repro.resilience.journal import CheckpointJournal, program_fingerprint
+from repro.resilience.reaper import reap_scratch
+
+__all__ = [
+    "FaultPolicy",
+    "FaultInjector",
+    "ResilienceStats",
+    "SlabManifest",
+    "slab_checksum",
+    "CheckpointJournal",
+    "program_fingerprint",
+    "reap_scratch",
+]

@@ -1,0 +1,236 @@
+"""Deterministic, seeded fault injection for the LAF/IOEngine layer.
+
+A :class:`FaultPolicy` is a frozen *specification*: per-site probabilities for
+transient read/write errors, disk-full, torn slab writes and bit-flip
+corruption, plus the seed that makes every draw reproducible.  A
+:class:`FaultInjector` is the *state* — one per virtual machine — that turns
+the spec into concrete faults.  Draws are indexed by ``(kind, site, n)`` where
+``site`` identifies the Local Array File access point (``array[pRANK]``) and
+``n`` counts the draws at that site, so a given ``(policy.seed, schedule of
+accesses)`` always produces the same fault schedule regardless of wall clock,
+process or thread.
+
+``max_failures_per_site`` bounds fires at one site — *consecutive* failed
+attempts for the transient faults, counted per site across every transient
+kind of the op (so the I/O engine's retry budget, ``RunConfig.io_retries``,
+which must exceed the cap, always converges: after the cap the next attempt
+at that site is forced to succeed, even when write errors and disk-full
+interleave), and *total* fires for corruption kinds (torn writes, bit
+flips).  The corruption supply per site is therefore
+finite, which is what lets the executor's repair-and-retry loop size its
+budget so every seeded fault schedule provably converges.
+
+Injection happens only in ``EXECUTE`` mode (``ESTIMATE`` never touches
+files).  Charged statistics are unaffected by construction: the engine
+charges each logical access exactly once, before the (possibly retried)
+host-level file operation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import TransientIOError
+
+__all__ = ["FaultPolicy", "FaultInjector", "ResilienceStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPolicy:
+    """Seeded fault-injection specification (all rates are per-access).
+
+    Parameters
+    ----------
+    seed:
+        Base seed of the deterministic draw sequence.
+    read_error_rate / write_error_rate:
+        Probability of a transient ``EIO``-style failure on a slab read /
+        write (raised *before* the file access; retried by the I/O engine).
+    disk_full_rate:
+        Probability of a transient ``ENOSPC`` on a slab write (modelling a
+        reaper or quota freeing space between attempts; also retried).
+    torn_write_rate:
+        Probability a slab write persists only partially (the trailing half
+        of the slab is lost) while the checksum manifest records the intended
+        data — detected on the next verification.
+    bitflip_rate:
+        Probability one byte of a just-written slab is flipped on disk
+        (silent media corruption) — likewise detected by checksums.
+    max_failures_per_site:
+        Cap on fires at one access site: consecutive failed *attempts* for
+        the transient kinds, shared across every transient kind of the op
+        so interleaved kinds cannot extend the streak (keep it strictly
+        below ``RunConfig.io_retries`` so engine retries always converge),
+        and total fires *per kind* for the corruption kinds (so the
+        repair-and-retry loop faces a finite corruption supply).
+    crash_after_statement:
+        Test hook for checkpoint/resume: SIGKILL the process right after the
+        journal commits this many completed statements (1-based).  ``None``
+        disables the hook.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    disk_full_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    bitflip_rate: float = 0.0
+    max_failures_per_site: int = 2
+    crash_after_statement: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field in ("read_error_rate", "write_error_rate", "disk_full_rate",
+                      "torn_write_rate", "bitflip_rate"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"FaultPolicy.{field} must be in [0, 1], got {value}")
+        if self.max_failures_per_site < 0:
+            raise ValueError(
+                f"max_failures_per_site must be non-negative, got {self.max_failures_per_site}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can actually fire."""
+        return bool(
+            self.read_error_rate or self.write_error_rate or self.disk_full_rate
+            or self.torn_write_rate or self.bitflip_rate
+            or self.crash_after_statement is not None
+        )
+
+
+@dataclasses.dataclass
+class ResilienceStats:
+    """Counters of everything the resilience machinery did during one run.
+
+    These are *host-side* accounting, reported in ``RunRecord.resilience``;
+    they are never folded into the charged simulated I/O statistics.
+    """
+
+    retries: int = 0
+    transient_read_faults: int = 0
+    transient_write_faults: int = 0
+    disk_full_faults: int = 0
+    torn_writes_injected: int = 0
+    bitflips_injected: int = 0
+    corruptions_detected: int = 0
+    slabs_recovered: int = 0
+    statements_recovered: int = 0
+    statements_skipped: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {field.name: float(getattr(self, field.name))
+                for field in dataclasses.fields(self)}
+
+    def any_activity(self) -> bool:
+        return any(getattr(self, field.name) for field in dataclasses.fields(self))
+
+
+class FaultInjector:
+    """Per-VM fault state: deterministic draws plus the per-site fire caps."""
+
+    def __init__(self, policy: FaultPolicy, stats: Optional[ResilienceStats] = None):
+        self.policy = policy
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._draws: Dict[Tuple[str, str], int] = {}
+        self._consecutive: Dict[Tuple[str, str], int] = {}
+        self._total: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def _uniform(self, kind: str, site: str) -> float:
+        """The next deterministic uniform draw in [0, 1) for ``(kind, site)``."""
+        key = (kind, site)
+        n = self._draws.get(key, 0) + 1
+        self._draws[key] = n
+        digest = hashlib.sha256(
+            f"{self.policy.seed}|{kind}|{site}|{n}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def _transient_kind(self, group: str, site: str, draws) -> Optional[str]:
+        """The transient kind that fires for this attempt, or ``None``.
+
+        One consecutive-failure counter per ``(group, site)`` is shared by
+        every transient kind in the group, so ``max_failures_per_site`` caps
+        the consecutive *attempts* that can fail at a site — not failures per
+        kind.  Without the shared counter two kinds could alternate (write
+        error, disk full, write error, ...) and fail more consecutive
+        attempts than either kind's own cap, defeating the guarantee that
+        ``max_failures_per_site < io_retries`` makes engine retries converge.
+        Once the cap is reached the whole attempt is forced to succeed (no
+        draws consumed) and the streak resets; an attempt where no kind
+        fires also resets it.
+        """
+        key = (group, site)
+        if self._consecutive.get(key, 0) >= self.policy.max_failures_per_site:
+            # Forced success: the consecutive cap guarantees retry convergence.
+            self._consecutive[key] = 0
+            return None
+        for kind, rate in draws:
+            if rate > 0.0 and self._uniform(kind, site) < rate:
+                self._consecutive[key] = self._consecutive.get(key, 0) + 1
+                return kind
+        self._consecutive[key] = 0
+        return None
+
+    def _fires_total(self, kind: str, site: str, rate: float) -> bool:
+        """Like :meth:`_fires`, but with a *total* per-site cap.
+
+        Used for the corruption kinds: a site that has already been corrupted
+        ``max_failures_per_site`` times is exhausted and never fires again,
+        so the executor's repair-and-retry loop faces a finite supply and a
+        budget sized to that supply always converges.
+        """
+        if rate <= 0.0:
+            return False
+        key = (kind, site)
+        if self._total.get(key, 0) >= self.policy.max_failures_per_site:
+            return False
+        if self._uniform(kind, site) < rate:
+            self._total[key] = self._total.get(key, 0) + 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # hooks the I/O engine calls
+    # ------------------------------------------------------------------
+    def before_read(self, site: str) -> None:
+        """Raise a transient read error for this attempt, or pass."""
+        kind = self._transient_kind(
+            "read", site, (("read-error", self.policy.read_error_rate),)
+        )
+        if kind is not None:
+            self.stats.transient_read_faults += 1
+            raise TransientIOError(f"injected transient read error (EIO) at {site}")
+
+    def before_write(self, site: str) -> None:
+        """Raise a transient write error / disk-full for this attempt, or pass."""
+        kind = self._transient_kind(
+            "write",
+            site,
+            (
+                ("write-error", self.policy.write_error_rate),
+                ("disk-full", self.policy.disk_full_rate),
+            ),
+        )
+        if kind == "write-error":
+            self.stats.transient_write_faults += 1
+            raise TransientIOError(f"injected transient write error (EIO) at {site}")
+        if kind == "disk-full":
+            self.stats.disk_full_faults += 1
+            raise TransientIOError(f"injected disk full (ENOSPC) at {site}")
+
+    def corrupt_write(self, site: str) -> Optional[str]:
+        """After a successful write: ``"torn"``, ``"bitflip"`` or ``None``."""
+        if self._fires_total("torn-write", site, self.policy.torn_write_rate):
+            self.stats.torn_writes_injected += 1
+            return "torn"
+        if self._fires_total("bitflip", site, self.policy.bitflip_rate):
+            self.stats.bitflips_injected += 1
+            return "bitflip"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector(seed={self.policy.seed}, sites={len(self._draws)})"

@@ -1,0 +1,88 @@
+"""Age-based reaping of orphaned VM scratch directories.
+
+A process killed mid-run leaks its ``vm_<uuid>/`` scratch directory forever
+(``VirtualMachine`` only removes it on clean close).  :func:`reap_scratch`
+deletes such directories once they are older than ``max_age_s``; the
+:class:`~repro.api.session.Session` calls it best-effort at startup and
+``make clean-scratch`` runs this module as a script with ``--max-age-s 0``.
+
+Age is judged by the directory's most recent content mtime, so a live
+long-running VM that is still writing slabs is never reaped even when it was
+created long ago.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import time
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["reap_scratch"]
+
+DEFAULT_MAX_AGE_S = 24 * 3600.0
+
+
+def _latest_mtime(directory: Path) -> float:
+    latest = directory.stat().st_mtime
+    try:
+        for entry in directory.rglob("*"):
+            try:
+                mtime = entry.stat().st_mtime
+            except OSError:
+                continue
+            if mtime > latest:
+                latest = mtime
+    except OSError:
+        pass
+    return latest
+
+
+def reap_scratch(scratch_dir, max_age_s: float = DEFAULT_MAX_AGE_S, *,
+                 pattern: str = "vm_*", now: Optional[float] = None) -> List[Path]:
+    """Delete orphaned VM scratch directories older than ``max_age_s`` seconds.
+
+    Returns the list of directories removed.  Missing scratch roots and
+    races with concurrent deletion are not errors.
+    """
+    root = Path(scratch_dir)
+    if max_age_s < 0:
+        raise ValueError(f"max_age_s must be non-negative, got {max_age_s}")
+    if not root.is_dir():
+        return []
+    cutoff = (time.time() if now is None else now) - max_age_s
+    reaped: List[Path] = []
+    for candidate in sorted(root.glob(pattern)):
+        if not candidate.is_dir():
+            continue
+        try:
+            if _latest_mtime(candidate) > cutoff:
+                continue
+        except OSError:
+            continue
+        shutil.rmtree(candidate, ignore_errors=True)
+        if not candidate.exists():
+            reaped.append(candidate)
+    return reaped
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.config import RunConfig
+
+    parser = argparse.ArgumentParser(description=reap_scratch.__doc__)
+    parser.add_argument("--scratch-dir", default=None,
+                        help="scratch root (default: the RunConfig default)")
+    parser.add_argument("--max-age-s", type=float, default=DEFAULT_MAX_AGE_S,
+                        help="reap vm_* directories idle for at least this many seconds")
+    args = parser.parse_args(argv)
+    scratch = Path(args.scratch_dir) if args.scratch_dir else RunConfig().scratch_dir
+    reaped = reap_scratch(scratch, args.max_age_s)
+    for path in reaped:
+        print(f"reaped {path}")
+    print(f"{len(reaped)} orphaned scratch director{'y' if len(reaped) == 1 else 'ies'} removed from {scratch}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

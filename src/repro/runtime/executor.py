@@ -35,15 +35,22 @@ against the in-core NumPy oracle (:func:`program_reference`).
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
+from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.config import ExecutionMode, RunConfig
-from repro.exceptions import RuntimeExecutionError
+from repro.exceptions import RuntimeExecutionError, SlabCorruptionError
 from repro.hpf.array_desc import ArrayDescriptor
 from repro.machine.cluster import Machine
+from repro.resilience.checksums import SlabManifest
+from repro.resilience.journal import program_fingerprint
 from repro.runtime.collectives import broadcast, global_sum
+from repro.runtime.laf import LocalArrayFile
+from repro.runtime.ocla import OutOfCoreLocalArray
 from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, make_slabs, row_slabs
 from repro.runtime.vm import OutOfCoreArray, VirtualMachine
 
@@ -172,6 +179,10 @@ class ExecutionResult:
     max_abs_error: Optional[float] = None
     statements: Tuple[Dict[str, float], ...] = ()
     outputs: Optional[Dict[str, np.ndarray]] = None
+    #: host-side resilience counters of the run (retries, corruptions
+    #: detected/recovered, statements skipped by a resume) — never part of
+    #: the charged statistics; ``None`` for analytic estimates.
+    resilience: Optional[Dict[str, float]] = None
 
     def describe(self) -> str:
         lines = [
@@ -188,6 +199,23 @@ class ExecutionResult:
 
 def _mode(vm: VirtualMachine) -> ExecutionMode:
     return ExecutionMode.EXECUTE if vm.perform_io else ExecutionMode.ESTIMATE
+
+
+def _recovery_budget(vm: VirtualMachine, narrays: int) -> int:
+    """Attempt budget of a corruption repair-and-retry loop.
+
+    The injector's corruption supply is finite: each of the two corruption
+    kinds (torn write, bit flip) fires at most ``max_failures_per_site``
+    times per site, and a program touching ``narrays`` arrays on ``nprocs``
+    processors has ``narrays * nprocs`` sites.  Every failed attempt
+    consumes at least one injected corruption, so a budget covering the
+    whole supply (plus the transient margin) provably converges.
+    """
+    budget = max(1, vm.config.io_retries + 4)
+    injector = vm.fault_injector
+    if injector is not None and injector.policy.active:
+        budget += 2 * injector.policy.max_failures_per_site * vm.nprocs * narrays
+    return budget
 
 
 # ---------------------------------------------------------------------------
@@ -824,6 +852,7 @@ class NodeProgramExecutor:
         vm: VirtualMachine,
         inputs: Optional[object] = None,
         verify: bool = True,
+        recover: bool = True,
     ) -> ExecutionResult:
         """Drive ``vm`` through the compiled plan's slab loops.
 
@@ -833,7 +862,45 @@ class NodeProgramExecutor:
         reduction programs or a mapping of array name to dense operand for
         elementwise/transpose programs (``None`` generates nothing — required
         only for verified ``EXECUTE`` runs).
+
+        When a fault injector is active and ``recover`` is true (the
+        default), a mid-statement checksum mismatch triggers a
+        charge-neutral re-execution: charges are restored to the
+        pre-statement snapshot so the retried statement is charged exactly
+        once.  :class:`ProgramExecutor` passes ``recover=False`` — it owns
+        recovery across statements (it can regenerate corrupted
+        intermediates from their producers, which a single statement
+        cannot).
         """
+        if not (recover and vm.perform_io and vm.fault_injector is not None):
+            return self._run_once(vm, inputs, verify)
+        budget = _recovery_budget(vm, len(self.compiled.program.arrays))
+        attempts = 0
+        while True:
+            snapshot = vm.snapshot_charges()
+            try:
+                if attempts == 0:
+                    return self._run_once(vm, inputs, verify)
+                # A retry finds the statement's arrays already created; the
+                # reuse scope lets the engines overwrite them in place.
+                with vm.array_reuse():
+                    result = self._run_once(vm, inputs, verify)
+                vm.resilience.statements_recovered += 1
+                return result
+            except SlabCorruptionError:
+                attempts += 1
+                vm.resilience.corruptions_detected += 1
+                vm.restore_charges(snapshot)
+                if attempts >= budget:
+                    raise
+                vm.resilience.slabs_recovered += 1
+
+    def _run_once(
+        self,
+        vm: VirtualMachine,
+        inputs: Optional[object] = None,
+        verify: bool = True,
+    ) -> ExecutionResult:
         kind = self._statement_kind()
         if kind == "reduction":
             return self._run_reduction(vm, inputs, verify)
@@ -1057,15 +1124,30 @@ class ProgramExecutor:
                     f"input; missing {missing}"
                 )
 
+        # Checkpointing: adopt (or start) the journal in the VM scratch dir.
+        # A journal left by an earlier killed run of the *same* program (same
+        # fingerprint) yields a resume point; anything else starts at 0.
+        journal = vm.journal if vm.perform_io else None
+        resume_from = 0
+        if journal is not None:
+            journal.begin(program_fingerprint(self.compiled))
+            resume_from = self._validate_checkpoint(vm, journal)
+
         per_statement = []
         previous_time = vm.time_breakdown()
         previous_io = vm.io_statistics()
         previous_elapsed = vm.elapsed()
         with vm.array_reuse():
-            for compiled_statement in self.compiled.statements:
+            for index, compiled_statement in enumerate(self.compiled.statements):
+                if index < resume_from:
+                    # Completed by the checkpointed run: its result LAFs were
+                    # re-validated and restored; nothing is charged.
+                    per_statement.append({"seconds": 0.0, "skipped": 1.0})
+                    vm.resilience.statements_skipped += 1
+                    continue
                 statement_inputs = self._statement_inputs(compiled_statement, dense)
-                NodeProgramExecutor(compiled_statement).run(
-                    vm, statement_inputs, verify=False
+                self._run_statement_resilient(
+                    vm, compiled_statement, statement_inputs, dense
                 )
                 time_now = vm.time_breakdown()
                 io_now = vm.io_statistics()
@@ -1079,6 +1161,11 @@ class ProgramExecutor:
                 )
                 per_statement.append(breakdown)
                 previous_time, previous_io, previous_elapsed = time_now, io_now, elapsed_now
+                if journal is not None:
+                    self._commit_statement(vm, journal, index, compiled_statement)
+                    self._maybe_crash(vm, journal)
+        if journal is not None:
+            journal.mark_complete()
 
         # Verification always needs every result; otherwise honor the caller.
         collect = verify or bool(collect_outputs)
@@ -1124,7 +1211,238 @@ class ProgramExecutor:
             max_abs_error=max_err,
             statements=tuple(per_statement),
             outputs=outputs,
+            resilience=vm.resilience.as_dict() if vm.perform_io else None,
         )
+
+    # ------------------------------------------------------------------
+    # resilience: recovery, checkpointing, resume validation
+    # ------------------------------------------------------------------
+    def _result_array(self, compiled_statement: "CompiledProgram") -> str:
+        return compiled_statement.program.statement.result.array
+
+    def _producer_index(self, name: str) -> Optional[int]:
+        for index, compiled_statement in enumerate(self.compiled.statements):
+            if self._result_array(compiled_statement) == name:
+                return index
+        return None
+
+    def _run_statement_resilient(
+        self,
+        vm: VirtualMachine,
+        compiled_statement: "CompiledProgram",
+        statement_inputs,
+        dense: Dict[str, np.ndarray],
+    ) -> None:
+        """Run one statement; detect and recover slab corruption charge-neutrally.
+
+        Every attempt is bracketed by a charge snapshot: on a checksum
+        failure the charges roll back, the corrupted array is repaired
+        (re-executed producer for an intermediate, re-scattered dense data
+        for a program input, nothing for the statement's own result — the
+        retry overwrites it), and the statement re-runs.  A successful run
+        therefore charges the machine exactly once, bit-identical to a
+        fault-free run.
+        """
+        if not vm.perform_io:
+            NodeProgramExecutor(compiled_statement).run(
+                vm, statement_inputs, verify=False, recover=False
+            )
+            return
+        verify_boundary = vm.config.checksums
+        budget = _recovery_budget(vm, len(self.compiled.program.arrays))
+        attempts = 0
+        pending: Optional[SlabCorruptionError] = None
+        while True:
+            snapshot = vm.snapshot_charges()
+            try:
+                if pending is not None:
+                    self._repair(vm, pending, compiled_statement, dense)
+                    pending = None
+                NodeProgramExecutor(compiled_statement).run(
+                    vm, statement_inputs, verify=False, recover=False
+                )
+                if verify_boundary:
+                    self._verify_statement_results(vm, compiled_statement)
+                if attempts:
+                    vm.resilience.statements_recovered += 1
+                return
+            except SlabCorruptionError as exc:
+                attempts += 1
+                vm.resilience.corruptions_detected += 1
+                vm.restore_charges(snapshot)
+                if attempts >= budget:
+                    raise
+                pending = exc
+
+    def _repair(
+        self,
+        vm: VirtualMachine,
+        error: SlabCorruptionError,
+        compiled_statement: "CompiledProgram",
+        dense: Dict[str, np.ndarray],
+    ) -> None:
+        """Restore the corrupted array named by ``error`` to valid data.
+
+        Three cases: the statement's own result (nothing to do — the retry
+        overwrites it), an intermediate (re-execute its producer statement,
+        charge-neutrally), or a program input (re-scatter the dense data).
+        """
+        name = error.array
+        vm.resilience.slabs_recovered += 1
+        if not name or name == self._result_array(compiled_statement):
+            return
+        producer = self._producer_index(name)
+        if producer is not None:
+            producer_statement = self.compiled.statements[producer]
+            producer_inputs = self._statement_inputs(producer_statement, dense)
+            snapshot = vm.snapshot_charges()
+            try:
+                NodeProgramExecutor(producer_statement).run(
+                    vm, producer_inputs, verify=False, recover=False
+                )
+            finally:
+                # Regeneration is pure recovery: the program already paid for
+                # this statement once; the simulated machine never sees it.
+                vm.restore_charges(snapshot)
+            return
+        if name in dense and name in vm.arrays:
+            scattered = vm.arrays[name].descriptor.scatter(dense[name])
+            for rank, ocla in vm.arrays[name].locals.items():
+                ocla.laf.write_full(scattered[rank])
+            return
+        raise error
+
+    def _verify_statement_results(
+        self, vm: VirtualMachine, compiled_statement: "CompiledProgram"
+    ) -> None:
+        """Statement-boundary integrity check of the freshly written result.
+
+        Catches write-time corruption (torn/bit-flipped slabs) *before* the
+        statement commits to the journal, so a checkpoint never records a
+        corrupt LAF as completed.
+        """
+        name = self._result_array(compiled_statement)
+        array = vm.arrays.get(name)
+        if array is None:
+            return
+        for ocla in array:
+            ocla.laf.verify_checksums()
+
+    def _commit_statement(
+        self,
+        vm: VirtualMachine,
+        journal,
+        index: int,
+        compiled_statement: "CompiledProgram",
+    ) -> None:
+        """Flush the statement's result LAFs and journal it as completed."""
+        name = self._result_array(compiled_statement)
+        array = vm.arrays.get(name)
+        if array is None:  # pragma: no cover - every engine registers its result
+            return
+        files = []
+        for rank in sorted(array.locals):
+            laf = array.locals[rank].laf
+            laf.flush()
+            laf.sync_manifest()
+            files.append({
+                "rank": rank,
+                "path": str(laf.path),
+                "manifest": str(laf.manifest.path) if laf.manifest is not None else None,
+                "order": laf.order,
+            })
+        journal.commit_statement(
+            index,
+            compiled_statement.program.statement.describe(),
+            {
+                name: {
+                    "files": files,
+                    "shape": [int(v) for v in array.descriptor.shape],
+                    "dtype": np.dtype(array.descriptor.dtype).name,
+                }
+            },
+        )
+
+    def _maybe_crash(self, vm: VirtualMachine, journal) -> None:
+        """Test hook: SIGKILL this process once N statements are journaled."""
+        injector = vm.fault_injector
+        if injector is None:
+            return
+        target = injector.policy.crash_after_statement
+        if target is not None and len(journal.entries) >= target:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _validate_checkpoint(self, vm: VirtualMachine, journal) -> int:
+        """Re-validate journaled statements; restore their arrays into ``vm``.
+
+        Walks the committed entries in order, checking that every recorded
+        LAF still exists with the right size and that its slab checksums
+        verify.  The first entry that fails truncates the journal there —
+        that statement and everything after it re-executes.  Returns the
+        index of the first statement to (re-)execute.
+        """
+        valid = 0
+        restored: Dict[str, OutOfCoreArray] = {}
+        for position, entry in enumerate(journal.entries):
+            if entry.get("index") != position:
+                break
+            try:
+                arrays = {
+                    name: self._restore_array(vm, name, meta)
+                    for name, meta in entry.get("arrays", {}).items()
+                }
+            except (SlabCorruptionError, ValueError, OSError, KeyError):
+                break
+            restored.update(arrays)
+            valid = position + 1
+        journal.truncate(valid)
+        vm.arrays.update(restored)
+        return valid
+
+    def _restore_array(self, vm: VirtualMachine, name: str, meta) -> OutOfCoreArray:
+        """Reopen one journaled array's LAFs, verifying checksums."""
+        existing = vm.arrays.get(name)
+        if existing is not None:
+            # Same-process re-run: the array is already open; just re-audit it.
+            for ocla in existing:
+                ocla.laf.verify_checksums()
+            return existing
+        descriptor = self.compiled.program.arrays[name]
+        expected_dtype = np.dtype(descriptor.dtype)
+        if np.dtype(meta["dtype"]) != expected_dtype or \
+                tuple(meta["shape"]) != tuple(descriptor.shape):
+            raise ValueError(f"checkpointed array {name!r} no longer matches the program")
+        files = meta["files"]
+        if sorted(f["rank"] for f in files) != list(range(descriptor.nprocs)):
+            raise ValueError(f"checkpoint of {name!r} is missing processor files")
+        locals_: Dict[int, OutOfCoreLocalArray] = {}
+        for file_meta in files:
+            rank = int(file_meta["rank"])
+            path = Path(file_meta["path"])
+            local_shape = descriptor.local_shape(rank)
+            nbytes = local_shape[0] * local_shape[1] * expected_dtype.itemsize
+            if not path.is_file() or path.stat().st_size != nbytes:
+                raise ValueError(f"checkpointed file {path} is missing or truncated")
+            manifest = None
+            if vm.config.checksums:
+                manifest_path = file_meta.get("manifest")
+                if not manifest_path:
+                    raise ValueError(f"checkpointed file {path} has no checksum manifest")
+                manifest = SlabManifest.load(Path(manifest_path))
+            laf = LocalArrayFile(
+                path,
+                local_shape,
+                descriptor.dtype,
+                order=file_meta.get("order", "F"),
+                create=False,
+                handle_cache=vm.handle_cache,
+                array_name=name,
+                rank=rank,
+                manifest=manifest,
+            )
+            laf.verify_checksums()
+            locals_[rank] = OutOfCoreLocalArray(descriptor, rank, laf, vm.engine, None)
+        return OutOfCoreArray(descriptor, locals_)
 
     # ------------------------------------------------------------------
     def execute(

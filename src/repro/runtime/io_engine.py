@@ -21,11 +21,12 @@ Two accounting policies are provided:
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.exceptions import IOEngineError
+from repro.exceptions import IOEngineError, TransientIOError
 from repro.machine.cluster import Machine
 from repro.runtime.laf import LocalArrayFile
 from repro.runtime.slab import Slab
@@ -68,6 +69,17 @@ class IOEngine:
         hide behind preceding computation; counters always see the full
         traffic, only the simulated clock benefits.  ``None`` (the default)
         keeps the exact direct-charge path.
+    injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` consulted
+        before each host file access (and after writes, for corruption).
+    stats:
+        Optional :class:`~repro.resilience.faults.ResilienceStats` recording
+        retries.  Defaults to the injector's stats when one is given.
+    retries / retry_backoff_s:
+        Bounded-retry budget for transient failures of a single file
+        operation and the base of the exponential host-side backoff between
+        attempts.  Charging is untouched by retries: every logical access is
+        charged exactly once, *before* the first attempt.
     """
 
     def __init__(
@@ -76,11 +88,70 @@ class IOEngine:
         accounting: IOAccounting | str = IOAccounting.PER_SLAB,
         perform_io: bool = True,
         prefetch=None,
+        *,
+        injector=None,
+        stats=None,
+        retries: int = 4,
+        retry_backoff_s: float = 0.001,
     ):
         self.machine = machine
         self.accounting = IOAccounting.from_name(accounting)
         self.perform_io = bool(perform_io)
         self.prefetch = prefetch
+        self.injector = injector
+        self.stats = stats if stats is not None else (
+            injector.stats if injector is not None else None
+        )
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+
+    # ------------------------------------------------------------------
+    # resilient host-side file access
+    # ------------------------------------------------------------------
+    def _attempt(self, op: Callable, kind: str, laf: LocalArrayFile):
+        """Run one host file operation with fault injection and bounded retry.
+
+        Transient failures (injected or real ``OSError``) are retried up to
+        ``self.retries`` times with exponential backoff; exhaustion surfaces
+        as a plain :class:`IOEngineError`.  Checksum mismatches
+        (:class:`~repro.exceptions.SlabCorruptionError`) are *not* retried —
+        re-reading corrupt bytes returns the same corrupt bytes; recovery
+        belongs to the executor.
+        """
+        site = laf.label
+        failures = 0
+        while True:
+            try:
+                if self.injector is not None:
+                    if kind == "read":
+                        self.injector.before_read(site)
+                    else:
+                        self.injector.before_write(site)
+                return op()
+            except (TransientIOError, OSError) as exc:
+                failures += 1
+                if failures > self.retries:
+                    raise IOEngineError(
+                        f"{kind} of local array file {site} still failing "
+                        f"after {self.retries} retries: {exc}"
+                    ) from exc
+                if self.stats is not None:
+                    self.stats.retries += 1
+                if self.retry_backoff_s:
+                    time.sleep(self.retry_backoff_s * (2 ** (failures - 1)))
+
+    def _maybe_corrupt(self, laf: LocalArrayFile, slab: Slab) -> None:
+        """After a successful write, let the injector damage the bytes on disk."""
+        if self.injector is None or not self.perform_io:
+            return
+        mode = self.injector.corrupt_write(laf.label)
+        if mode is not None:
+            laf._inject_corruption(slab, mode)
+
+    @staticmethod
+    def _full_slab(laf: LocalArrayFile) -> Slab:
+        return Slab(index=0, row_start=0, row_stop=laf.shape[0],
+                    col_start=0, col_stop=laf.shape[1])
 
     def _charge_read(self, rank: int, nbytes: int, nrequests: int) -> None:
         if self.prefetch is not None:
@@ -114,7 +185,7 @@ class IOEngine:
         self.charge_read_slab(rank, laf, slab)
         if not self.perform_io:
             return None
-        return laf.read_slab(slab)
+        return self._attempt(lambda: laf.read_slab(slab), "read", laf)
 
     def write_slab(
         self, rank: int, laf: LocalArrayFile, slab: Slab, data: Optional[np.ndarray]
@@ -127,7 +198,8 @@ class IOEngine:
             return
         if data is None:
             raise IOEngineError("write_slab needs data when perform_io is enabled")
-        laf.write_slab(slab, data)
+        self._attempt(lambda: laf.write_slab(slab, data), "write", laf)
+        self._maybe_corrupt(laf, slab)
 
     def read_full(self, rank: int, laf: LocalArrayFile) -> Optional[np.ndarray]:
         """Read an entire LAF as one request (used by the in-core baseline)."""
@@ -135,7 +207,7 @@ class IOEngine:
         self._charge_read(rank, nbytes, 1 if nbytes else 0)
         if not self.perform_io:
             return None
-        return laf.read_full()
+        return self._attempt(laf.read_full, "read", laf)
 
     def write_full(self, rank: int, laf: LocalArrayFile, data: Optional[np.ndarray]) -> None:
         """Write an entire LAF as one request (used by the in-core baseline)."""
@@ -145,4 +217,5 @@ class IOEngine:
             return
         if data is None:
             raise IOEngineError("write_full needs data when perform_io is enabled")
-        laf.write_full(data)
+        self._attempt(lambda: laf.write_full(data), "write", laf)
+        self._maybe_corrupt(laf, self._full_slab(laf))

@@ -35,7 +35,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import IOEngineError
+from repro.exceptions import IOEngineError, SlabCorruptionError
+from repro.resilience.checksums import SlabManifest, slab_checksum
 from repro.runtime.slab import Slab
 
 __all__ = ["LafHandleCache", "LocalArrayFile"]
@@ -106,6 +107,14 @@ class LocalArrayFile:
     handle_cache:
         Optional :class:`LafHandleCache` bounding the number of
         simultaneously open memmap handles across many LAFs.
+    array_name / rank:
+        Logical identity of this file (which array, which processor) used in
+        error messages and :class:`~repro.exceptions.SlabCorruptionError`.
+    manifest:
+        Optional :class:`~repro.resilience.checksums.SlabManifest`.  When
+        present, slab writes record checksums, exact-slab reads verify them,
+        and :meth:`verify_checksums` can audit the whole file.  Host-side
+        only; the simulated machine never sees it.
     """
 
     def __init__(
@@ -116,6 +125,10 @@ class LocalArrayFile:
         order: str = "F",
         create: bool = True,
         handle_cache: Optional[LafHandleCache] = None,
+        *,
+        array_name: str = "",
+        rank: Optional[int] = None,
+        manifest: Optional[SlabManifest] = None,
     ):
         self.path = Path(path)
         self.shape = (int(shape[0]), int(shape[1]))
@@ -126,11 +139,22 @@ class LocalArrayFile:
         if order not in ("F", "C"):
             raise IOEngineError(f"storage order must be 'F' or 'C', got {order!r}")
         self.order = order
+        self.array_name = str(array_name)
+        self.rank = rank
+        self.manifest = manifest
         self._closed = False
         self._mm: Optional[np.memmap] = None
         self._handle_cache = handle_cache
         if create:
             self._ensure_file()
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity: ``array[pRANK]`` or the file name."""
+        if self.array_name:
+            return (f"{self.array_name}[p{self.rank}]" if self.rank is not None
+                    else self.array_name)
+        return self.path.name
 
     # ------------------------------------------------------------------
     # file management
@@ -167,13 +191,26 @@ class LocalArrayFile:
         return self._mm
 
     def _release_handle(self, unregister: bool = True) -> None:
-        """Flush and drop the persistent handle; the file stays valid."""
+        """Flush and drop the persistent handle; the file stays valid.
+
+        A failed flush surfaces as :class:`IOEngineError` naming the array
+        and rank — never silently, and never with the stale handle kept
+        around (the handle is dropped either way).
+        """
         mm, self._mm = self._mm, None
-        if mm is not None:
-            mm.flush()
-            del mm
-        if unregister and self._handle_cache is not None:
-            self._handle_cache.discard(self)
+        try:
+            if mm is not None:
+                try:
+                    mm.flush()
+                except OSError as exc:
+                    raise IOEngineError(
+                        f"flushing local array file {self.label} ({self.path}) failed: {exc}"
+                    ) from exc
+                finally:
+                    del mm
+        finally:
+            if unregister and self._handle_cache is not None:
+                self._handle_cache.discard(self)
 
     @property
     def handle_open(self) -> bool:
@@ -189,18 +226,54 @@ class LocalArrayFile:
         return self.path.exists()
 
     def close(self) -> None:
-        """Flush, drop the handle and mark the file closed; further access raises."""
-        if not self._closed:
-            self._release_handle()
+        """Flush, drop the handle and mark the file closed; further access raises.
+
+        Idempotent: the first call does the work (and surfaces any pending
+        flush failure as :class:`IOEngineError`); repeat calls are no-ops and
+        never re-raise.
+        """
+        if self._closed:
+            return
         self._closed = True
+        try:
+            self._release_handle()
+        finally:
+            try:
+                self.sync_manifest()
+            except OSError:  # manifest persistence is best-effort on close
+                pass
 
     def delete(self) -> None:
-        """Close and remove the backing file (ignored if already gone)."""
-        self.close()
+        """Close and remove the backing file and its checksum sidecar.
+
+        Idempotent (a missing file is not an error) and never *masks* a
+        pending flush failure: the files are removed either way, then the
+        flush error — which names the array and rank — is re-raised.
+        """
+        flush_error: Optional[IOEngineError] = None
+        # Persisting the manifest sidecar just to unlink it would be wasted
+        # work: detach it before close so sync_manifest has nothing to save.
+        manifest, self.manifest = self.manifest, None
+        try:
+            self.close()
+        except IOEngineError as exc:
+            flush_error = exc
         try:
             self.path.unlink()
         except FileNotFoundError:
             pass
+        if manifest is not None and manifest.path is not None:
+            try:
+                manifest.path.unlink()
+            except FileNotFoundError:
+                pass
+        if flush_error is not None:
+            raise flush_error
+
+    def sync_manifest(self) -> None:
+        """Persist the checksum manifest sidecar if it has unsaved entries."""
+        if self.manifest is not None and self.manifest.path is not None and self.manifest.dirty:
+            self.manifest.save()
 
     # ------------------------------------------------------------------
     # whole-array access
@@ -217,6 +290,8 @@ class LocalArrayFile:
             raise IOEngineError(
                 f"write_full: data shape {data.shape} does not match LAF shape {self.shape}"
             )
+        if self.manifest is not None:
+            self.manifest.record_full(self.shape, slab_checksum(data))
         if self.nelements == 0:
             self._check_open()
             return
@@ -226,11 +301,13 @@ class LocalArrayFile:
             mm.flush()
 
     def read_full(self) -> np.ndarray:
-        """Read the entire local array from the file."""
+        """Read the entire local array from the file (verifying every checksum)."""
         if self.nelements == 0:
             self._check_open()
             return np.zeros(self.shape, dtype=self.dtype)
-        return np.array(self._handle())
+        data = np.array(self._handle())
+        self._verify_against_manifest(data)
+        return data
 
     # ------------------------------------------------------------------
     # slab access
@@ -240,12 +317,22 @@ class LocalArrayFile:
             raise IOEngineError(f"{slab.describe()} exceeds local shape {self.shape}")
 
     def read_slab(self, slab: Slab) -> np.ndarray:
-        """Read one slab; returns a freshly allocated array of the slab shape."""
+        """Read one slab; returns a freshly allocated array of the slab shape.
+
+        When this file carries a checksum manifest and the exact slab was
+        recorded by an earlier write, the bytes read back are verified and a
+        mismatch raises :class:`~repro.exceptions.SlabCorruptionError`.
+        """
         self._check_slab(slab)
         if slab.nelements == 0:
             self._check_open()
             return np.zeros(slab.shape, dtype=self.dtype)
-        return np.array(self._handle()[slab.row_slice, slab.col_slice])
+        data = np.array(self._handle()[slab.row_slice, slab.col_slice])
+        if self.manifest is not None and self.manifest.verifiable:
+            key = self._slab_key(slab)
+            if self.manifest.matches(key, data) is False:
+                raise self._corruption_error(key)
+        return data
 
     def write_slab(self, slab: Slab, data: np.ndarray, sync: bool = False) -> None:
         """Write one slab back to the file (flushed by ``close`` unless ``sync``)."""
@@ -255,6 +342,8 @@ class LocalArrayFile:
             raise IOEngineError(
                 f"write_slab: data shape {data.shape} does not match {slab.describe()}"
             )
+        if self.manifest is not None:
+            self.manifest.record(self._slab_key(slab), slab_checksum(data))
         if slab.nelements == 0:
             self._check_open()
             return
@@ -262,6 +351,79 @@ class LocalArrayFile:
         mm[slab.row_slice, slab.col_slice] = data
         if sync:
             mm.flush()
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slab_key(slab: Slab) -> Tuple[int, int, int, int]:
+        return (int(slab.row_start), int(slab.row_stop),
+                int(slab.col_start), int(slab.col_stop))
+
+    def _corruption_error(self, key: Tuple[int, int, int, int]) -> SlabCorruptionError:
+        return SlabCorruptionError(
+            f"checksum mismatch reading rows [{key[0]}, {key[1]}) x "
+            f"cols [{key[2]}, {key[3]}) of local array file {self.label} ({self.path})",
+            array=self.array_name or self.path.name,
+            rank=self.rank,
+            slab_key=key,
+        )
+
+    def _verify_against_manifest(self, full: np.ndarray) -> None:
+        """Check every recorded slab checksum against in-memory full data."""
+        if self.manifest is None or not self.manifest.verifiable:
+            return
+        for key, expected in self.manifest.entries.items():
+            piece = full[key[0]:key[1], key[2]:key[3]]
+            if slab_checksum(piece) != expected:
+                raise self._corruption_error(key)
+
+    def verify_checksums(self) -> int:
+        """Re-read the file and verify every recorded slab checksum.
+
+        Returns the number of slabs verified; raises
+        :class:`~repro.exceptions.SlabCorruptionError` on the first mismatch.
+        Used at statement boundaries and when validating a checkpoint.
+        """
+        if self.manifest is None or not self.manifest.verifiable or not self.manifest.entries:
+            return 0
+        if self.nelements:
+            self._verify_against_manifest(np.asarray(self._handle()))
+        return len(self.manifest.entries)
+
+    def _inject_corruption(self, slab: Slab, mode: str) -> None:
+        """Damage the just-written slab on disk (fault injection only).
+
+        ``"torn"`` loses the trailing half of the slab's rows (single-row
+        slabs lose trailing columns); ``"bitflip"`` flips every bit of one
+        byte inside the slab.  The checksum manifest is deliberately left
+        describing the intended data, so the damage is detectable.
+        """
+        if slab.nelements == 0:
+            return
+        if mode == "torn":
+            mm = self._handle()
+            rows = slab.row_stop - slab.row_start
+            if rows > 1:
+                mm[slab.row_start + rows // 2:slab.row_stop, slab.col_slice] = 0
+            else:
+                cols = slab.col_stop - slab.col_start
+                mm[slab.row_slice, slab.col_start + cols // 2:slab.col_stop] = 0
+        elif mode == "bitflip":
+            # A separate byte-level MAP_SHARED view of the same file is
+            # coherent with the typed handle; XOR one byte of the slab's
+            # first element.
+            if self.order == "F":
+                element = slab.col_start * self.shape[0] + slab.row_start
+            else:
+                element = slab.row_start * self.shape[1] + slab.col_start
+            raw = np.memmap(self.path, dtype=np.uint8, mode="r+")
+            try:
+                raw[element * self.dtype.itemsize] ^= 0xFF
+            finally:
+                del raw
+        else:  # pragma: no cover - injector only emits the two modes above
+            raise IOEngineError(f"unknown corruption mode {mode!r}")
 
     def contiguous_chunks(self, slab: Slab) -> int:
         """Number of contiguous file extents the slab occupies in this file."""

@@ -15,6 +15,8 @@ create one per configuration point.
 from __future__ import annotations
 
 import contextlib
+import copy
+import os
 import shutil
 import uuid
 from pathlib import Path
@@ -27,6 +29,9 @@ from repro.exceptions import RuntimeExecutionError
 from repro.hpf.array_desc import ArrayDescriptor
 from repro.machine.cluster import Machine
 from repro.machine.parameters import MachineParameters
+from repro.resilience.checksums import SlabManifest
+from repro.resilience.faults import FaultInjector, ResilienceStats
+from repro.resilience.journal import CheckpointJournal
 from repro.runtime.icla import InCoreLocalArray
 from repro.runtime.io_engine import IOAccounting, IOEngine
 from repro.runtime.laf import LafHandleCache, LocalArrayFile
@@ -79,6 +84,7 @@ class VirtualMachine:
         config: Optional[RunConfig] = None,
         accounting: IOAccounting | str = IOAccounting.PER_SLAB,
         max_open_handles: int = 128,
+        work_dir: str | os.PathLike | None = None,
     ):
         self.config = config or default_config()
         self.machine = Machine(nprocs, params)
@@ -91,11 +97,23 @@ class VirtualMachine:
             if getattr(self.config, "prefetch", "none") == "overlap"
             else None
         )
+        # Resilience: host-side counters, and (EXECUTE only) the optional
+        # seeded fault injector.  Neither touches any charged statistic.
+        self.resilience = ResilienceStats()
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.fault_policy, self.resilience)
+            if self.perform_io and self.config.fault_policy is not None
+            else None
+        )
         self.engine = IOEngine(
             self.machine,
             accounting=accounting,
             perform_io=self.perform_io,
             prefetch=self.prefetch_policy,
+            injector=self.fault_injector,
+            stats=self.resilience,
+            retries=self.config.io_retries,
+            retry_backoff_s=self.config.io_retry_backoff_s,
         )
         self.arrays: Dict[str, OutOfCoreArray] = {}
         # Opt-in switch for cross-statement array reuse (see array_reuse()):
@@ -106,15 +124,27 @@ class VirtualMachine:
         # runs with hundreds of LAFs cannot exhaust file descriptors.
         self.handle_cache = LafHandleCache(capacity=max_open_handles)
         self._scratch: Optional[Path] = None
+        self.journal: Optional[CheckpointJournal] = None
         if self.perform_io:
-            base = self.config.ensure_scratch_dir()
-            self._scratch = Path(base) / f"vm_{uuid.uuid4().hex[:12]}"
+            if work_dir is not None:
+                # An explicit working directory: checkpoint/resume reopens
+                # the scratch dir (and journal) of an earlier, killed run.
+                self._scratch = Path(work_dir)
+            else:
+                base = self.config.ensure_scratch_dir()
+                self._scratch = Path(base) / f"vm_{uuid.uuid4().hex[:12]}"
             self._scratch.mkdir(parents=True, exist_ok=True)
+            self.journal = CheckpointJournal(self._scratch / "journal.json")
 
     # ------------------------------------------------------------------
     @property
     def nprocs(self) -> int:
         return self.machine.nprocs
+
+    @property
+    def work_dir(self) -> Optional[Path]:
+        """The scratch directory holding this VM's LAFs and journal."""
+        return self._scratch
 
     @property
     def memory_per_node(self) -> int:
@@ -165,12 +195,20 @@ class VirtualMachine:
             local_shape = descriptor.local_shape(rank)
             if self.perform_io:
                 path = LocalArrayFile.scratch_path(self._scratch, descriptor.name, rank)
+                manifest = (
+                    SlabManifest(Path(str(path) + ".sums.json"))
+                    if self.config.checksums
+                    else None
+                )
                 laf = LocalArrayFile(
                     path,
                     local_shape,
                     descriptor.dtype,
                     order=storage_order,
                     handle_cache=self.handle_cache,
+                    array_name=descriptor.name,
+                    rank=rank,
+                    manifest=manifest,
                 )
                 if scattered is not None:
                     laf.write_full(scattered[rank])
@@ -279,6 +317,39 @@ class VirtualMachine:
         if self.prefetch_policy is not None:
             self.prefetch_policy.begin_compute(rank, seconds)
         return seconds
+
+    # ------------------------------------------------------------------
+    # charge snapshot/restore (charge-neutral fault recovery)
+    # ------------------------------------------------------------------
+    def snapshot_charges(self) -> dict:
+        """Deep-copy every mutable charged quantity of the simulated machine.
+
+        Recovery code brackets a re-execution with
+        ``snap = vm.snapshot_charges()`` … ``vm.restore_charges(snap)`` so a
+        regenerated statement charges the machine exactly once — faulted runs
+        stay bit-identical to clean runs in every charged statistic.
+        """
+        state = {
+            "processors": self.machine.processors,
+            "disks": self.machine.disks,
+            "network": self.machine.network,
+            "clocks": self.machine.clocks,
+            "metrics": self.machine.metrics,
+        }
+        if self.prefetch_policy is not None:
+            state["prefetch_available"] = self.prefetch_policy._available
+        return copy.deepcopy(state)
+
+    def restore_charges(self, snapshot: dict) -> None:
+        """Reset the simulated machine's charges to a snapshot (reusable)."""
+        state = copy.deepcopy(snapshot)
+        self.machine.processors = state["processors"]
+        self.machine.disks = state["disks"]
+        self.machine.network = state["network"]
+        self.machine.clocks = state["clocks"]
+        self.machine.metrics = state["metrics"]
+        if self.prefetch_policy is not None:
+            self.prefetch_policy._available = state.get("prefetch_available", {})
 
     # ------------------------------------------------------------------
     # reporting and lifecycle

@@ -1,0 +1,89 @@
+"""Fault-injection stress matrix (the ``make test-faults`` CI job).
+
+A seed x rate x workload sweep: every combination executes under injected
+faults and must (a) still verify against the dense reference and (b) report
+charged statistics bit-identical to the fault-free run of the same point.
+Heavier than the unit suite by design — this is the soak coverage that runs
+as its own CI job, not inside the tier-1 gate.
+"""
+
+import pytest
+
+from repro import Session, WorkloadPoint
+from repro.config import RunConfig
+from repro.resilience import FaultPolicy
+
+PROGRAM_SOURCE = """
+program chain
+  parameter (n = 16, nprocs = 2)
+  real a(n, n), t(n, n), d(n, n), c(n, n)
+!hpf$ processors Pr(nprocs)
+!hpf$ template tmpl(n)
+!hpf$ distribute tmpl(block) onto Pr
+!hpf$ align a(*, :) with tmpl
+!hpf$ align t(*, :) with tmpl
+!hpf$ align d(*, :) with tmpl
+!hpf$ align c(*, :) with tmpl
+  t(:, :) = add(a(:, :), d(:, :))
+  c(:, :) = multiply(t(:, :), a(:, :))
+end program
+"""
+
+POINTS = {
+    "gaxpy": WorkloadPoint("gaxpy", n=32, nprocs=4, version="row", slab_ratio=0.25),
+    "elementwise": WorkloadPoint("elementwise", n=32, nprocs=4, slab_ratio=0.25),
+    "transpose": WorkloadPoint("transpose", n=32, nprocs=4, slab_ratio=0.25),
+    "program": None,  # compiled from PROGRAM_SOURCE below
+}
+
+RATE_MIXES = {
+    "transient": dict(read_error_rate=0.3, write_error_rate=0.2, disk_full_rate=0.1),
+    "corrupting": dict(torn_write_rate=0.15, bitflip_rate=0.15),
+    "everything": dict(
+        read_error_rate=0.2,
+        write_error_rate=0.1,
+        disk_full_rate=0.05,
+        torn_write_rate=0.1,
+        bitflip_rate=0.05,
+    ),
+}
+
+
+def _charged(record):
+    return (
+        record.simulated_seconds,
+        record.io_time,
+        record.compute_time,
+        record.comm_time,
+        record.io_requests_per_proc,
+        record.io_read_bytes_per_proc,
+        record.io_write_bytes_per_proc,
+        record.statements,
+    )
+
+
+def _execute(tmp_path, workload_key, policy, tag):
+    config = RunConfig(
+        scratch_dir=tmp_path / tag, fault_policy=policy, io_retry_backoff_s=0.0
+    )
+    session = Session(config=config, reap_max_age_s=None)
+    point = POINTS[workload_key]
+    if point is None:
+        point = session.compile(source=PROGRAM_SOURCE, slab_ratio=0.25)
+    return session.execute(point)
+
+
+@pytest.mark.parametrize("seed", [1, 17, 4242])
+@pytest.mark.parametrize("mix", sorted(RATE_MIXES))
+@pytest.mark.parametrize("workload_key", sorted(POINTS))
+def test_fault_stress(tmp_path, workload_key, mix, seed):
+    policy = FaultPolicy(seed=seed, **RATE_MIXES[mix])
+    clean = _execute(tmp_path, workload_key, None, "clean")
+    faulty = _execute(tmp_path, workload_key, policy, f"faulty_{mix}_{seed}")
+    assert clean.verified is True
+    assert faulty.verified is True, (
+        f"{workload_key} under {mix} faults (seed {seed}) failed verification"
+    )
+    assert _charged(faulty) == _charged(clean), (
+        f"{workload_key} under {mix} faults (seed {seed}) drifted in charged stats"
+    )
