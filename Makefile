@@ -3,8 +3,8 @@
 
 PYTHON ?= python
 
-.PHONY: test test-faults cov lint bench bench-unified bench-program bench-planner \
-	bench-resilience bench-reset clean-scratch
+.PHONY: test test-faults cov lint typecheck check-plans bench bench-unified \
+	bench-program bench-planner bench-resilience bench-reset clean-scratch
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -20,9 +20,28 @@ test-faults:
 cov:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=85
 
-# Static checks (rule selection lives in ruff.toml).
+# Static checks: ruff (rule selection lives in ruff.toml) plus the
+# charge-discipline AST lint (raw I/O confinement, wall-clock reads, charges
+# inside retry loops, frozen-object mutation — see the tool's docstring).
 lint:
 	ruff check .
+	$(PYTHON) tools/lint_charge_discipline.py
+
+# Scoped strict typing for the compiler core and planner (mypy.ini).  Gated
+# on mypy being importable so the target degrades gracefully on machines
+# without it; CI installs mypy and runs it for real.
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy --config-file mypy.ini src/repro/core src/repro/planner \
+		|| echo "mypy not installed; skipping typecheck (CI runs it)"
+
+# Static plan verification over the full differential matrix: every workload
+# x strategy x P x slab granularity plus 1-3 statement HPF programs and a
+# seeded fuzz sweep.  Asserts the symbolic charge ledger equals PlanCost on
+# every plan and matches the executed machine counters where the executor
+# follows plan granularity.
+check-plans:
+	PYTHONPATH=src $(PYTHON) tools/check_plans.py
 
 # Measures the fixed EXECUTE-mode GAXPY sweep and appends to
 # BENCH_fastpath.json (the stored baseline is kept; the run fails if any

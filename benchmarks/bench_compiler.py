@@ -32,8 +32,7 @@ def bench_node_program_generation_and_counting(benchmark):
     compiled = compile_gaxpy(1024, 16, slab_ratio=0.25)
 
     def regenerate():
-        totals = compiled.node_program.operation_totals()
-        return totals
+        return compiled.node_program.operation_totals()
 
     totals = benchmark(regenerate)
     assert totals["flops"] > 0

@@ -29,7 +29,7 @@ def test_time_increases_as_slab_ratio_shrinks(figure10_result):
     for nprocs, series in figure10_result["series"].items():
         ordered = sorted(series, key=lambda pair: pair[0], reverse=True)  # ratio 1 first
         times = [t for _, t in ordered]
-        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:])), (
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:], strict=False)), (
             f"times not monotone for {nprocs} processors: {times}"
         )
 
@@ -41,7 +41,7 @@ def test_time_does_not_grow_with_processors(figure10_result):
             next(t for r, t in figure10_result["series"][p] if r == ratio)
             for p in config.processor_counts
         ]
-        assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:])), (
+        assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:], strict=False)), (
             f"times grow with processor count at ratio {ratio}: {times}"
         )
 

@@ -58,7 +58,7 @@ def test_times_improve_with_larger_slabs(table1_result):
     for nprocs in config.processor_counts:
         for version in ("column", "row"):
             times = [cells[(ratio, nprocs, version)] for ratio in ratios]
-            assert all(t2 <= t1 * 1.001 for t1, t2 in zip(times, times[1:])), (
+            assert all(t2 <= t1 * 1.001 for t1, t2 in zip(times, times[1:], strict=False)), (
                 f"{version} times do not improve with slab size at P={nprocs}: {times}"
             )
 
@@ -70,4 +70,4 @@ def test_processor_scaling_direction_matches_paper(table1_result):
     for ratio in config.slab_ratios:
         for version in ("column", "row"):
             times = [cells[(ratio, p, version)] for p in config.processor_counts]
-            assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:]))
+            assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:], strict=False))

@@ -35,7 +35,7 @@ def test_growing_a_beats_growing_b_at_equal_memory(table2_result):
     rows = table2_result["rows"]
     vary_a = _by_experiment(rows, "vary_a")
     vary_b = _by_experiment(rows, "vary_b")
-    for row_a, row_b in zip(vary_a, vary_b):
+    for row_a, row_b in zip(vary_a, vary_b, strict=True):
         assert row_a["total_lines"] == row_b["total_lines"]
         assert row_a["time"] <= row_b["time"] * 1.001
 
@@ -44,7 +44,7 @@ def test_more_memory_never_hurts(table2_result):
     rows = table2_result["rows"]
     for experiment in ("vary_a", "vary_b"):
         times = [r["time"] for r in _by_experiment(rows, experiment)]
-        assert all(t2 <= t1 * 1.001 for t1, t2 in zip(times, times[1:]))
+        assert all(t2 <= t1 * 1.001 for t1, t2 in zip(times, times[1:], strict=False))
 
 
 def test_best_configuration_grows_the_streamed_array(table2_result):

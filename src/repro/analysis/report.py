@@ -33,10 +33,10 @@ def format_table(header: Sequence[str], rows: Sequence[Sequence[object]], title:
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(header, widths, strict=True)))
     lines.append(sep)
     for row in str_rows:
-        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -151,7 +151,7 @@ def sweep_gaxpy(
         verify=verify,
     )
     out: List[Dict[str, float]] = []
-    for point, record in zip(points, records):
+    for point, record in zip(points, records, strict=True):
         legacy = _legacy_record(record, point, mode)
         legacy["version"] = point.version  # type: ignore[assignment]
         out.append(legacy)

@@ -89,6 +89,18 @@ class Session:
         written to disk and replayed by any later Session pointed at it.
     plan_cache_size:
         In-memory entry capacity of the plan cache.
+    check:
+        The session's default static-verification mode (``"off"`` |
+        ``"warn"`` | ``"error"``; default ``"warn"``).  Every compilation is
+        walked by the static plan verifier (:mod:`repro.check`) *after* the
+        compile caches are consulted — the frozen
+        :class:`~repro.check.report.CheckReport` is attached to the
+        :class:`CompiledWorkload` (and its compiled program) without
+        touching any cache key.  ``"error"`` raises
+        :class:`~repro.exceptions.PlanVerificationError` on a failing plan,
+        ``"warn"`` emits a warning, ``"off"`` skips verification entirely.
+        The per-call ``check=`` of :meth:`compile` / :meth:`run` overrides
+        this default.
     reap_max_age_s:
         On construction the session best-effort reaps orphaned ``vm_*``
         scratch directories (left by killed processes) older than this many
@@ -105,13 +117,19 @@ class Session:
         optimize: str = "greedy",
         plan_cache_dir: Optional[Path | str] = None,
         plan_cache_size: int = 256,
+        check: str = "warn",
         reap_max_age_s: Optional[float] = DEFAULT_MAX_AGE_S,
     ):
         if compile_cache_size < 1:
             raise WorkloadError("compile_cache_size must be at least 1")
+        if check not in ("off", "warn", "error"):
+            raise WorkloadError(
+                f"check must be 'off', 'warn' or 'error', got {check!r}"
+            )
         self.params = params or touchstone_delta()
         self.config = config or RunConfig()
         self.optimize = normalize_optimizer(optimize)
+        self.check = check
         self.plan_cache = PlanCache(plan_cache_dir, capacity=plan_cache_size)
         self._cache: "collections.OrderedDict[WorkloadPoint, CompiledWorkload]" = (
             collections.OrderedDict()
@@ -135,6 +153,7 @@ class Session:
         *,
         source: Optional[str] = None,
         optimize: Optional[str] = None,
+        check: Optional[str] = None,
         **point_kwargs,
     ) -> CompiledWorkload:
         """Compile a workload point (LRU-cached on the full point).
@@ -153,6 +172,12 @@ class Session:
         resolution order is call override → the point's ``optimize`` field →
         the session default.  The effective choice is written into the point
         before it keys the compile cache.
+
+        ``check`` overrides the session's static-verification mode for this
+        call (``"off"`` | ``"warn"`` | ``"error"``).  Verification runs
+        *after* the compile caches — the report is attached to the returned
+        (possibly cached) object with :func:`dataclasses.replace`, so cache
+        keys and cached instances shared with other sessions are untouched.
         """
         if point is not None and (source is not None or point_kwargs):
             raise WorkloadError("pass either a WorkloadPoint or keyword fields, not both")
@@ -164,25 +189,75 @@ class Session:
             else:
                 point = WorkloadPoint(**point_kwargs)
         point = self._resolve_optimize(point, optimize)
+        check_mode = self._resolve_check(check)
 
         with self._cache_lock:
             cached = self._cache.get(point)
             if cached is not None:
                 self._cache.move_to_end(point)
                 self._hits += 1
-                return cached
-            self._misses += 1
+            else:
+                self._misses += 1
+        if cached is not None:
+            return self._verify(cached, check_mode, cache_point=point)
 
         workload = get_workload(point.workload)
         workload.validate(point)
         with use_plan_cache(self.plan_cache):
             compiled = workload.compile(point, self.params)
+        compiled = self._verify(compiled, check_mode, cache_point=None)
 
         with self._cache_lock:
             self._cache[point] = compiled
             self._cache.move_to_end(point)
             while len(self._cache) > self._cache_capacity:
                 self._cache.popitem(last=False)
+        return compiled
+
+    def _resolve_check(self, override: Optional[str]) -> str:
+        mode = self.check if override is None else override
+        if mode not in ("off", "warn", "error"):
+            raise WorkloadError(
+                f"check must be 'off', 'warn' or 'error', got {mode!r}"
+            )
+        return mode
+
+    def _verify(
+        self,
+        compiled: CompiledWorkload,
+        check: str,
+        *,
+        cache_point: Optional[WorkloadPoint],
+    ) -> CompiledWorkload:
+        """Run the static plan verifier and attach its report to ``compiled``.
+
+        Caching is transparent: the walk runs once per compiled plan, the
+        replaced (report-carrying) instance is written back into the session
+        cache slot for ``cache_point``, and a plan already carrying a report
+        is returned as-is.  ``"error"`` raises on a failing plan, ``"warn"``
+        warns — in both cases the report stays attached for inspection.
+        """
+        if check == "off" or compiled.program is None:
+            return compiled
+        if compiled.check is None:
+            from repro.check import check_compiled
+
+            report = check_compiled(compiled.program)
+            program = dataclasses.replace(compiled.program, check=report)
+            compiled = dataclasses.replace(compiled, program=program, check=report)
+            if cache_point is not None:
+                with self._cache_lock:
+                    if cache_point in self._cache:
+                        self._cache[cache_point] = compiled
+        report = compiled.check
+        if not report.ok:
+            if check == "error":
+                from repro.exceptions import PlanVerificationError
+
+                raise PlanVerificationError(report.describe(), report=report)
+            import warnings
+
+            warnings.warn(report.describe(), stacklevel=3)
         return compiled
 
     def _resolve_optimize(
@@ -225,6 +300,7 @@ class Session:
         verify: Optional[bool] = None,
         optimize: Optional[str] = None,
         resume: Optional[Path | str] = None,
+        check: Optional[str] = None,
     ) -> RunRecord:
         """Evaluate one point (or pre-compiled workload) and return its record.
 
@@ -232,6 +308,8 @@ class Session:
         to the config's ``verify`` flag and only matters in ``EXECUTE`` mode.
         ``optimize`` overrides the plan-optimizer choice for this evaluation
         (ignored for pre-compiled workloads, whose plan is already fixed).
+        ``check`` overrides the session's static-verification mode for this
+        evaluation's compilation (also ignored for pre-compiled workloads).
 
         ``resume`` points at the scratch directory (``vm_*``) of an earlier
         killed run of the *same* point.  The virtual machine reopens that
@@ -248,7 +326,7 @@ class Session:
         compiled = (
             point
             if isinstance(point, CompiledWorkload)
-            else self.compile(point, optimize=optimize)
+            else self.compile(point, optimize=optimize, check=check)
         )
         if mode is None:
             mode = self.config.mode
@@ -334,10 +412,10 @@ class Session:
         if workers > 1 and len(points) > 1:
             with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
                 records = list(
-                    pool.map(lambda pair: evaluate(*pair), zip(points, overrides))
+                    pool.map(lambda pair: evaluate(*pair), zip(points, overrides, strict=True))
                 )
         else:
-            records = [evaluate(p, o) for p, o in zip(points, overrides)]
+            records = [evaluate(p, o) for p, o in zip(points, overrides, strict=True)]
         after = self.cache_info()
         optimizers = collections.Counter(
             str(record.plan.get("optimizer", "none")) for record in records

@@ -39,6 +39,7 @@ from repro.machine.parameters import MachineParameters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.records import RunRecord
+    from repro.check.report import CheckReport
     from repro.core.ir import ProgramIR
     from repro.core.pipeline import CompiledProgram
     from repro.hpf.array_desc import ArrayDescriptor
@@ -193,6 +194,9 @@ class CompiledWorkload:
     program: Optional["CompiledProgram"] = None
     descriptor: Optional["ArrayDescriptor"] = None
     baseline: Optional[str] = None
+    #: the static plan verifier's frozen report, attached by
+    #: :meth:`repro.api.Session.compile` when its check mode is not ``"off"``
+    check: Optional["CheckReport"] = None
 
     @property
     def n(self) -> int:
@@ -389,6 +393,11 @@ class Workload(abc.ABC):
                 planner_cache=decision.cache_status,
                 candidates_evaluated=decision.candidates_evaluated,
             )
+        report = compiled.check or getattr(program, "check", None)
+        if report is not None:
+            # The static verifier's verdict travels with every run that used
+            # this plan.
+            info["check"] = report.summary()
         return info
 
     def _record(

@@ -1,0 +1,26 @@
+"""Static plan verification: prove invariants over compiled plans.
+
+:func:`check_compiled` abstractly interprets a compiled plan's node
+programs — without executing — and proves budget, dataflow, collective and
+charge-ledger invariants, returning a frozen :class:`CheckReport`.  See
+``src/repro/check/README.md`` for the defect taxonomy and the walker design.
+"""
+
+from repro.check.ledger import ArrayTraffic, ChargeLedger
+from repro.check.report import CheckFinding, CheckReport, Severity
+from repro.check.verifier import (
+    check_collective_alignment,
+    check_compiled,
+    check_node_program,
+)
+
+__all__ = [
+    "ArrayTraffic",
+    "ChargeLedger",
+    "CheckFinding",
+    "CheckReport",
+    "Severity",
+    "check_collective_alignment",
+    "check_compiled",
+    "check_node_program",
+]

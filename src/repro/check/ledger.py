@@ -1,0 +1,181 @@
+"""The symbolic charge ledger.
+
+The verifier's walk over a :class:`~repro.core.node_program.NodeProgram`
+derives, without executing anything, the exact per-processor charges the
+executor would make: I/O requests and elements per array, flops, and
+collective traffic.  The ledger must agree *exactly* with the cost model's
+:class:`~repro.core.cost_model.PlanCost` — making it a third independent
+oracle alongside the ESTIMATE and EXECUTE counters, and turning any future
+cost-model/codegen divergence into a compile-time finding.
+
+Conventions (matching :class:`PlanCost` and the machine counters):
+
+* All I/O quantities are **per processor**, planned against the largest
+  local array (ranks with smaller parts charge less; the machine reports
+  the per-processor maximum).
+* ``global_sum_count`` is both the per-rank and the machine-level count —
+  every rank participates in every global sum.
+* ``all_to_all_count`` is the **per-rank** exchange count; the machine
+  performs ``nprocs x`` that many collectives (each rank's slab loop
+  triggers its own exchange), which is the convention
+  ``PlanCost.collective_count`` uses for transposes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List
+
+from repro.core.cost_model import PlanCost
+
+__all__ = ["ArrayTraffic", "ChargeLedger"]
+
+
+def _eq(a: float, b: float) -> bool:
+    """Exact-up-to-floating-point equality for integer-valued charge counts."""
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@dataclasses.dataclass
+class ArrayTraffic:
+    """Per-processor I/O traffic of one array (requests and elements)."""
+
+    read_requests: float = 0.0
+    read_elements: float = 0.0
+    write_requests: float = 0.0
+    write_elements: float = 0.0
+
+    def add(self, other: "ArrayTraffic") -> None:
+        self.read_requests += other.read_requests
+        self.read_elements += other.read_elements
+        self.write_requests += other.write_requests
+        self.write_elements += other.write_elements
+
+
+@dataclasses.dataclass
+class ChargeLedger:
+    """Exact symbolic charges of one node program (or a summed schedule)."""
+
+    itemsize: int
+    nprocs: int
+    arrays: Dict[str, ArrayTraffic] = dataclasses.field(default_factory=dict)
+    flops: float = 0.0
+    global_sum_count: float = 0.0
+    #: total elements reduced over all global sums (count x length summed)
+    global_sum_elements: float = 0.0
+    #: per-rank all-to-all exchange count
+    all_to_all_count: float = 0.0
+    #: per-rank total per-pair elements over all exchanges
+    all_to_all_elements: float = 0.0
+
+    # ------------------------------------------------------------------
+    def traffic(self, array: str) -> ArrayTraffic:
+        return self.arrays.setdefault(array, ArrayTraffic())
+
+    def add(self, other: "ChargeLedger") -> None:
+        """Accumulate another statement's ledger (same machine shape)."""
+        if other.itemsize != self.itemsize or other.nprocs != self.nprocs:
+            raise ValueError(
+                "cannot merge ledgers across itemsize/nprocs: "
+                f"({self.itemsize}, {self.nprocs}) vs ({other.itemsize}, {other.nprocs})"
+            )
+        for name, traffic in other.arrays.items():
+            self.traffic(name).add(traffic)
+        self.flops += other.flops
+        self.global_sum_count += other.global_sum_count
+        self.global_sum_elements += other.global_sum_elements
+        self.all_to_all_count += other.all_to_all_count
+        self.all_to_all_elements += other.all_to_all_elements
+
+    # ------------------------------------------------------------------
+    @property
+    def read_requests(self) -> float:
+        return sum(t.read_requests for t in self.arrays.values())
+
+    @property
+    def write_requests(self) -> float:
+        return sum(t.write_requests for t in self.arrays.values())
+
+    @property
+    def io_requests(self) -> float:
+        return self.read_requests + self.write_requests
+
+    @property
+    def read_elements(self) -> float:
+        return sum(t.read_elements for t in self.arrays.values())
+
+    @property
+    def write_elements(self) -> float:
+        return sum(t.write_elements for t in self.arrays.values())
+
+    @property
+    def read_bytes(self) -> float:
+        return self.read_elements * self.itemsize
+
+    @property
+    def write_bytes(self) -> float:
+        return self.write_elements * self.itemsize
+
+    @property
+    def io_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def collective_count(self) -> float:
+        """Machine-level collective count in the :class:`PlanCost` convention."""
+        return self.global_sum_count + self.nprocs * self.all_to_all_count
+
+    @property
+    def collective_elements_total(self) -> float:
+        """Machine-level total collective payload elements (count x each)."""
+        return self.global_sum_elements + self.nprocs * self.all_to_all_elements
+
+    # ------------------------------------------------------------------
+    def compare_plan_cost(self, cost: PlanCost) -> List[str]:
+        """Exact comparison against a :class:`PlanCost`; returns mismatches."""
+        problems: List[str] = []
+        if int(cost.itemsize) != int(self.itemsize):
+            problems.append(f"itemsize: ledger {self.itemsize} != cost {cost.itemsize}")
+        if int(cost.nprocs) != int(self.nprocs):
+            problems.append(f"nprocs: ledger {self.nprocs} != cost {cost.nprocs}")
+        names = sorted(set(self.arrays) | set(cost.arrays))
+        for name in names:
+            mine = self.arrays.get(name, ArrayTraffic())
+            theirs = cost.arrays.get(name)
+            fields = (
+                ("fetch_requests", mine.read_requests),
+                ("fetch_elements", mine.read_elements),
+                ("write_requests", mine.write_requests),
+                ("write_elements", mine.write_elements),
+            )
+            for field, value in fields:
+                expected = getattr(theirs, field) if theirs is not None else 0.0
+                if not _eq(value, expected):
+                    problems.append(
+                        f"{name}.{field}: ledger {value:.6g} != cost {expected:.6g}"
+                    )
+        if not _eq(self.flops, cost.flops):
+            problems.append(f"flops: ledger {self.flops:.6g} != cost {cost.flops:.6g}")
+        if not _eq(self.collective_count, cost.collective_count):
+            problems.append(
+                f"collective_count: ledger {self.collective_count:.6g} "
+                f"!= cost {cost.collective_count:.6g}"
+            )
+        cost_elements = cost.collective_count * cost.collective_elements_each
+        if not _eq(self.collective_elements_total, cost_elements):
+            problems.append(
+                f"collective_elements: ledger {self.collective_elements_total:.6g} "
+                f"!= cost {cost_elements:.6g}"
+            )
+        return problems
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "io_requests": self.io_requests,
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "flops": self.flops,
+            "collective_count": self.collective_count,
+            "collective_elements": self.collective_elements_total,
+        }

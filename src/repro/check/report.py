@@ -1,0 +1,112 @@
+"""The static verifier's result schema.
+
+A verification pass produces one frozen :class:`CheckReport`: a tuple of
+:class:`CheckFinding` defects (empty when the plan proves clean) plus the
+symbolic :class:`~repro.check.ledger.ChargeLedger` derived from the walk.
+The report is attached to compiled artifacts (``CompiledProgram``,
+``CompiledWholeProgram``, ``CompiledWorkload``) and summarized into
+``RunRecord.plan``, so a plan's static verdict travels with every run that
+used it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.check.ledger import ChargeLedger
+
+__all__ = ["Severity", "CheckFinding", "CheckReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors fail ``check="error"`` compilation."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckFinding:
+    """One defect the static verifier proved about a compiled plan.
+
+    ``code`` is the defect class (stable, test-asserted identifiers):
+
+    ``budget-overflow``
+        The plan's resident slab bytes exceed the statement's memory budget
+        (beyond the one-line-per-array floor the strip-miner guarantees).
+    ``read-before-write``
+        An I/O read of an array no prior statement produced and the program
+        does not stage as an input.
+    ``double-write``
+        A slab extent written more than once (within a statement, or an
+        array produced by two statements).
+    ``never-read``
+        An intermediate written by a producer statement but consumed by no
+        later statement — a provably dead store.
+    ``collective-mismatch``
+        A collective (global sum / all-to-all) issued by one rank's program
+        but not all — a statically detected deadlock.
+    ``ledger-drift``
+        The symbolic charge ledger derived from the node program disagrees
+        with the cost model's :class:`~repro.core.cost_model.PlanCost`.
+    ``malformed-loop`` / ``malformed-plan`` / ``unknown-array``
+        Structural defects: a loop whose trip count contradicts the plan
+        entry it enumerates, an inconsistent slab plan entry, or an op
+        referencing an array the plan does not know.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    statement: str = ""
+    array: str = ""
+
+    def describe(self) -> str:
+        where = f" [{self.statement}]" if self.statement else ""
+        return f"{self.severity.value}: {self.code}{where}: {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckReport:
+    """The frozen verdict of one static verification pass."""
+
+    findings: Tuple[CheckFinding, ...]
+    checked_statements: int
+    ledger: Optional[ChargeLedger] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding survived the walk."""
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def errors(self) -> Tuple[CheckFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    def warnings(self) -> Tuple[CheckFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(f.code for f in self.findings)
+
+    def summary(self) -> Dict[str, object]:
+        """Small mapping suitable for embedding in ``RunRecord.plan``."""
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "codes": sorted(set(self.codes())),
+            "statements": self.checked_statements,
+        }
+
+    def describe(self) -> str:
+        verdict = "verified clean" if self.ok else "FAILED verification"
+        lines = [
+            f"static plan check: {verdict} "
+            f"({self.checked_statements} statement(s), "
+            f"{len(self.errors())} error(s), {len(self.warnings())} warning(s))"
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.describe())
+        return "\n".join(lines)

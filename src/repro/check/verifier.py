@@ -1,0 +1,701 @@
+"""The static plan verifier: an abstract interpreter over compiled plans.
+
+Without executing anything, :func:`check_compiled` walks each statement's
+:class:`~repro.core.node_program.NodeProgram` and the whole-program
+:class:`~repro.core.codegen.ProgramSchedule`, proving the invariants the
+runtime otherwise only validates dynamically:
+
+* **budget** — the plan's resident slab bytes fit the statement's memory
+  budget (beyond the one-line-per-array floor the strip-miner guarantees);
+* **dataflow** — no read-before-write (within a statement and across
+  statements via the PR-4 LAF-reuse edges), no double-written slab extent,
+  no intermediate that is never read;
+* **collective matching** — every rank's program issues the same collective
+  sequence (SPMD programs match by construction;
+  :func:`check_collective_alignment` verifies explicit per-rank programs);
+* **charge agreement** — the exact symbolic
+  :class:`~repro.check.ledger.ChargeLedger` derived from the walk equals the
+  cost model's :class:`~repro.core.cost_model.PlanCost`.
+
+Exactness
+---------
+``NodeProgram.operation_totals()`` multiplies nominal per-op quantities by
+loop trip counts, which *overcounts* whenever slabs do not divide the local
+array evenly (the last slab is partial).  The executor charges actual slab
+extents, and the cost model's formulas telescope to exact local sizes — so
+the verifier must too.  Codegen annotates every loop with what it enumerates
+(``slabs_of`` / ``lines_of`` a plan array) and every extent-dependent op with
+the array whose current slab it scales with; the walker collapses each
+(slab-loop, line-loop) pair over an array into that array's exact total line
+count, and each aligned I/O or compute op over a slab loop into the array's
+exact local size.  The result is an O(tree) arithmetic walk that reproduces
+the executor's charges without unrolling a single loop iteration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.check.ledger import ArrayTraffic, ChargeLedger
+from repro.check.report import CheckFinding, CheckReport, Severity
+from repro.core.node_program import (
+    AllToAllOp,
+    ComputeOp,
+    GlobalSumOp,
+    IOReadOp,
+    IOWriteOp,
+    LoopOp,
+    NodeOp,
+    NodeProgram,
+)
+from repro.core.reorganize import AccessPlan
+from repro.core.stripmine import SlabPlanEntry
+from repro.runtime.slab import SlabbingStrategy
+
+__all__ = [
+    "check_node_program",
+    "check_compiled",
+    "check_collective_alignment",
+]
+
+
+# ----------------------------------------------------------------------
+# plan-entry geometry
+# ----------------------------------------------------------------------
+def _per_line(entry: SlabPlanEntry) -> int:
+    """Elements per line (column of a column slab, row of a row slab)."""
+    rows, cols = entry.local_shape
+    return max(rows, 1) if entry.strategy is SlabbingStrategy.COLUMN else max(cols, 1)
+
+
+def _lines_total(entry: SlabPlanEntry) -> int:
+    """Total lines of the local array in the entry's slabbing dimension."""
+    rows, cols = entry.local_shape
+    return max(cols, 1) if entry.strategy is SlabbingStrategy.COLUMN else max(rows, 1)
+
+
+def _local_elements(entry: SlabPlanEntry) -> int:
+    return _per_line(entry) * _lines_total(entry)
+
+
+def _entry_consistent(entry: SlabPlanEntry) -> bool:
+    """The entry's redundant fields agree (slab size, line count, slab count)."""
+    per_line = _per_line(entry)
+    lines = entry.lines_per_slab
+    if lines < 1 or lines > _lines_total(entry):
+        return False
+    if entry.slab_elements != lines * per_line:
+        return False
+    return entry.num_slabs == math.ceil(_lines_total(entry) / lines)
+
+
+# ----------------------------------------------------------------------
+# the walk
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _Frame:
+    """One loop on the walk stack."""
+
+    loop: LoopOp
+    kind: str  # "slabs" | "lines" | "plain"
+    array: str
+    #: stack index of the slabs-frame a lines-frame collapses with
+    partner: Optional[int] = None
+
+
+class _Walker:
+    """Single-pass exact walk of one node program against its access plan."""
+
+    def __init__(
+        self,
+        plan: AccessPlan,
+        *,
+        itemsize: int,
+        nprocs: int,
+        initialized: Set[str],
+        statement: str,
+    ):
+        self.plan = plan
+        self.ledger = ChargeLedger(itemsize=int(itemsize), nprocs=int(nprocs))
+        self.findings: List[CheckFinding] = []
+        self.initialized = set(initialized)
+        self.written: Set[str] = set()
+        #: per-array: how many times the walk proved every slab extent written
+        self.write_coverage: Dict[str, float] = {}
+        self.statement = statement
+        self._bad_entries: Set[str] = set()
+        for name, entry in plan.entries.items():
+            if not _entry_consistent(entry):
+                self._bad_entries.add(name)
+                self._find(
+                    "malformed-plan",
+                    Severity.ERROR,
+                    f"slab plan entry for {name!r} is inconsistent: "
+                    f"{entry.slab_elements} elements != {entry.lines_per_slab} lines "
+                    f"x {_per_line(entry)} per line, or {entry.num_slabs} slabs != "
+                    f"ceil({_lines_total(entry)} / {entry.lines_per_slab})",
+                    array=name,
+                )
+
+    # ------------------------------------------------------------------
+    def _find(
+        self, code: str, severity: Severity, message: str, array: str = ""
+    ) -> None:
+        self.findings.append(
+            CheckFinding(
+                code=code,
+                severity=severity,
+                message=message,
+                statement=self.statement,
+                array=array,
+            )
+        )
+
+    def _entry(self, name: str) -> Optional[SlabPlanEntry]:
+        return self.plan.entries.get(name)
+
+    # ------------------------------------------------------------------
+    def run(self, program: NodeProgram) -> None:
+        self._walk(program.ops, [])
+
+    def _walk(self, ops: Iterable[NodeOp], frames: List[_Frame]) -> None:
+        for op in ops:
+            if isinstance(op, LoopOp):
+                frame = self._make_frame(op, frames)
+                frames.append(frame)
+                self._walk(op.body, frames)
+                frames.pop()
+            elif isinstance(op, IOReadOp):
+                self._visit_io(op.array, op.elements, frames, is_write=False)
+            elif isinstance(op, IOWriteOp):
+                self._visit_io(op.array, op.elements, frames, is_write=True)
+            elif isinstance(op, ComputeOp):
+                self._visit_compute(op, frames)
+            elif isinstance(op, GlobalSumOp):
+                self._visit_global_sum(op, frames)
+            elif isinstance(op, AllToAllOp):
+                self._visit_all_to_all(op, frames)
+            # OwnerStoreOp: a local memory operation, no charge and no extent.
+
+    # ------------------------------------------------------------------
+    def _make_frame(self, loop: LoopOp, frames: List[_Frame]) -> _Frame:
+        if loop.slabs_of and loop.lines_of:
+            self._find(
+                "malformed-loop",
+                Severity.ERROR,
+                f"loop {loop.index!r} is annotated both slabs_of={loop.slabs_of!r} "
+                f"and lines_of={loop.lines_of!r}",
+            )
+            return _Frame(loop=loop, kind="plain", array="")
+        if loop.slabs_of:
+            entry = self._entry(loop.slabs_of)
+            if entry is None:
+                self._find(
+                    "unknown-array",
+                    Severity.ERROR,
+                    f"loop {loop.index!r} enumerates slabs of {loop.slabs_of!r}, "
+                    "which has no plan entry",
+                    array=loop.slabs_of,
+                )
+                return _Frame(loop=loop, kind="plain", array="")
+            if loop.trip_count != entry.num_slabs:
+                self._find(
+                    "malformed-loop",
+                    Severity.ERROR,
+                    f"loop {loop.index!r} runs {loop.trip_count} trips but "
+                    f"{loop.slabs_of!r} has {entry.num_slabs} slabs",
+                    array=loop.slabs_of,
+                )
+                return _Frame(loop=loop, kind="plain", array="")
+            return _Frame(loop=loop, kind="slabs", array=loop.slabs_of)
+        if loop.lines_of:
+            entry = self._entry(loop.lines_of)
+            if entry is None:
+                self._find(
+                    "unknown-array",
+                    Severity.ERROR,
+                    f"loop {loop.index!r} enumerates lines of {loop.lines_of!r}, "
+                    "which has no plan entry",
+                    array=loop.lines_of,
+                )
+                return _Frame(loop=loop, kind="plain", array="")
+            partner = self._find_partner(loop.lines_of, frames)
+            if partner is None:
+                self._find(
+                    "malformed-loop",
+                    Severity.ERROR,
+                    f"loop {loop.index!r} enumerates lines of the current "
+                    f"{loop.lines_of!r} slab but is not nested inside a slab loop "
+                    f"over {loop.lines_of!r}",
+                    array=loop.lines_of,
+                )
+                return _Frame(loop=loop, kind="plain", array="")
+            if loop.trip_count != entry.lines_per_slab:
+                self._find(
+                    "malformed-loop",
+                    Severity.ERROR,
+                    f"loop {loop.index!r} runs {loop.trip_count} trips but a "
+                    f"{loop.lines_of!r} slab holds {entry.lines_per_slab} lines",
+                    array=loop.lines_of,
+                )
+                return _Frame(loop=loop, kind="plain", array="")
+            return _Frame(loop=loop, kind="lines", array=loop.lines_of, partner=partner)
+        return _Frame(loop=loop, kind="plain", array="")
+
+    def _find_partner(self, array: str, frames: List[_Frame]) -> Optional[int]:
+        """Nearest enclosing slabs-frame over ``array`` not already collapsed."""
+        taken = {f.partner for f in frames if f.kind == "lines"}
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            if frame.kind == "slabs" and frame.array == array and index not in taken:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    def _alignment(self, array: str, frames: List[_Frame]) -> Optional[int]:
+        """Stack index of the slab loop an extent-dependent op scales with.
+
+        The nearest enclosing ``slabs_of=array`` frame that is *not* collapsed
+        with a ``lines_of=array`` frame also enclosing the op (a collapsed pair
+        jointly enumerates lines, so the op does not see its slab boundary).
+
+        When no frame names ``array`` itself, a slab loop over another array
+        with the *same slab count* still enumerates ``array``'s slabs in
+        lockstep (the fused elementwise loop steps all of its arrays
+        together), so the op's extents telescope to ``array``'s exact local
+        size all the same — each of its slabs is visited exactly once.
+        """
+        collapsed = {
+            frame.partner for frame in frames if frame.kind == "lines"
+        }
+        congruent: Optional[int] = None
+        entry = self._entry(array)
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            if frame.kind != "slabs" or index in collapsed:
+                continue
+            if frame.array == array:
+                return index
+            if congruent is None and entry is not None:
+                other = self._entry(frame.array)
+                if other is not None and other.num_slabs == entry.num_slabs:
+                    congruent = index
+        return congruent
+
+    def _multiplicity(
+        self, frames: List[_Frame], exclude: Optional[int] = None
+    ) -> float:
+        """Exact combined iteration count of the enclosing loops.
+
+        A (slabs, lines) pair over one array contributes the array's exact
+        total line count; an unpaired slab loop contributes its slab count; a
+        plain loop contributes its trip count.  ``exclude`` drops one frame
+        (the alignment frame, whose contribution the caller replaces with an
+        exact extent sum).
+        """
+        total = 1.0
+        skip: Set[int] = set()
+        for frame in frames:
+            if frame.kind == "lines" and frame.partner is not None:
+                skip.add(frame.partner)
+        for index, frame in enumerate(frames):
+            if index == exclude or index in skip:
+                continue
+            if frame.kind == "lines":
+                entry = self._entry(frame.array)
+                if entry is not None and frame.partner is not None and frame.partner != exclude:
+                    total *= float(_lines_total(entry))
+                else:
+                    # Partner excluded by the caller: the pair no longer
+                    # collapses, keep the nominal line count.
+                    total *= float(frame.loop.trip_count)
+            elif frame.kind == "slabs":
+                entry = self._entry(frame.array)
+                total *= float(entry.num_slabs if entry else frame.loop.trip_count)
+            else:
+                total *= float(frame.loop.trip_count)
+        return total
+
+    # ------------------------------------------------------------------
+    def _visit_io(
+        self, array: str, elements: float, frames: List[_Frame], *, is_write: bool
+    ) -> None:
+        entry = self._entry(array)
+        if entry is None:
+            self._find(
+                "unknown-array",
+                Severity.ERROR,
+                f"I/O {'write' if is_write else 'read'} of {array!r}, "
+                "which has no plan entry",
+                array=array,
+            )
+            return
+        # Dataflow: reads must hit staged inputs or previously written arrays.
+        if not is_write and array not in self.initialized and array not in self.written:
+            self._find(
+                "read-before-write",
+                Severity.ERROR,
+                f"read of {array!r}, which is neither a staged input nor "
+                "written earlier in the program",
+                array=array,
+            )
+        align = self._alignment(array, frames)
+        traffic = self.ledger.traffic(array)
+        if align is not None and array not in self._bad_entries:
+            others = self._multiplicity(frames, exclude=align)
+            requests = others * entry.num_slabs
+            moved = others * _local_elements(entry)
+            if not math.isclose(
+                elements, entry.slab_elements, rel_tol=1e-9, abs_tol=1e-6
+            ):
+                self._find(
+                    "ledger-drift",
+                    Severity.ERROR,
+                    f"{'write' if is_write else 'read'} of {array!r} moves "
+                    f"{elements:.6g} elements per call but the plan's slab holds "
+                    f"{entry.slab_elements}",
+                    array=array,
+                )
+            if is_write:
+                coverage = self.write_coverage.get(array, 0.0) + others
+                self.write_coverage[array] = coverage
+                if coverage > 1.0 + 1e-9:
+                    self._find(
+                        "double-write",
+                        Severity.ERROR,
+                        f"every slab extent of {array!r} is written "
+                        f"{coverage:.6g} times (expected once)",
+                        array=array,
+                    )
+        else:
+            # No aligning slab loop: charge nominally (the executor would
+            # too); extent coverage cannot be proven.
+            requests = self._multiplicity(frames)
+            moved = requests * elements
+            if is_write:
+                self.write_coverage[array] = (
+                    self.write_coverage.get(array, 0.0)
+                    + requests / max(entry.num_slabs, 1)
+                )
+        if is_write:
+            self.written.add(array)
+            traffic.write_requests += requests
+            traffic.write_elements += moved
+        else:
+            traffic.read_requests += requests
+            traffic.read_elements += moved
+
+    def _visit_compute(self, op: ComputeOp, frames: List[_Frame]) -> None:
+        if op.per_slab_of:
+            entry = self._entry(op.per_slab_of)
+            align = self._alignment(op.per_slab_of, frames)
+            if entry is None or align is None or entry.slab_elements <= 0:
+                self.ledger.flops += self._multiplicity(frames) * op.flops
+                return
+            others = self._multiplicity(frames, exclude=align)
+            self.ledger.flops += (
+                others * op.flops * _local_elements(entry) / entry.slab_elements
+            )
+            return
+        self.ledger.flops += self._multiplicity(frames) * op.flops
+
+    def _visit_global_sum(self, op: GlobalSumOp, frames: List[_Frame]) -> None:
+        if self.ledger.nprocs <= 1:
+            # A single processor never communicates: the executor skips the
+            # collective and the cost model charges none.
+            return
+        if op.per_line_of:
+            entry = self._entry(op.per_line_of)
+            align = self._alignment(op.per_line_of, frames)
+            if entry is None or align is None or entry.lines_per_slab <= 0:
+                count = self._multiplicity(frames)
+                self.ledger.global_sum_count += count
+                self.ledger.global_sum_elements += count * op.elements
+                return
+            others = self._multiplicity(frames, exclude=align)
+            self.ledger.global_sum_count += others * entry.num_slabs
+            self.ledger.global_sum_elements += (
+                others * op.elements * _lines_total(entry) / entry.lines_per_slab
+            )
+            return
+        count = self._multiplicity(frames)
+        self.ledger.global_sum_count += count
+        self.ledger.global_sum_elements += count * op.elements
+
+    def _visit_all_to_all(self, op: AllToAllOp, frames: List[_Frame]) -> None:
+        if self.ledger.nprocs <= 1:
+            return
+        if op.per_slab_of:
+            entry = self._entry(op.per_slab_of)
+            align = self._alignment(op.per_slab_of, frames)
+            if entry is None or align is None or entry.slab_elements <= 0:
+                count = self._multiplicity(frames)
+                self.ledger.all_to_all_count += count
+                self.ledger.all_to_all_elements += count * op.elements_per_pair
+                return
+            others = self._multiplicity(frames, exclude=align)
+            self.ledger.all_to_all_count += others * entry.num_slabs
+            self.ledger.all_to_all_elements += (
+                others * op.elements_per_pair * _local_elements(entry) / entry.slab_elements
+            )
+            return
+        count = self._multiplicity(frames)
+        self.ledger.all_to_all_count += count
+        self.ledger.all_to_all_elements += count * op.elements_per_pair
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def check_node_program(
+    program: NodeProgram,
+    plan: AccessPlan,
+    *,
+    itemsize: int,
+    nprocs: int,
+    initialized: Iterable[str] = (),
+    budget_bytes: Optional[int] = None,
+    statement: str = "",
+) -> Tuple[ChargeLedger, List[CheckFinding]]:
+    """Walk one statement's node program against its access plan.
+
+    Returns the exact symbolic :class:`ChargeLedger` plus any findings:
+    structural defects, dataflow violations (``initialized`` names the arrays
+    staged before the statement runs) and — when ``budget_bytes`` is given —
+    budget overflows.  The caller compares the ledger against a
+    :class:`~repro.core.cost_model.PlanCost` (see :func:`check_compiled`).
+    """
+    walker = _Walker(
+        plan,
+        itemsize=itemsize,
+        nprocs=nprocs,
+        initialized=set(initialized),
+        statement=statement,
+    )
+    walker.run(program)
+    if budget_bytes is not None:
+        resident = sum(
+            entry.slab_elements * itemsize for entry in plan.entries.values()
+        )
+        # The strip-miner never slices below one line per array, so a budget
+        # smaller than the one-line floor legitimately overshoots; anything
+        # beyond that floor is a planner bug.
+        floor = sum(_per_line(entry) * itemsize for entry in plan.entries.values())
+        if resident > max(int(budget_bytes), floor):
+            walker._find(
+                "budget-overflow",
+                Severity.ERROR,
+                f"plan holds {resident} resident slab bytes against a budget of "
+                f"{int(budget_bytes)} bytes (one-line floor {floor})",
+            )
+    return walker.ledger, walker.findings
+
+
+def _collective_signature(ops: Iterable[NodeOp]) -> Tuple[object, ...]:
+    """Canonical per-rank collective trace (loops kept, empty subtrees dropped)."""
+    trace: List[object] = []
+    for op in ops:
+        if isinstance(op, LoopOp):
+            inner = _collective_signature(op.body)
+            if inner:
+                trace.append(("loop", op.trip_count, inner))
+        elif isinstance(op, GlobalSumOp):
+            trace.append(("global_sum", float(op.elements)))
+        elif isinstance(op, AllToAllOp):
+            trace.append(("all_to_all", float(op.elements_per_pair)))
+    return tuple(trace)
+
+
+def check_collective_alignment(
+    rank_programs: Sequence[NodeProgram],
+) -> List[CheckFinding]:
+    """Prove every rank issues the same collective sequence.
+
+    A collective issued by one rank's program but not all is a statically
+    detected deadlock.  SPMD plans replicate one program per rank and match
+    trivially; explicit per-rank program lists (mutation tests, future
+    rank-specialized codegen) are compared structurally — identical loop
+    nests over identical collective calls.
+    """
+    findings: List[CheckFinding] = []
+    if len(rank_programs) <= 1:
+        return findings
+    reference = _collective_signature(rank_programs[0].ops)
+    for rank, program in enumerate(rank_programs[1:], start=1):
+        signature = _collective_signature(program.ops)
+        if signature != reference:
+            findings.append(
+                CheckFinding(
+                    code="collective-mismatch",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"rank {rank} issues a different collective sequence than "
+                        f"rank 0 ({len(signature)} vs {len(reference)} top-level "
+                        "collective groups) — a statically detected deadlock"
+                    ),
+                    statement=program.name,
+                )
+            )
+    return findings
+
+
+def _statement_inputs(program_ir: object) -> Set[str]:
+    """Operand arrays of a single-statement program (staged before it runs)."""
+    statement = program_ir.statement  # type: ignore[attr-defined]
+    return {ref.array for ref in statement.operands}
+
+
+def check_compiled(
+    compiled: object, *, collect_ledger: bool = True
+) -> CheckReport:
+    """Verify a ``CompiledProgram`` or ``CompiledWholeProgram`` statically.
+
+    Walks every statement's node program (exact charge ledger + structural,
+    dataflow and budget checks), proves the schedule-level dataflow over the
+    LAF-reuse edges, verifies SPMD collective alignment, and compares the
+    summed ledger against the compiled plan's :class:`PlanCost` — any
+    disagreement is a ``ledger-drift`` finding.
+    """
+    findings: List[CheckFinding] = []
+    statements: Sequence[object]
+    is_whole = hasattr(compiled, "statements")
+    if is_whole:
+        statements = compiled.statements
+        program_ir = compiled.program
+        program_inputs = set(program_ir.input_arrays())
+    else:
+        statements = (compiled,)
+        program_ir = compiled.program
+        program_inputs = _statement_inputs(program_ir)
+
+    nprocs = int(compiled.nprocs)
+    itemsize = int(compiled.cost.itemsize) if is_whole else int(
+        compiled.plan.cost.itemsize
+    )
+    total = ChargeLedger(itemsize=itemsize, nprocs=nprocs)
+    produced: Set[str] = set()
+    laf_read: Set[str] = set()
+
+    schedule = compiled.schedule if is_whole else None
+    for index, unit in enumerate(statements):
+        unit_ir = unit.program
+        statement_label = unit_ir.name if not is_whole else (
+            schedule.steps[index].statement_name
+        )
+        operands = _statement_inputs(unit_ir)
+        result = unit_ir.statement.result.array
+
+        if is_whole:
+            step = schedule.steps[index]
+            for name in step.laf_inputs:
+                laf_read.add(name)
+                if name not in produced:
+                    findings.append(
+                        CheckFinding(
+                            code="read-before-write",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"step {index + 1} reuses the LAF of {name!r}, "
+                                "which no earlier step produced"
+                            ),
+                            statement=statement_label,
+                            array=name,
+                        )
+                    )
+            for name in step.fresh_inputs:
+                if name not in program_inputs:
+                    findings.append(
+                        CheckFinding(
+                            code="read-before-write",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"step {index + 1} stages {name!r} as a fresh "
+                                "input, but it is not a program input"
+                            ),
+                            statement=statement_label,
+                            array=name,
+                        )
+                    )
+            if step.writes in produced:
+                findings.append(
+                    CheckFinding(
+                        code="double-write",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"step {index + 1} writes {step.writes!r}, already "
+                            "produced by an earlier step"
+                        ),
+                        statement=statement_label,
+                        array=step.writes,
+                    )
+                )
+
+        initialized = (operands & (program_inputs | produced)) | (
+            operands & program_inputs
+        )
+        # Operands that are neither program inputs nor prior results are a
+        # dataflow hole; leave them out of ``initialized`` so the walk flags
+        # the read.
+        budget = getattr(unit, "memory_budget_bytes", None)
+        ledger, unit_findings = check_node_program(
+            unit.node_program,
+            unit.plan,
+            itemsize=itemsize,
+            nprocs=nprocs,
+            initialized=initialized,
+            budget_bytes=budget,
+            statement=statement_label,
+        )
+        findings.extend(unit_findings)
+
+        drift = ledger.compare_plan_cost(unit.plan.cost)
+        for problem in drift:
+            findings.append(
+                CheckFinding(
+                    code="ledger-drift",
+                    severity=Severity.ERROR,
+                    message=f"symbolic ledger != cost model: {problem}",
+                    statement=statement_label,
+                )
+            )
+        findings.extend(
+            check_collective_alignment([unit.node_program] * nprocs)
+        )
+        total.add(ledger)
+        produced.add(result)
+
+    if is_whole:
+        for name in compiled.schedule.intermediates:
+            consumed = any(
+                name in step.laf_inputs for step in compiled.schedule.steps
+            )
+            if not consumed:
+                findings.append(
+                    CheckFinding(
+                        code="never-read",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"intermediate {name!r} is written but no later "
+                            "statement reads it — a provably dead store"
+                        ),
+                        array=name,
+                    )
+                )
+        # The combined program cost must equal the summed statement ledgers
+        # too (guards combine_plan_costs against drift).
+        for problem in total.compare_plan_cost(compiled.cost):
+            findings.append(
+                CheckFinding(
+                    code="ledger-drift",
+                    severity=Severity.ERROR,
+                    message=f"summed ledger != combined program cost: {problem}",
+                )
+            )
+
+    return CheckReport(
+        findings=tuple(findings),
+        checked_statements=len(statements),
+        ledger=total if collect_ledger else None,
+    )

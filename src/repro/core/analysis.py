@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.exceptions import CompilationError
 from repro.core.ir import (
@@ -57,6 +57,7 @@ __all__ = [
     "InCorePhaseResult",
     "ElementwisePhaseResult",
     "TransposePhaseResult",
+    "PhaseResult",
     "analyze_program",
 ]
 
@@ -177,6 +178,11 @@ class TransposePhaseResult:
         )
 
 
+#: any statement kind's analysis result — what the downstream lowering phases
+#: (strip-mining, cost model, codegen) dispatch on
+PhaseResult = Union[InCorePhaseResult, ElementwisePhaseResult, TransposePhaseResult]
+
+
 def _analyze_elementwise(program: ProgramIR) -> ElementwisePhaseResult:
     statement: ElementwiseStatement = program.statement
     result = statement.result.array
@@ -237,7 +243,7 @@ def _single(values: Tuple[int, ...], what: str, ref: ArrayRef) -> Optional[int]:
     return values[0]
 
 
-def analyze_program(program: ProgramIR):
+def analyze_program(program: ProgramIR) -> PhaseResult:
     """Run the in-core phase on ``program`` and return its result.
 
     Dispatches on the statement kind: reduction statements produce the
@@ -300,7 +306,13 @@ def analyze_program(program: ProgramIR):
             streamed_name = ref.array
         else:
             coefficient_name = ref.array
-        access[ref.array] = info
+        # A single-operand reduction references the same array in both roles;
+        # the streamed-role view must win (its reduce_dim drives the
+        # communication detection below), so never let a later
+        # coefficient-role reference overwrite it.
+        existing = access.get(ref.array)
+        if existing is None or existing.role is not ArrayRole.STREAMED:
+            access[ref.array] = info
 
     if streamed_name is None:
         raise CompilationError(

@@ -20,6 +20,7 @@ from repro.exceptions import CompilationError
 from repro.core.analysis import (
     ElementwisePhaseResult,
     InCorePhaseResult,
+    PhaseResult,
     TransposePhaseResult,
 )
 
@@ -61,10 +62,15 @@ def _generate_elementwise(analysis: ElementwisePhaseResult, plan: AccessPlan) ->
         [
             IOReadOp(lhs, "slab", float(lhs_entry.slab_elements)),
             IOReadOp(rhs, "slab", float(rhs_entry.slab_elements)),
-            ComputeOp(f"{analysis.op} of {lhs} and {rhs} slabs", flops_per_slab),
+            ComputeOp(
+                f"{analysis.op} of {lhs} and {rhs} slabs",
+                flops_per_slab,
+                per_slab_of=analysis.result,
+            ),
             IOWriteOp(analysis.result, "slab", float(result_entry.slab_elements)),
         ],
         comment="slabs of the local arrays",
+        slabs_of=analysis.result,
     )
     return NodeProgram(
         analysis.program.name, f"{plan.strategy.value}-slab elementwise", [body]
@@ -79,18 +85,21 @@ def _generate_transpose(analysis: TransposePhaseResult, plan: AccessPlan) -> Nod
     exchange = AllToAllOp(
         elements_per_pair=float(src_entry.slab_elements) / max(nprocs, 1),
         target=f"columns of {analysis.target}",
+        per_slab_of=analysis.source,
     )
     body = LoopOp(
         "s",
         src_entry.num_slabs,
         [IOReadOp(analysis.source, "slab", float(src_entry.slab_elements)), exchange],
         comment=f"slabs of {analysis.source}",
+        slabs_of=analysis.source,
     )
     flush = LoopOp(
         "w",
         dst_entry.num_slabs,
         [IOWriteOp(analysis.target, "slab", float(dst_entry.slab_elements))],
         comment=f"write the exchanged slabs of {analysis.target}",
+        slabs_of=analysis.target,
     )
     return NodeProgram(analysis.program.name, "column-slab transpose", [body, flush])
 
@@ -169,7 +178,7 @@ def generate_program_schedule(
     produced: set = set()
     steps = []
     for index, (statement, compiled) in enumerate(
-        zip(program.statements, compiled_statements)
+        zip(program.statements, compiled_statements, strict=True)
     ):
         operand_names = []
         for ref in statement.operands:
@@ -195,7 +204,7 @@ def generate_program_schedule(
     )
 
 
-def generate_node_program(analysis, plan: AccessPlan) -> NodeProgram:
+def generate_node_program(analysis: PhaseResult, plan: AccessPlan) -> NodeProgram:
     """Generate the node program implementing ``plan`` for the analyzed statement."""
     if isinstance(analysis, ElementwisePhaseResult):
         return _generate_elementwise(analysis, plan)
@@ -225,33 +234,71 @@ def generate_node_program(analysis, plan: AccessPlan) -> NodeProgram:
             s_entry.num_slabs,
             [
                 IOReadOp(streamed, "slab", float(s_entry.slab_elements)),
-                ComputeOp(f"partial products of {streamed} slab", flops_per_slab),
+                ComputeOp(
+                    f"partial products of {streamed} slab",
+                    flops_per_slab,
+                    per_slab_of=streamed,
+                ),
             ],
             comment=f"all slabs of {streamed}",
+            slabs_of=streamed,
         )
-        per_column = LoopOp(
-            "m",
-            cols_per_b_slab,
-            [
-                inner_a,
-                GlobalSumOp(float(column_length), target=f"column of {result}"),
-                OwnerStoreOp(result, "column"),
-            ],
-            comment=f"columns in the {coefficient} slab",
-        )
-        body = LoopOp(
-            "l",
-            b_entry.num_slabs,
-            [IOReadOp(coefficient, "slab", float(b_entry.slab_elements)), per_column],
-            comment=f"slabs of {coefficient}",
-        )
+        if streamed == coefficient:
+            # Degenerate single-operand statement: the coefficient columns of
+            # ``a`` are distributed with the streamed array, so each rank holds
+            # only n/P of them and the conformal two-operand nest (coefficient
+            # slabs around local columns) would visit a mere fraction of the
+            # result.  The executable schedule stages the local part once and
+            # then walks ALL result columns, broadcasting each coefficient
+            # column from its owner — so the per-column loop runs over the
+            # full outer extent, matching the cost model's re-read charges.
+            stage = LoopOp(
+                "l",
+                b_entry.num_slabs,
+                [IOReadOp(coefficient, "slab", float(b_entry.slab_elements))],
+                comment=f"stage local slabs of {coefficient}",
+                slabs_of=coefficient,
+            )
+            per_column = LoopOp(
+                "m",
+                int(analysis.outer_loop.extent),
+                [
+                    inner_a,
+                    GlobalSumOp(float(column_length), target=f"column of {result}"),
+                    OwnerStoreOp(result, "column"),
+                ],
+                comment=f"all result columns of {result} (broadcast schedule)",
+            )
+            body_ops = [stage, per_column]
+        else:
+            per_column = LoopOp(
+                "m",
+                cols_per_b_slab,
+                [
+                    inner_a,
+                    GlobalSumOp(float(column_length), target=f"column of {result}"),
+                    OwnerStoreOp(result, "column"),
+                ],
+                comment=f"columns in the {coefficient} slab",
+                lines_of=coefficient,
+            )
+            body_ops = [
+                LoopOp(
+                    "l",
+                    b_entry.num_slabs,
+                    [IOReadOp(coefficient, "slab", float(b_entry.slab_elements)), per_column],
+                    comment=f"slabs of {coefficient}",
+                    slabs_of=coefficient,
+                )
+            ]
         flush = LoopOp(
             "w",
             c_entry.num_slabs,
             [IOWriteOp(result, "slab", c_slab_elements)],
             comment=f"flush ICLAs of {result} (performed as each fills)",
+            slabs_of=result,
         )
-        return NodeProgram(analysis.program.name, "column-slab", [body, flush])
+        return NodeProgram(analysis.program.name, "column-slab", [*body_ops, flush])
 
     if plan.strategy is SlabbingStrategy.ROW:
         # Figure 12: fetch each row slab of the streamed array once, re-stream
@@ -261,29 +308,41 @@ def generate_node_program(analysis, plan: AccessPlan) -> NodeProgram:
             "m",
             cols_per_b_slab,
             [
-                ComputeOp(f"partial products of {streamed} slab", flops_per_slab),
-                GlobalSumOp(float(subcolumn), target=f"subcolumn of {result}"),
+                ComputeOp(
+                    f"partial products of {streamed} slab",
+                    flops_per_slab,
+                    per_slab_of=streamed,
+                ),
+                GlobalSumOp(
+                    float(subcolumn),
+                    target=f"subcolumn of {result}",
+                    per_line_of=streamed,
+                ),
                 OwnerStoreOp(result, "subcolumn"),
             ],
             comment=f"columns in the {coefficient} slab",
+            lines_of=coefficient,
         )
         inner_b = LoopOp(
             "n",
             b_entry.num_slabs,
             [IOReadOp(coefficient, "slab", float(b_entry.slab_elements)), per_column],
             comment=f"slabs of {coefficient}",
+            slabs_of=coefficient,
         )
         body = LoopOp(
             "l",
             s_entry.num_slabs,
             [IOReadOp(streamed, "slab", float(s_entry.slab_elements)), inner_b],
             comment=f"row slabs of {streamed}",
+            slabs_of=streamed,
         )
         flush = LoopOp(
             "w",
             c_entry.num_slabs,
             [IOWriteOp(result, "slab", c_slab_elements)],
             comment=f"flush ICLAs of {result} (performed as each fills)",
+            slabs_of=result,
         )
         return NodeProgram(analysis.program.name, "row-slab", [body, flush])
 

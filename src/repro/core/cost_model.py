@@ -182,7 +182,7 @@ def combine_plan_costs(costs: Sequence[PlanCost]) -> PlanCost:
 class CostModel:
     """Converts an access plan into the paper's I/O metrics and a time estimate."""
 
-    def __init__(self, params: MachineParameters, nprocs: int):
+    def __init__(self, params: MachineParameters, nprocs: int) -> None:
         if nprocs < 1:
             raise CostModelError(f"nprocs must be positive, got {nprocs}")
         self.params = params
@@ -370,7 +370,11 @@ class CostModel:
         io_time += disk.write_time(
             dst_local * itemsize, int(dst_entry.num_slabs), contention=self.nprocs
         )
-        elements_per_pair = src_entry.slab_elements / max(self.nprocs, 1)
+        # Averaged over the slab loop: the executor exchanges the *actual*
+        # slab extent each iteration, so the per-pair payload must telescope
+        # to src_local / P in total, not num_slabs x nominal_slab / P (which
+        # overcounts whenever the last slab is partial).
+        elements_per_pair = src_local / max(src_entry.num_slabs * self.nprocs, 1)
         comm_time = 0.0
         collective_count = 0.0
         if analysis.needs_exchange:

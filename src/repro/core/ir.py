@@ -114,7 +114,7 @@ class ArrayRef:
     array: str
     subscripts: Tuple[Subscript, ...]
 
-    def __init__(self, array: str, subscripts: Sequence[Subscript]):
+    def __init__(self, array: str, subscripts: Sequence[Subscript]) -> None:
         object.__setattr__(self, "array", str(array))
         object.__setattr__(self, "subscripts", tuple(subscripts))
 
@@ -217,7 +217,7 @@ class ReductionStatement(Statement):
         operands: Sequence[ArrayRef],
         reduce_index: str,
         op: str = "sum",
-    ):
+    ) -> None:
         object.__setattr__(self, "result", result)
         object.__setattr__(self, "operands", tuple(operands))
         object.__setattr__(self, "reduce_index", str(reduce_index))
@@ -245,7 +245,7 @@ class ElementwiseStatement(Statement):
     operands: Tuple[ArrayRef, ...]
     op: str = "add"
 
-    def __init__(self, result: ArrayRef, operands: Sequence[ArrayRef], op: str = "add"):
+    def __init__(self, result: ArrayRef, operands: Sequence[ArrayRef], op: str = "add") -> None:
         object.__setattr__(self, "result", result)
         object.__setattr__(self, "operands", tuple(operands))
         object.__setattr__(self, "op", str(op))
@@ -268,7 +268,7 @@ class TransposeStatement(Statement):
     result: ArrayRef
     operands: Tuple[ArrayRef, ...]
 
-    def __init__(self, result: ArrayRef, operand: ArrayRef):
+    def __init__(self, result: ArrayRef, operand: ArrayRef) -> None:
         object.__setattr__(self, "result", result)
         object.__setattr__(self, "operands", (operand,))
         for ref in (result, operand):
@@ -316,7 +316,7 @@ class ProgramIR:
         *,
         statements: "Sequence[Statement] | None" = None,
         loop_nests: "Sequence[Sequence[Loop]] | None" = None,
-    ):
+    ) -> None:
         self.name = str(name)
         self.arrays = dict(arrays)
         if (statement is None) == (statements is None):
@@ -345,7 +345,7 @@ class ProgramIR:
 
     # -- construction-time validation ---------------------------------------
     def _validate(self) -> None:
-        for nest, statement in zip(self.loop_nests, self.statements):
+        for nest, statement in zip(self.loop_nests, self.statements, strict=True):
             loop_names = [loop.index for loop in nest]
             if len(set(loop_names)) != len(loop_names):
                 raise CompilationError(f"duplicate loop indices in {loop_names}")
@@ -499,9 +499,9 @@ class ProgramIR:
 
     def describe(self) -> str:
         lines = [f"program {self.name}"]
-        for name, desc in self.arrays.items():
+        for desc in self.arrays.values():
             lines.append(f"  array {desc.describe()}")
-        for nest, statement in zip(self.loop_nests, self.statements):
+        for nest, statement in zip(self.loop_nests, self.statements, strict=True):
             indent = "  "
             for loop in nest:
                 lines.append(f"{indent}{loop.describe()}")
@@ -519,7 +519,9 @@ class ProgramIR:
 # ---------------------------------------------------------------------------
 # convenience constructors
 # ---------------------------------------------------------------------------
-def _column_block_arrays(names, n, nprocs, dtype, out_of_core=True):
+def _column_block_arrays(
+    names: Sequence[str], n: int, nprocs: int, dtype: str, out_of_core: bool = True
+) -> Dict[str, ArrayDescriptor]:
     """Square ``n x n`` arrays, column-block distributed over ``nprocs``."""
     from repro.hpf.align import Alignment
     from repro.hpf.processors import ProcessorGrid
@@ -538,7 +540,7 @@ def build_elementwise_ir(
     n: int,
     nprocs: int,
     op: str = "add",
-    dtype="float32",
+    dtype: str = "float32",
     out_of_core: bool = True,
     name: str = "elementwise",
 ) -> ProgramIR:
@@ -558,7 +560,7 @@ def build_elementwise_ir(
 def build_transpose_ir(
     n: int,
     nprocs: int,
-    dtype="float32",
+    dtype: str = "float32",
     out_of_core: bool = True,
     name: str = "transpose",
     source: str = "src",
@@ -576,7 +578,7 @@ def build_transpose_ir(
 def build_gaxpy_ir(
     n: int,
     nprocs: int,
-    dtype="float32",
+    dtype: str = "float32",
     out_of_core: bool = True,
     name: str = "gaxpy_matmul",
 ) -> ProgramIR:
@@ -617,7 +619,7 @@ def build_gaxpy_ir(
 def build_pipeline_ir(
     n: int,
     nprocs: int,
-    dtype="float32",
+    dtype: str = "float32",
     out_of_core: bool = True,
     op: str = "add",
     name: str = "matmul_then_add",

@@ -29,11 +29,11 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING, Tuple
 
 from repro.exceptions import MemoryAllocationError
 from repro.core.analysis import InCorePhaseResult
-from repro.core.stripmine import build_plan_entry
+from repro.core.stripmine import SlabPlanEntry, build_plan_entry
 from repro.runtime.slab import SlabbingStrategy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
@@ -47,7 +47,7 @@ __all__ = [
 ]
 
 
-def _local_geometry(analysis: InCorePhaseResult, name: str):
+def _local_geometry(analysis: InCorePhaseResult, name: str) -> Tuple[int, int]:
     descriptor = analysis.program.arrays[name]
     shapes = [descriptor.local_shape(r) for r in range(descriptor.nprocs)]
     return max(shapes, key=lambda s: s[0] * s[1])
@@ -107,12 +107,11 @@ class AllocationPolicy(abc.ABC):
         streamed_elements: int,
         coefficient_elements: int,
     ) -> Dict[str, int]:
-        result = {
+        return {
             analysis.streamed: self._clamp(analysis, analysis.streamed, streamed_elements),
             analysis.coefficient: self._clamp(analysis, analysis.coefficient, coefficient_elements),
             analysis.result: self._clamp(analysis, analysis.result, _result_reserve(analysis)),
         }
-        return result
 
 
 @dataclasses.dataclass(frozen=True)
@@ -121,7 +120,13 @@ class EqualAllocation(AllocationPolicy):
 
     name = "equal"
 
-    def split(self, analysis, strategy, budget_elements, cost_model) -> Dict[str, int]:
+    def split(
+        self,
+        analysis: InCorePhaseResult,
+        strategy: "SlabbingStrategy | str",
+        budget_elements: int,
+        cost_model: "CostModel",
+    ) -> Dict[str, int]:
         strategy = SlabbingStrategy.from_name(strategy)
         budget_elements = self._validate_budget(analysis, strategy, budget_elements)
         available = budget_elements - _result_reserve(analysis)
@@ -145,7 +150,13 @@ class ProportionalAllocation(AllocationPolicy):
 
     name = "proportional"
 
-    def split(self, analysis, strategy, budget_elements, cost_model) -> Dict[str, int]:
+    def split(
+        self,
+        analysis: InCorePhaseResult,
+        strategy: "SlabbingStrategy | str",
+        budget_elements: int,
+        cost_model: "CostModel",
+    ) -> Dict[str, int]:
         strategy = SlabbingStrategy.from_name(strategy)
         budget_elements = self._validate_budget(analysis, strategy, budget_elements)
         available = budget_elements - _result_reserve(analysis)
@@ -183,7 +194,13 @@ class SearchAllocation(AllocationPolicy):
     name = "search"
     fractions: int = 9
 
-    def split(self, analysis, strategy, budget_elements, cost_model) -> Dict[str, int]:
+    def split(
+        self,
+        analysis: InCorePhaseResult,
+        strategy: "SlabbingStrategy | str",
+        budget_elements: int,
+        cost_model: "CostModel",
+    ) -> Dict[str, int]:
         strategy = SlabbingStrategy.from_name(strategy)
         budget_elements = self._validate_budget(analysis, strategy, budget_elements)
         available = budget_elements - _result_reserve(analysis)
@@ -213,7 +230,7 @@ def _entries_from_split(
     analysis: InCorePhaseResult,
     strategy: SlabbingStrategy,
     split: Dict[str, int],
-):
+) -> Dict[str, SlabPlanEntry]:
     """Build slab plan entries for a {array: slab_elements} split.
 
     The streamed array uses the candidate strategy; the coefficient and result

@@ -70,10 +70,17 @@ class IOWriteOp(NodeOp):
 
 @dataclasses.dataclass(frozen=True)
 class ComputeOp(NodeOp):
-    """A block of local arithmetic, measured in floating point operations."""
+    """A block of local arithmetic, measured in floating point operations.
+
+    ``per_slab_of`` names the plan array whose *current slab* the flop count
+    was sized for: ``flops`` is stated for a nominal full slab, and on an
+    iteration holding a partial (last) slab the executed flops scale with the
+    actual slab extent.  Empty string means the count is iteration-invariant.
+    """
 
     description: str
     flops: float
+    per_slab_of: str = ""
 
     def pretty(self, indent: int = 0) -> str:
         return " " * indent + f"compute {self.description} ({self.flops:.0f} flops)"
@@ -81,10 +88,17 @@ class ComputeOp(NodeOp):
 
 @dataclasses.dataclass(frozen=True)
 class GlobalSumOp(NodeOp):
-    """A global sum (reduction) of ``elements`` values across all processors."""
+    """A global sum (reduction) of ``elements`` values across all processors.
+
+    ``per_line_of`` names the plan array whose current-slab *line count* the
+    ``elements`` field was sized for (the row-slab version reduces one
+    subcolumn of ``lines_per_slab`` values per call, shorter on the last
+    slab).  Empty string means ``elements`` is exact on every call.
+    """
 
     elements: float
     target: str
+    per_line_of: str = ""
 
     def pretty(self, indent: int = 0) -> str:
         return " " * indent + f"global sum of {self.elements:.0f} elements -> {self.target}"
@@ -92,10 +106,16 @@ class GlobalSumOp(NodeOp):
 
 @dataclasses.dataclass(frozen=True)
 class AllToAllOp(NodeOp):
-    """A personalized all-to-all exchange of ``elements_per_pair`` elements."""
+    """A personalized all-to-all exchange of ``elements_per_pair`` elements.
+
+    ``per_slab_of`` names the plan array whose current slab is being
+    exchanged: ``elements_per_pair`` is stated for a nominal full slab and
+    scales with the actual extent on a partial last slab.
+    """
 
     elements_per_pair: float
     target: str = ""
+    per_slab_of: str = ""
 
     def pretty(self, indent: int = 0) -> str:
         suffix = f" -> {self.target}" if self.target else ""
@@ -117,18 +137,48 @@ class OwnerStoreOp(NodeOp):
 
 @dataclasses.dataclass(frozen=True)
 class LoopOp(NodeOp):
-    """A counted loop around a body of operations."""
+    """A counted loop around a body of operations.
+
+    The static verifier needs to know *what* a loop enumerates, not just how
+    often it runs, so codegen annotates each loop with one of two markers:
+
+    ``slabs_of``
+        The loop visits every slab of the named plan array once;
+        ``trip_count`` equals the plan entry's ``num_slabs`` and the last
+        iteration may hold a partial slab.
+
+    ``lines_of``
+        The loop visits the lines (columns of a column slab, rows of a row
+        slab) of the *current* slab of the named array; ``trip_count`` is
+        the nominal ``lines_per_slab`` and the actual count is shorter on a
+        partial last slab.  Such a loop is only meaningful nested inside the
+        matching ``slabs_of`` loop.
+
+    Both default to the empty string: a plain counted loop.
+    """
 
     index: str
     trip_count: int
     body: Tuple[NodeOp, ...]
     comment: str = ""
+    slabs_of: str = ""
+    lines_of: str = ""
 
-    def __init__(self, index: str, trip_count: int, body: Iterable[NodeOp], comment: str = ""):
+    def __init__(
+        self,
+        index: str,
+        trip_count: int,
+        body: Iterable[NodeOp],
+        comment: str = "",
+        slabs_of: str = "",
+        lines_of: str = "",
+    ) -> None:
         object.__setattr__(self, "index", str(index))
         object.__setattr__(self, "trip_count", int(trip_count))
         object.__setattr__(self, "body", tuple(body))
         object.__setattr__(self, "comment", str(comment))
+        object.__setattr__(self, "slabs_of", str(slabs_of))
+        object.__setattr__(self, "lines_of", str(lines_of))
 
     def pretty(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -150,7 +200,7 @@ class NodeProgram:
     strategy: str
     ops: Tuple[NodeOp, ...]
 
-    def __init__(self, name: str, strategy: str, ops: Iterable[NodeOp]):
+    def __init__(self, name: str, strategy: str, ops: Iterable[NodeOp]) -> None:
         self.name = str(name)
         self.strategy = str(strategy)
         self.ops = tuple(ops)

@@ -15,11 +15,12 @@ from __future__ import annotations
 import dataclasses
 import functools
 import time
-from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+import warnings
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 import numpy as np
 
-from repro.exceptions import CompilationError
+from repro.exceptions import CompilationError, PlanVerificationError
 from repro.core.analysis import (
     ElementwisePhaseResult,
     InCorePhaseResult,
@@ -45,6 +46,7 @@ from repro.machine.parameters import MachineParameters, touchstone_delta
 from repro.runtime.slab import SlabbingStrategy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner imports us)
+    from repro.check.report import CheckReport
     from repro.planner.plan_cache import PlanCache
     from repro.planner.search import PlanDecision
 
@@ -80,6 +82,12 @@ class CompiledProgram:
     #: the plan optimizer's decision when the compilation went through the
     #: planner (``optimizer=`` with a memory budget); ``None`` otherwise
     planner: Optional["PlanDecision"] = None
+    #: the memory budget this statement was compiled against, when one was
+    #: given; the static verifier proves the plan's resident bytes fit it
+    memory_budget_bytes: Optional[int] = None
+    #: the static verifier's frozen report, attached when compiled with
+    #: ``check="warn"`` or ``check="error"``
+    check: Optional["CheckReport"] = None
 
     @property
     def strategy(self) -> SlabbingStrategy:
@@ -128,6 +136,11 @@ class CompiledWholeProgram:
     #: (per-statement budgets, policies, predicted-vs-even cost); ``None``
     #: for ``slab_ratio`` / ``slab_elements`` compilations
     planner: Optional["PlanDecision"] = None
+    #: the shared node budget the program was compiled against, if any
+    memory_budget_bytes: Optional[int] = None
+    #: the static verifier's frozen report, attached when compiled with
+    #: ``check="warn"`` or ``check="error"``
+    check: Optional["CheckReport"] = None
 
     @property
     def predicted_cost(self) -> PlanCost:
@@ -166,7 +179,7 @@ class CompiledWholeProgram:
 
 def _plan_data_movement(
     program: ProgramIR,
-    analysis,
+    analysis: "ElementwisePhaseResult | TransposePhaseResult",
     cost_model: CostModel,
     *,
     memory_budget_bytes: Optional[int],
@@ -226,7 +239,7 @@ def _plan_data_movement(
         shares = split_evenly(int(memory_budget_bytes), len(names))
         common = min(
             slab_elements_from_bytes(program.arrays[name], share)
-            for name, share in zip(names, shares)
+            for name, share in zip(names, shares, strict=True)
         )
         sizes = {name: common for name in names}
 
@@ -242,6 +255,38 @@ def _plan_data_movement(
     )
 
 
+_CHECK_MODES = ("off", "warn", "error")
+
+
+def _apply_check(
+    compiled: Union[CompiledProgram, "CompiledWholeProgram"],
+    check: str,
+) -> Union[CompiledProgram, "CompiledWholeProgram"]:
+    """Run the static plan verifier and attach its report to ``compiled``.
+
+    ``check="off"`` is a no-op (and the default, so plan caches shared with
+    verification-free callers hand out byte-identical objects).  Otherwise the
+    verifier walks the compiled plan, the frozen report is attached via
+    :func:`dataclasses.replace`, and a failing plan either raises
+    :class:`PlanVerificationError` (``"error"``) or warns (``"warn"``).
+    """
+    if check not in _CHECK_MODES:
+        raise CompilationError(
+            f"check must be one of {_CHECK_MODES}, got {check!r}"
+        )
+    if check == "off":
+        return compiled
+    from repro.check import check_compiled
+
+    report = check_compiled(compiled)
+    compiled = dataclasses.replace(compiled, check=report)
+    if not report.ok:
+        if check == "error":
+            raise PlanVerificationError(report.describe(), report=report)
+        warnings.warn(report.describe(), stacklevel=3)
+    return compiled
+
+
 def compile_program(
     program: ProgramIR,
     params: Optional[MachineParameters] = None,
@@ -254,6 +299,7 @@ def compile_program(
     strategies: Sequence[SlabbingStrategy | str] = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
     optimizer: Optional[str] = None,
     plan_cache: Optional["PlanCache"] = None,
+    check: str = "off",
 ) -> CompiledProgram:
     """Compile a program for out-of-core execution.
 
@@ -276,6 +322,11 @@ def compile_program(
     pinned.  ``plan_cache`` (or the ambient Session cache) replays previous
     search winners.
 
+    ``check`` (``"off"`` | ``"warn"`` | ``"error"``) runs the static plan
+    verifier (:mod:`repro.check`) over the compiled result and attaches its
+    frozen :class:`~repro.check.report.CheckReport` as ``.check``; ``"error"``
+    raises :class:`~repro.exceptions.PlanVerificationError` on any finding.
+
     Multi-statement programs are dispatched to :func:`compile_whole_program`
     (and return a :class:`CompiledWholeProgram`).
     """
@@ -291,6 +342,7 @@ def compile_program(
             strategies=strategies,
             optimizer=optimizer,
             plan_cache=plan_cache,
+            check=check,
         )
     params = params or touchstone_delta()
     start = time.perf_counter()
@@ -318,11 +370,12 @@ def compile_program(
             force_strategy=force_strategy,
             plan_cache=cache,
         )
-        return dataclasses.replace(
+        compiled = dataclasses.replace(
             units[0],
             planner=decision,
             compile_seconds=time.perf_counter() - start,
         )
+        return _apply_check(compiled, check)
     analysis = analyze_program(program)
     nprocs = program.nprocs()
     cost_model = CostModel(params, nprocs)
@@ -338,7 +391,7 @@ def compile_program(
             force_strategy=force_strategy,
         )
         node_program = generate_node_program(analysis, plan)
-        return CompiledProgram(
+        compiled = CompiledProgram(
             program=program,
             analysis=analysis,
             decision=None,
@@ -347,7 +400,11 @@ def compile_program(
             params=params,
             nprocs=nprocs,
             compile_seconds=time.perf_counter() - start,
+            memory_budget_bytes=(
+                int(memory_budget_bytes) if memory_budget_bytes is not None else None
+            ),
         )
+        return _apply_check(compiled, check)
 
     decision: Optional[ReorganizationDecision] = None
     if memory_budget_bytes is not None:
@@ -401,7 +458,7 @@ def compile_program(
 
     node_program = generate_node_program(analysis, plan)
     elapsed = time.perf_counter() - start
-    return CompiledProgram(
+    compiled = CompiledProgram(
         program=program,
         analysis=analysis,
         decision=decision,
@@ -410,7 +467,11 @@ def compile_program(
         params=params,
         nprocs=nprocs,
         compile_seconds=elapsed,
+        memory_budget_bytes=(
+            int(memory_budget_bytes) if memory_budget_bytes is not None else None
+        ),
     )
+    return _apply_check(compiled, check)
 
 
 def compile_whole_program(
@@ -425,6 +486,7 @@ def compile_whole_program(
     strategies: Sequence[SlabbingStrategy | str] = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
     optimizer: Optional[str] = None,
     plan_cache: Optional["PlanCache"] = None,
+    check: str = "off",
 ) -> CompiledWholeProgram:
     """Compile a (possibly multi-statement) program for out-of-core execution.
 
@@ -487,10 +549,11 @@ def compile_whole_program(
                 strategies=strategies,
                 force_strategy=force_strategy,
                 plan_cache=cache if effective != "none" else None,
+                check=check,
             )
             schedule = generate_program_schedule(program, list(units))
             cost = combine_plan_costs([unit.plan.cost for unit in units])
-            return CompiledWholeProgram(
+            whole = CompiledWholeProgram(
                 program=program,
                 statements=tuple(units),
                 schedule=schedule,
@@ -499,7 +562,9 @@ def compile_whole_program(
                 nprocs=program.nprocs(),
                 compile_seconds=time.perf_counter() - start,
                 planner=planner_decision,
+                memory_budget_bytes=int(memory_budget_bytes),
             )
+            return _apply_check(whole, check)
         # A pinned allocation policy bypasses the search: even budget split
         # (exact — the remainder is redistributed, not dropped).
         statement_budgets = split_evenly(int(memory_budget_bytes), len(statements))
@@ -530,7 +595,7 @@ def compile_whole_program(
 
     schedule = generate_program_schedule(program, compiled_statements)
     cost = combine_plan_costs([compiled.plan.cost for compiled in compiled_statements])
-    return CompiledWholeProgram(
+    whole = CompiledWholeProgram(
         program=program,
         statements=tuple(compiled_statements),
         schedule=schedule,
@@ -538,7 +603,11 @@ def compile_whole_program(
         params=params,
         nprocs=program.nprocs(),
         compile_seconds=time.perf_counter() - start,
+        memory_budget_bytes=(
+            int(memory_budget_bytes) if memory_budget_bytes is not None else None
+        ),
     )
+    return _apply_check(whole, check)
 
 
 def compile_gaxpy(
@@ -546,7 +615,7 @@ def compile_gaxpy(
     nprocs: int,
     params: Optional[MachineParameters] = None,
     *,
-    dtype="float32",
+    dtype: str = "float32",
     memory_budget_bytes: Optional[int] = None,
     slab_ratio: Optional[float] = None,
     slab_elements: Optional[Dict[str, int]] = None,
@@ -600,7 +669,7 @@ def compile_gaxpy_cached(
     nprocs: int,
     params: Optional[MachineParameters] = None,
     *,
-    dtype="float32",
+    dtype: str = "float32",
     slab_ratio: Optional[float] = None,
     slab_elements: Optional[Dict[str, int]] = None,
     memory_budget_bytes: Optional[int] = None,

@@ -15,6 +15,7 @@ __all__ = [
     "DistributionError",
     "AlignmentError",
     "CompilationError",
+    "PlanVerificationError",
     "CostModelError",
     "MemoryAllocationError",
     "RuntimeExecutionError",
@@ -72,6 +73,22 @@ class AlignmentError(ReproError):
 
 class CompilationError(ReproError):
     """Raised when the out-of-core compiler cannot translate a program."""
+
+
+class PlanVerificationError(CompilationError):
+    """Raised when the static plan verifier rejects a compiled plan.
+
+    Subclasses :class:`CompilationError` on purpose: a plan that fails
+    verification is as unusable as one that failed to compile, and the plan
+    optimizer's candidate evaluation already treats compilation failures as
+    "reject this candidate" — verification failures flow through the same
+    path.  Carries the frozen
+    :class:`~repro.check.report.CheckReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report: object | None = None):
+        self.report = report
+        super().__init__(message)
 
 
 class CostModelError(ReproError):

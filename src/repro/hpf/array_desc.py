@@ -229,7 +229,7 @@ class ArrayDescriptor:
             raise DistributionError(
                 f"index {index} has {len(index)} dimensions, array {self.name!r} has {self.ndim}"
             )
-        for dim, (i, extent) in enumerate(zip(index, self.shape)):
+        for dim, (i, extent) in enumerate(zip(index, self.shape, strict=True)):
             if not 0 <= i < extent:
                 raise DistributionError(
                     f"index {i} outside extent {extent} in dimension {dim} of array {self.name!r}"

@@ -84,7 +84,7 @@ class ProcessorGrid:
                 f"coordinate tuple {coords} has {len(coords)} dimensions, grid has {self.ndim}"
             )
         rank = 0
-        for coordinate, extent in zip(coords, self.shape):
+        for coordinate, extent in zip(coords, self.shape, strict=True):
             if not 0 <= coordinate < extent:
                 raise DistributionError(f"coordinate {coordinate} outside extent {extent}")
             rank = rank * extent + coordinate

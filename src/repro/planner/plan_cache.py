@@ -94,7 +94,7 @@ class PlanCache:
     mirrored to ``<key>.json`` and lookups fall back to disk on a memory miss.
     """
 
-    def __init__(self, path: Optional[Path | str] = None, capacity: int = 256):
+    def __init__(self, path: Optional[Path | str] = None, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("PlanCache capacity must be at least 1")
         self.path = Path(path) if path is not None else None

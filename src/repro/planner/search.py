@@ -27,7 +27,7 @@ few dozen statement compilations, not thousands.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.cost_model import PlanCost, combine_plan_costs
 from repro.exceptions import (
@@ -49,6 +49,10 @@ from repro.planner.space import (
     transfer_neighbors,
 )
 from repro.runtime.slab import SlabbingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.ir import ProgramIR
+    from repro.core.pipeline import CompiledProgram
 
 __all__ = ["OPTIMIZERS", "PlanDecision", "normalize_optimizer", "plan_whole_program"]
 
@@ -141,18 +145,25 @@ class _ProgramEvaluator:
 
     def __init__(
         self,
-        program,
+        program: "ProgramIR",
         params: MachineParameters,
-        strategies: Sequence,
-        force_strategy,
+        strategies: "Sequence[SlabbingStrategy | str]",
+        force_strategy: "Optional[SlabbingStrategy | str]",
         *,
         fine: bool,
-    ):
+        check: str = "off",
+    ) -> None:
         self.program = program
         self.params = params
         self.strategies = tuple(strategies)
         self.force_strategy = force_strategy
         self.fine = fine
+        # Any enabled check mode becomes "error" inside the search: a
+        # candidate whose compiled plan fails static verification raises
+        # PlanVerificationError (a CompilationError), lands in the except
+        # clause below, and is rejected like any other infeasible candidate —
+        # the search only ever returns verified plans.
+        self.check = "error" if check != "off" else "off"
         self.kinds = statement_kinds(program)
         self.subs = [
             program.statement_program(index)
@@ -163,7 +174,9 @@ class _ProgramEvaluator:
         self.candidates_evaluated = 0
 
     # ------------------------------------------------------------------
-    def _compile_statement(self, index: int, budget: int, policy_name: str):
+    def _compile_statement(
+        self, index: int, budget: int, policy_name: str
+    ) -> "Optional[Tuple[PlanCost, CompiledProgram]]":
         """Price one statement under one budget/policy; ``None`` if infeasible."""
         key = (index, int(budget), policy_name)
         if key in self._statement_memo:
@@ -178,6 +191,7 @@ class _ProgramEvaluator:
                 policy=policy_instance(policy_name, fine=self.fine),
                 force_strategy=self.force_strategy,
                 strategies=self.strategies,
+                check=self.check,
             )
             result = (compiled.plan.cost, compiled)
         except (CompilationError, MemoryAllocationError, CostModelError):
@@ -185,7 +199,9 @@ class _ProgramEvaluator:
         self._statement_memo[key] = result
         return result
 
-    def _best_statement(self, index: int, budget: int):
+    def _best_statement(
+        self, index: int, budget: int
+    ) -> "Optional[Tuple[PlanCost, str, CompiledProgram]]":
         """Cheapest (cost, policy, compiled) for one statement at one budget."""
         key = (index, int(budget))
         if key in self._best_memo:
@@ -241,6 +257,7 @@ class _ProgramEvaluator:
                         ),
                         force_strategy=self.force_strategy,
                         strategies=self.strategies,
+                        check=self.check,
                     )
                     raise ReproError(  # pragma: no cover - the line above raises
                         "statement compilation failed without an error"
@@ -355,14 +372,15 @@ _SEARCHES = {
 # public entry point
 # ---------------------------------------------------------------------------
 def plan_whole_program(
-    program,
+    program: "ProgramIR",
     params: MachineParameters,
     memory_budget_bytes: int,
     *,
     optimizer: Optional[str] = "greedy",
-    strategies: Sequence = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
-    force_strategy=None,
+    strategies: "Sequence[SlabbingStrategy | str]" = (SlabbingStrategy.COLUMN, SlabbingStrategy.ROW),
+    force_strategy: "Optional[SlabbingStrategy | str]" = None,
     plan_cache: Optional[PlanCache] = None,
+    check: str = "off",
 ) -> Tuple[PlanDecision, Tuple[object, ...]]:
     """Search the plan space of ``program`` under one node byte budget.
 
@@ -372,6 +390,12 @@ def plan_whole_program(
     winner's predicted cost is never worse than the even split's: the even
     candidate seeds every search and is only displaced by strictly cheaper
     plans.
+
+    With ``check`` enabled (anything but ``"off"``), every candidate's
+    compiled plan runs through the static verifier and failing candidates are
+    rejected during the search, so the returned decision is both no-worse
+    *and* verified.  A cached winner that no longer verifies is discarded and
+    the search re-runs.
     """
     optimizer = normalize_optimizer(optimizer)
     total = int(memory_budget_bytes)
@@ -381,6 +405,7 @@ def plan_whole_program(
         strategies,
         force_strategy,
         fine=optimizer == "exhaustive",
+        check=check,
     )
     even = even_choice(program, total)
     baseline = evaluator.evaluate(

@@ -101,7 +101,7 @@ class PlanChoice:
         parts = [
             f"s{i}:{budget}B/{policy}"
             for i, (budget, policy) in enumerate(
-                zip(self.statement_budgets, self.policies)
+                zip(self.statement_budgets, self.policies, strict=True)
             )
         ]
         return " ".join(parts)

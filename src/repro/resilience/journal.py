@@ -46,7 +46,7 @@ def program_fingerprint(compiled) -> str:
             f"array={name}:{tuple(desc.shape)}:{np_dtype_name(desc.dtype)}:"
             f"ooc={getattr(desc, 'out_of_core', None)!r}"
         )
-    for statement_ir, cs in zip(program.statements, compiled.statements):
+    for statement_ir, cs in zip(program.statements, compiled.statements, strict=True):
         parts.append(f"stmt={statement_ir.describe()}")
         plan = getattr(cs, "plan", None)
         if plan is not None:

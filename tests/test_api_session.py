@@ -375,7 +375,7 @@ class TestMixedSweep:
         sequential = session.sweep(_mixed_points(), mode=mode, workers=1)
         parallel = session.sweep(_mixed_points(), mode=mode, workers=4)
         assert len(sequential) == len(parallel) == len(_mixed_points())
-        for seq, par in zip(sequential, parallel):
+        for seq, par in zip(sequential, parallel, strict=True):
             assert seq == par  # RunRecord is a dataclass: per-field equality
         workloads = [r.workload for r in sequential]
         assert workloads == [p.workload for p in _mixed_points()]

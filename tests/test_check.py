@@ -1,0 +1,500 @@
+"""Mutation tests for the static plan verifier.
+
+One test class per defect class in the taxonomy
+(:mod:`repro.check.report`): each hand-builds a *bad* node program or plan
+exhibiting exactly that defect and asserts the verifier reports it under the
+stable finding code — and that the minimally-repaired twin verifies clean.
+The differential matrix (``test_check_differential.py``) proves real compiled
+plans pass; these tests prove broken plans *fail*.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.check import (
+    ChargeLedger,
+    CheckReport,
+    Severity,
+    check_collective_alignment,
+    check_compiled,
+    check_node_program,
+)
+from repro.core.cost_model import ArrayIOCost, PlanCost
+from repro.core.ir import build_gaxpy_ir
+from repro.core.node_program import (
+    AllToAllOp,
+    ComputeOp,
+    GlobalSumOp,
+    IOReadOp,
+    IOWriteOp,
+    LoopOp,
+    NodeProgram,
+    OwnerStoreOp,
+)
+from repro.core.pipeline import compile_program
+from repro.core.reorganize import AccessPlan
+from repro.core.stripmine import SlabPlanEntry
+from repro.exceptions import PlanVerificationError
+from repro.runtime.slab import SlabbingStrategy
+
+ITEMSIZE = 4
+
+
+# ---------------------------------------------------------------------------
+# fixture plumbing: hand-built plans with deliberately uneven slabs
+# ---------------------------------------------------------------------------
+def make_entry(name, local_shape=(8, 5), lines_per_slab=2,
+               strategy=SlabbingStrategy.COLUMN):
+    rows, cols = local_shape
+    per_line = rows if strategy is SlabbingStrategy.COLUMN else cols
+    lines = cols if strategy is SlabbingStrategy.COLUMN else rows
+    return SlabPlanEntry(
+        array=name,
+        strategy=strategy,
+        slab_elements=per_line * lines_per_slab,
+        local_shape=local_shape,
+        num_slabs=math.ceil(lines / lines_per_slab),
+        lines_per_slab=lines_per_slab,
+        storage_order="F" if strategy is SlabbingStrategy.COLUMN else "C",
+    )
+
+
+def make_plan(*entries, cost=None):
+    table = {entry.array: entry for entry in entries}
+    if cost is None:
+        cost = PlanCost(
+            strategy=SlabbingStrategy.COLUMN,
+            arrays={},
+            flops=0.0,
+            collective_count=0.0,
+            collective_elements_each=0.0,
+            itemsize=ITEMSIZE,
+            nprocs=4,
+            io_time=0.0,
+            compute_time=0.0,
+            comm_time=0.0,
+        )
+    return AccessPlan(
+        strategy=SlabbingStrategy.COLUMN,
+        entries=table,
+        allocation={name: e.slab_elements * ITEMSIZE for name, e in table.items()},
+        cost=cost,
+    )
+
+
+def stream_and_flush(a, c):
+    """The canonical clean shape: one read pass over ``a``, one write pass
+    over ``c``, two flops per streamed element."""
+    return NodeProgram("unit", "column-slab", [
+        LoopOp("l", a.num_slabs, [
+            IOReadOp("a", "slab", float(a.slab_elements)),
+            ComputeOp("work", 2.0 * a.slab_elements, per_slab_of="a"),
+        ], slabs_of="a"),
+        LoopOp("w", c.num_slabs, [
+            IOWriteOp("c", "slab", float(c.slab_elements)),
+        ], slabs_of="c"),
+    ])
+
+
+def run_check(program, plan, *, nprocs=4, initialized=("a",), budget=None):
+    return check_node_program(
+        program, plan, itemsize=ITEMSIZE, nprocs=nprocs,
+        initialized=initialized, budget_bytes=budget, statement="unit",
+    )
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# the clean walk is *exact* on uneven slabs
+# ---------------------------------------------------------------------------
+class TestCleanWalk:
+    def test_no_findings_and_exact_ledger(self):
+        # 5 columns in slabs of 2: the third slab holds only one line, so a
+        # nominal count (3 slabs x 16 elements) would charge 48 — the exact
+        # walk must charge the true local size, 40.
+        a, c = make_entry("a"), make_entry("c")
+        ledger, findings = run_check(stream_and_flush(a, c), make_plan(a, c))
+        assert findings == []
+        traffic = ledger.arrays["a"]
+        assert traffic.read_requests == 3
+        assert traffic.read_elements == 40  # not 3 x 16 = 48
+        assert ledger.arrays["c"].write_elements == 40
+        assert ledger.flops == 80  # 2 flops x 40 streamed elements
+
+    def test_paired_slab_line_loops_collapse_to_total_lines(self):
+        # A lines_of loop nested in its slabs_of partner enumerates each of
+        # the 5 lines exactly once, not 3 x 2 = 6 times.
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", a.num_slabs, [
+                IOReadOp("a", "slab", float(a.slab_elements)),
+                LoopOp("m", a.lines_per_slab, [
+                    GlobalSumOp(8.0, target="column"),
+                    OwnerStoreOp("c"),
+                ], lines_of="a"),
+            ], slabs_of="a"),
+            LoopOp("w", c.num_slabs, [
+                IOWriteOp("c", "slab", float(c.slab_elements)),
+            ], slabs_of="c"),
+        ])
+        ledger, findings = run_check(program, make_plan(a, c))
+        assert findings == []
+        assert ledger.global_sum_count == 5  # one per line, exactly
+        assert ledger.global_sum_elements == 40
+
+    def test_congruent_slab_loop_aligns_other_arrays(self):
+        # The fused elementwise loop enumerates slabs of all arrays in
+        # lockstep; operand reads under a loop annotated for the *result*
+        # must still telescope to each operand's exact local size.
+        a, b, c = make_entry("a"), make_entry("b"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", c.num_slabs, [
+                IOReadOp("a", "slab", float(a.slab_elements)),
+                IOReadOp("b", "slab", float(b.slab_elements)),
+                ComputeOp("op", float(c.slab_elements), per_slab_of="c"),
+                IOWriteOp("c", "slab", float(c.slab_elements)),
+            ], slabs_of="c"),
+        ])
+        ledger, findings = run_check(program, make_plan(a, b, c),
+                                     initialized=("a", "b"))
+        assert findings == []
+        assert ledger.arrays["a"].read_elements == 40
+        assert ledger.arrays["b"].read_elements == 40
+        assert ledger.arrays["c"].write_elements == 40
+
+
+# ---------------------------------------------------------------------------
+# budget-overflow
+# ---------------------------------------------------------------------------
+class TestBudgetOverflow:
+    def test_resident_slabs_over_budget(self):
+        a, c = make_entry("a"), make_entry("c")  # 2 x 16 elements x 4 bytes
+        _, findings = run_check(stream_and_flush(a, c), make_plan(a, c),
+                                budget=64)
+        assert "budget-overflow" in codes(findings)
+
+    def test_one_line_floor_is_not_an_overflow(self):
+        # The strip-miner cannot slice below one line per array; a budget
+        # smaller than that floor is legitimately overshot.
+        a = make_entry("a", lines_per_slab=1)
+        c = make_entry("c", lines_per_slab=1)
+        _, findings = run_check(stream_and_flush(a, c), make_plan(a, c),
+                                budget=16)
+        assert findings == []
+
+    def test_sufficient_budget_is_clean(self):
+        a, c = make_entry("a"), make_entry("c")
+        _, findings = run_check(stream_and_flush(a, c), make_plan(a, c),
+                                budget=4096)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# read-before-write
+# ---------------------------------------------------------------------------
+class TestReadBeforeWrite:
+    def test_unstaged_read_is_flagged(self):
+        a, c = make_entry("a"), make_entry("c")
+        _, findings = run_check(stream_and_flush(a, c), make_plan(a, c),
+                                initialized=())
+        assert codes(findings) == ["read-before-write"]
+
+    def test_read_after_write_is_clean(self):
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("w", c.num_slabs,
+                   [IOWriteOp("c", "slab", float(c.slab_elements))],
+                   slabs_of="c"),
+            LoopOp("r", c.num_slabs,
+                   [IOReadOp("c", "slab", float(c.slab_elements))],
+                   slabs_of="c"),
+        ])
+        _, findings = run_check(program, make_plan(a, c), initialized=())
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# double-write
+# ---------------------------------------------------------------------------
+class TestDoubleWrite:
+    def test_flushing_every_slab_twice_is_flagged(self):
+        a, c = make_entry("a"), make_entry("c")
+        flush = LoopOp("w", c.num_slabs,
+                       [IOWriteOp("c", "slab", float(c.slab_elements))],
+                       slabs_of="c")
+        program = NodeProgram("unit", "column-slab", [flush, flush])
+        _, findings = run_check(program, make_plan(a, c))
+        assert "double-write" in codes(findings)
+
+    def test_single_flush_is_clean(self):
+        a, c = make_entry("a"), make_entry("c")
+        _, findings = run_check(stream_and_flush(a, c), make_plan(a, c))
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# collective-mismatch (the statically detected deadlock)
+# ---------------------------------------------------------------------------
+class TestCollectiveMismatch:
+    def _program(self, total):
+        return NodeProgram("unit", "column-slab", [
+            LoopOp("l", 3, [GlobalSumOp(float(total), target="col")]),
+        ])
+
+    def test_diverging_rank_is_flagged(self):
+        ranks = [self._program(8), self._program(8), self._program(16),
+                 self._program(8)]
+        findings = check_collective_alignment(ranks)
+        assert codes(findings) == ["collective-mismatch"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_rank_missing_a_collective_is_flagged(self):
+        silent = NodeProgram("unit", "column-slab", [LoopOp("l", 3, [])])
+        findings = check_collective_alignment([self._program(8), silent])
+        assert codes(findings) == ["collective-mismatch"]
+
+    def test_spmd_replicas_match(self):
+        assert check_collective_alignment([self._program(8)] * 4) == []
+
+    def test_loop_structure_matters_but_empty_loops_do_not(self):
+        # An extra collective-free loop must not break alignment ...
+        padded = NodeProgram("unit", "column-slab", [
+            LoopOp("x", 7, []),
+            LoopOp("l", 3, [GlobalSumOp(8.0, target="col")]),
+        ])
+        assert check_collective_alignment([self._program(8), padded]) == []
+        # ... but a different trip count around a collective must.
+        slower = NodeProgram("unit", "column-slab", [
+            LoopOp("l", 4, [GlobalSumOp(8.0, target="col")]),
+        ])
+        findings = check_collective_alignment([self._program(8), slower])
+        assert codes(findings) == ["collective-mismatch"]
+
+
+# ---------------------------------------------------------------------------
+# ledger-drift
+# ---------------------------------------------------------------------------
+class TestLedgerDrift:
+    def _cost(self, **overrides):
+        base = dict(
+            strategy=SlabbingStrategy.COLUMN,
+            arrays={
+                "a": ArrayIOCost("a", fetch_requests=3, fetch_elements=40,
+                                 write_requests=0, write_elements=0),
+                "c": ArrayIOCost("c", fetch_requests=0, fetch_elements=0,
+                                 write_requests=3, write_elements=40),
+            },
+            flops=80.0,
+            collective_count=0.0,
+            collective_elements_each=0.0,
+            itemsize=ITEMSIZE,
+            nprocs=4,
+            io_time=0.0,
+            compute_time=0.0,
+            comm_time=0.0,
+        )
+        base.update(overrides)
+        return PlanCost(**base)
+
+    def _ledger(self):
+        a, c = make_entry("a"), make_entry("c")
+        ledger, findings = run_check(stream_and_flush(a, c), make_plan(a, c))
+        assert findings == []
+        return ledger
+
+    def test_exact_agreement_has_no_problems(self):
+        assert self._ledger().compare_plan_cost(self._cost()) == []
+
+    def test_flop_drift_is_reported(self):
+        problems = self._ledger().compare_plan_cost(self._cost(flops=81.0))
+        assert any("flops" in p for p in problems)
+
+    def test_io_drift_is_reported_per_array_and_field(self):
+        wrong = self._cost()
+        wrong.arrays["a"] = ArrayIOCost("a", fetch_requests=4,
+                                        fetch_elements=48, write_requests=0,
+                                        write_elements=0)
+        problems = self._ledger().compare_plan_cost(wrong)
+        assert any(p.startswith("a.fetch_requests") for p in problems)
+        assert any(p.startswith("a.fetch_elements") for p in problems)
+
+    def test_phantom_cost_array_is_reported(self):
+        wrong = self._cost()
+        wrong.arrays["ghost"] = ArrayIOCost("ghost", 1, 16, 0, 0)
+        problems = self._ledger().compare_plan_cost(wrong)
+        assert any(p.startswith("ghost.") for p in problems)
+
+    def test_collective_drift_is_reported(self):
+        problems = self._ledger().compare_plan_cost(
+            self._cost(collective_count=5.0, collective_elements_each=8.0))
+        assert any("collective_count" in p for p in problems)
+        assert any("collective_elements" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# structural defects: malformed-loop / malformed-plan / unknown-array
+# ---------------------------------------------------------------------------
+class TestStructuralDefects:
+    def test_slab_loop_trip_contradicting_plan(self):
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", a.num_slabs + 1,
+                   [IOReadOp("a", "slab", float(a.slab_elements))],
+                   slabs_of="a"),
+        ])
+        _, findings = run_check(program, make_plan(a, c))
+        assert "malformed-loop" in codes(findings)
+
+    def test_line_loop_outside_any_slab_loop(self):
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("m", a.lines_per_slab, [OwnerStoreOp("c")], lines_of="a"),
+        ])
+        _, findings = run_check(program, make_plan(a, c))
+        assert "malformed-loop" in codes(findings)
+
+    def test_doubly_annotated_loop(self):
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", a.num_slabs, [], slabs_of="a", lines_of="a"),
+        ])
+        _, findings = run_check(program, make_plan(a, c))
+        assert "malformed-loop" in codes(findings)
+
+    def test_io_on_unplanned_array(self):
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", a.num_slabs,
+                   [IOReadOp("ghost", "slab", 16.0)], slabs_of="a"),
+        ])
+        _, findings = run_check(program, make_plan(a, c),
+                                initialized=("a", "ghost"))
+        assert "unknown-array" in codes(findings)
+
+    def test_loop_over_unplanned_array(self):
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", 3, [], slabs_of="ghost"),
+        ])
+        _, findings = run_check(program, make_plan(a, c))
+        assert "unknown-array" in codes(findings)
+
+    def test_inconsistent_plan_entry(self):
+        a, c = make_entry("a"), make_entry("c")
+        broken = dataclasses.replace(a, slab_elements=a.slab_elements - 1)
+        _, findings = run_check(stream_and_flush(broken, c),
+                                make_plan(broken, c))
+        assert "malformed-plan" in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# collective gating and conventions
+# ---------------------------------------------------------------------------
+class TestCollectiveConventions:
+    def _sum_program(self, a, c):
+        return NodeProgram("unit", "column-slab", [
+            LoopOp("l", 5, [GlobalSumOp(4.0, target="col")]),
+        ])
+
+    def test_uniprocessor_charges_no_collectives(self):
+        # The executor skips collectives when nprocs == 1 and the cost model
+        # charges none; the symbolic walk must agree.
+        a, c = make_entry("a"), make_entry("c")
+        ledger, _ = run_check(self._sum_program(a, c), make_plan(a, c),
+                              nprocs=1)
+        assert ledger.collective_count == 0
+        assert ledger.collective_elements_total == 0
+
+    def test_multiprocessor_global_sums(self):
+        a, c = make_entry("a"), make_entry("c")
+        ledger, _ = run_check(self._sum_program(a, c), make_plan(a, c),
+                              nprocs=4)
+        assert ledger.global_sum_count == 5
+        assert ledger.collective_count == 5  # machine-level == per-rank
+        assert ledger.collective_elements_total == 20
+
+    def test_all_to_all_scales_with_nprocs(self):
+        # Each rank's slab loop triggers its own exchange, so the machine
+        # performs nprocs x the per-rank count (the PlanCost convention).
+        a, c = make_entry("a"), make_entry("c")
+        program = NodeProgram("unit", "column-slab", [
+            LoopOp("l", a.num_slabs, [
+                AllToAllOp(float(a.slab_elements), per_slab_of="a"),
+            ], slabs_of="a"),
+        ])
+        ledger, _ = run_check(program, make_plan(a, c), nprocs=4)
+        assert ledger.all_to_all_count == a.num_slabs
+        assert ledger.collective_count == 4 * a.num_slabs
+        # per-pair payload telescopes to the exact local size, 40 not 48
+        assert ledger.all_to_all_elements == 40
+        assert ledger.collective_elements_total == 160
+
+
+# ---------------------------------------------------------------------------
+# check_compiled end to end: a real plan, then a mutated one
+# ---------------------------------------------------------------------------
+class TestCheckCompiled:
+    def test_real_compiled_plan_verifies_clean(self):
+        compiled = compile_program(build_gaxpy_ir(16, 4), slab_ratio=0.5)
+        report = check_compiled(compiled)
+        assert report.ok, report.describe()
+        assert report.checked_statements == 1
+        assert report.ledger is not None
+        assert report.ledger.compare_plan_cost(compiled.plan.cost) == []
+
+    def test_mutated_node_program_fails_with_ledger_drift(self):
+        compiled = compile_program(build_gaxpy_ir(16, 4), slab_ratio=0.5)
+        # Drop the flush loop: the result is never written and every charge
+        # the cost model attributes to it goes missing from the ledger.
+        broken = NodeProgram(
+            compiled.node_program.name,
+            compiled.node_program.strategy,
+            compiled.node_program.ops[:-1],
+        )
+        report = check_compiled(dataclasses.replace(compiled, node_program=broken))
+        assert not report.ok
+        assert "ledger-drift" in report.codes()
+
+    def test_report_summary_shape(self):
+        compiled = compile_program(build_gaxpy_ir(16, 4), slab_ratio=0.5)
+        summary = check_compiled(compiled).summary()
+        assert summary["ok"] is True
+        assert summary["errors"] == 0
+        assert summary["statements"] == 1
+
+    def test_verification_error_carries_report(self):
+        report = CheckReport(findings=(), checked_statements=1)
+        error = PlanVerificationError("nope", report=report)
+        assert error.report is report
+        assert isinstance(error, Exception)
+
+
+# ---------------------------------------------------------------------------
+# the ledger's merge arithmetic
+# ---------------------------------------------------------------------------
+class TestLedgerMerge:
+    def test_add_accumulates_all_channels(self):
+        first = ChargeLedger(itemsize=4, nprocs=4)
+        first.traffic("a").read_requests = 2
+        first.flops = 10
+        first.global_sum_count = 1
+        second = ChargeLedger(itemsize=4, nprocs=4)
+        second.traffic("a").read_requests = 3
+        second.traffic("b").write_elements = 7
+        second.flops = 5
+        second.all_to_all_count = 2
+        first.add(second)
+        assert first.arrays["a"].read_requests == 5
+        assert first.arrays["b"].write_elements == 7
+        assert first.flops == 15
+        assert first.collective_count == 1 + 4 * 2
+
+    def test_add_rejects_mismatched_machine_shape(self):
+        with pytest.raises(ValueError):
+            ChargeLedger(itemsize=4, nprocs=4).add(
+                ChargeLedger(itemsize=8, nprocs=4))

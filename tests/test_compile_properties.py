@@ -87,7 +87,7 @@ def test_estimate_equals_execute_charges_whole_program(tmp_path):
         )
         assert execute.verified is True
         # per-statement charge deltas agree between the modes too
-        for est_stmt, exe_stmt in zip(estimate.statements, execute.statements):
+        for est_stmt, exe_stmt in zip(estimate.statements, execute.statements, strict=True):
             for field in ("bytes_read_per_proc", "bytes_written_per_proc",
                           "io_requests_per_proc"):
                 assert est_stmt[field] == exe_stmt[field]
@@ -127,7 +127,7 @@ def test_bytes_are_slab_size_invariant(tmp_path, workload):
             f"ratio ({sorted(volumes)})"
         )
         # sanity: smaller slabs never yield fewer requests
-        paired = sorted(zip(ratios, requests), key=lambda item: item[0])
+        paired = sorted(zip(ratios, requests, strict=True), key=lambda item: item[0])
         ordered = [count for _, count in paired]
         assert ordered == sorted(ordered, reverse=True) or len(set(ordered)) == 1
 

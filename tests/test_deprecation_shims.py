@@ -93,7 +93,7 @@ class TestSweepGaxpyShim:
         session = Session(config=RunConfig(scratch_dir=tmp_path))
         records = session.sweep([p.to_workload_point() for p in points], mode=mode)
         assert len(legacy) == len(points)
-        for flat, point, record in zip(legacy, points, records):
+        for flat, point, record in zip(legacy, points, records, strict=True):
             assert flat["version"] == point.version  # the legacy extra key
             assert_legacy_equal(flat, expected_legacy_record(record, point, mode))
 

@@ -116,7 +116,7 @@ class TestFigure10:
         for series in result["series"].values():
             assert len(series) == len(config.slab_ratios)
             times = [t for _, t in sorted(series, key=lambda x: x[0], reverse=True)]
-            assert all(t2 >= t1 * 0.999 for t1, t2 in zip(times, times[1:]))
+            assert all(t2 >= t1 * 0.999 for t1, t2 in zip(times, times[1:], strict=False))
         assert "Figure 10" in result["table"]
 
 

@@ -209,7 +209,7 @@ def test_parallel_execute_sweep_matches_sequential(tmp_path):
     sequential = sweep_gaxpy(_sweep_grid(), mode=ExecutionMode.EXECUTE, config=config)
     parallel = sweep_gaxpy(_sweep_grid(), mode=ExecutionMode.EXECUTE, config=config, workers=4)
     assert len(sequential) == len(parallel) == 6
-    for seq, par in zip(sequential, parallel):
+    for seq, par in zip(sequential, parallel, strict=True):
         assert set(seq) == set(par)
         for field in seq:
             if isinstance(seq[field], float) and np.isnan(seq[field]):
@@ -221,7 +221,7 @@ def test_parallel_execute_sweep_matches_sequential(tmp_path):
 def test_parallel_estimate_sweep_matches_sequential():
     sequential = sweep_gaxpy(_sweep_grid())
     parallel = sweep_gaxpy(_sweep_grid(), workers=4)
-    for seq, par in zip(sequential, parallel):
+    for seq, par in zip(sequential, parallel, strict=True):
         for field in seq:
             if isinstance(seq[field], float) and np.isnan(seq[field]):
                 assert np.isnan(par[field]), field

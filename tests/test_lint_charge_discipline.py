@@ -1,0 +1,138 @@
+"""Tests for the charge-discipline AST linter (``tools/lint_charge_discipline.py``).
+
+Each rule gets a positive case (a minimal offending snippet is flagged) and a
+negative case (the idiom the runtime actually uses passes) — then the whole
+repository is linted for real, which is the invariant CI enforces.
+"""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_charge_discipline", REPO / "tools" / "lint_charge_discipline.py"
+)
+lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint)
+
+
+def findings(rule, source, name="module.py"):
+    tree = ast.parse(source)
+    return list(rule(tree, Path(name)))
+
+
+class TestIOConfinement:
+    def test_open_outside_engine_is_flagged(self):
+        out = findings(lint.check_io_confinement,
+                       "handle = open('x.bin', 'wb')", "vm.py")
+        assert [v.rule for v in out] == ["io-confinement"]
+
+    def test_numpy_memmap_is_flagged(self):
+        out = findings(lint.check_io_confinement,
+                       "import numpy as np\nm = np.memmap('x', dtype='f4')",
+                       "executor.py")
+        assert [v.rule for v in out] == ["io-confinement"]
+
+    def test_engine_files_are_exempt(self):
+        assert findings(lint.check_io_confinement,
+                        "handle = open('x.bin', 'wb')", "laf.py") == []
+        assert findings(lint.check_io_confinement,
+                        "handle = open('x.bin', 'wb')", "io_engine.py") == []
+
+    def test_non_file_load_is_not_flagged(self):
+        # SlabManifest.load / icla.load are in-memory, not host file I/O.
+        assert findings(lint.check_io_confinement,
+                        "manifest = SlabManifest.load(path)", "executor.py") == []
+        assert findings(lint.check_io_confinement,
+                        "self.icla.load(slab, data)", "ocla.py") == []
+
+
+class TestWallClock:
+    def test_perf_counter_is_flagged(self):
+        out = findings(lint.check_wall_clock,
+                       "import time\nstart = time.perf_counter()")
+        assert [v.rule for v in out] == ["wall-clock"]
+
+    def test_datetime_now_is_flagged(self):
+        out = findings(lint.check_wall_clock,
+                       "from datetime import datetime\nt = datetime.now()")
+        assert [v.rule for v in out] == ["wall-clock"]
+
+    def test_sleep_is_allowed(self):
+        # The retry backoff delays the host without reading a clock.
+        assert findings(lint.check_wall_clock,
+                        "import time\ntime.sleep(0.01)") == []
+
+    def test_unrelated_now_method_is_allowed(self):
+        assert findings(lint.check_wall_clock, "x = scheduler.now()") == []
+
+
+class TestRetryCharge:
+    RETRYING_CHARGE = """
+while True:
+    try:
+        machine.charge_read(rank, nbytes, 1)
+        return op()
+    except TransientIOError:
+        failures += 1
+"""
+    CHARGE_AFTER_LOOP = """
+while True:
+    try:
+        return op()
+    except (TransientIOError, OSError):
+        failures += 1
+machine.charge_read(rank, nbytes, 1)
+"""
+
+    def test_charge_inside_retry_loop_is_flagged(self):
+        out = findings(lint.check_retry_charges, self.RETRYING_CHARGE)
+        assert [v.rule for v in out] == ["retry-charge"]
+
+    def test_charge_after_the_loop_is_allowed(self):
+        assert findings(lint.check_retry_charges, self.CHARGE_AFTER_LOOP) == []
+
+    def test_loop_without_retry_handler_is_allowed(self):
+        source = """
+for slab in slabs:
+    machine.charge_read(rank, slab.nbytes, 1)
+"""
+        assert findings(lint.check_retry_charges, source) == []
+
+
+class TestFrozenMutation:
+    def test_foreign_setattr_is_flagged(self):
+        out = findings(lint.check_frozen_mutation,
+                       "object.__setattr__(plan, 'cost', cheaper)")
+        assert [v.rule for v in out] == ["frozen-mutation"]
+
+    def test_own_init_is_allowed(self):
+        source = """
+class LoopOp:
+    def __init__(self, index):
+        object.__setattr__(self, "index", str(index))
+"""
+        assert findings(lint.check_frozen_mutation, source) == []
+
+    def test_helper_method_mutation_is_flagged(self):
+        source = """
+class Tamper:
+    def rewrite(self, plan):
+        object.__setattr__(plan, "cost", None)
+"""
+        out = findings(lint.check_frozen_mutation, source)
+        assert [v.rule for v in out] == ["frozen-mutation"]
+
+
+def test_repository_is_clean():
+    violations = lint.lint_tree(REPO)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_main_exit_codes(tmp_path):
+    assert lint.main([str(REPO)]) == 0
+    bad = tmp_path / "src" / "repro" / "runtime"
+    bad.mkdir(parents=True)
+    (bad / "rogue.py").write_text("handle = open('x.bin', 'wb')\n")
+    assert lint.main([str(tmp_path)]) == 1

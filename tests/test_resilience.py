@@ -15,6 +15,7 @@ import pytest
 from repro.config import RunConfig
 from repro.exceptions import (
     IOEngineError,
+    ReproError,
     SlabCorruptionError,
     TransientIOError,
     WorkloadError,
@@ -392,7 +393,7 @@ class TestSweepOnError:
         return [good, bad, good]
 
     def test_default_raises(self, session):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             session.sweep(self._points())
 
     def test_skip_yields_error_record(self, session):

@@ -7,7 +7,7 @@ import pytest
 import repro.api.workload as workload_module
 from repro.api import Session, WorkloadPoint
 from repro.config import RunConfig
-from repro.exceptions import WorkloadError
+from repro.exceptions import CompilationError, WorkloadError
 
 
 N = 256
@@ -80,7 +80,7 @@ class TestOptimizeKnob:
     def test_invalid_choices_are_rejected(self):
         with pytest.raises(WorkloadError, match="unknown optimize"):
             WorkloadPoint("gaxpy", n=8, slab_ratio=0.5, optimize="anneal")
-        with pytest.raises(Exception, match="unknown plan optimizer"):
+        with pytest.raises(CompilationError, match="unknown plan optimizer"):
             Session(optimize="anneal")
 
     def test_greedy_plan_no_worse_than_even_in_record(self, tmp_path):
@@ -195,7 +195,7 @@ class TestSweepOptimize:
         points = [_budget_point(optimize="none"), _budget_point(optimize="greedy")]
         sequential = session.sweep(points, mode="estimate")
         parallel = session.sweep(points, mode="estimate", workers=2)
-        for one, two in zip(sequential, parallel):
+        for one, two in zip(sequential, parallel, strict=True):
             assert one.simulated_seconds == two.simulated_seconds
             assert one.plan["optimizer"] == two.plan["optimizer"]
 

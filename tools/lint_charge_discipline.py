@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""AST lint for the charge-accounting discipline of the runtime.
+
+The simulated machine's counters are the repository's ground truth: the cost
+model predicts them, the static verifier proves them, and the benchmarks pin
+them.  That only works while every byte of file traffic flows through the
+charged engines and no charge depends on the host.  This linter enforces the
+discipline statically (stdlib ``ast`` only, no third-party dependencies):
+
+``io-confinement``
+    Raw file access (``open``, ``os.open``, ``np.memmap``, ``np.save``,
+    ``np.load``, ``Path.read_bytes``/``write_bytes``) inside
+    ``src/repro/runtime/`` is allowed only in ``io_engine.py`` and ``laf.py``
+    — anywhere else it would move bytes the machine never charges.
+
+``wall-clock``
+    Charge paths must be deterministic: nothing in ``src/repro/runtime/``
+    may *read* the host clock (``time.time``, ``time.perf_counter``,
+    ``time.monotonic``, ``datetime.now`` ...).  ``time.sleep`` is fine — the
+    retry backoff delays the host without touching a counter.
+
+``retry-charge``
+    Inside a retry loop (a ``while``/``for`` whose ``except`` handler catches
+    ``TransientIOError`` or ``OSError``), no ``charge_*`` call may appear:
+    a retried attempt would charge the machine once per failure, making the
+    counters depend on the injected fault schedule.  Charges belong outside
+    ``_attempt``-style loops (or must snapshot/restore around them).
+
+``frozen-mutation``
+    ``object.__setattr__`` is the frozen-dataclass escape hatch and is legal
+    only inside the owning class's own ``__init__`` / ``__post_init__`` /
+    ``__setstate__``.  Foreign mutation of a frozen plan object would let
+    code quietly edit an already-verified plan.
+
+Run: ``python tools/lint_charge_discipline.py [root]`` — exits non-zero on
+any violation.  Wired into ``make lint`` and CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+IO_CONFINEMENT_ALLOWED = {"io_engine.py", "laf.py"}
+#: unqualified calls that always mean host file access
+RAW_IO_NAMES = {"open", "read_bytes", "write_bytes", "open_memmap"}
+#: numpy file routines — only when actually called off the numpy module
+#: (``SlabManifest.load`` or an ICLA's in-memory ``load`` are not file I/O)
+NUMPY_IO_NAMES = {"memmap", "save", "load", "savez", "fromfile", "tofile"}
+NUMPY_ALIASES = {"np", "numpy"}
+WALL_CLOCK_CALLS = {"time", "perf_counter", "perf_counter_ns", "monotonic",
+                    "monotonic_ns", "now", "utcnow", "clock_gettime"}
+RETRY_EXCEPTIONS = {"TransientIOError", "OSError", "IOError"}
+
+
+class Violation(NamedTuple):
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _call_name(node: ast.Call) -> str:
+    """The rightmost name of the called expression (``np.memmap`` -> ``memmap``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__setattr__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "object"
+    )
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+def check_io_confinement(tree: ast.AST, path: Path) -> Iterator[Violation]:
+    if path.name in IO_CONFINEMENT_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        func = node.func
+        raw = False
+        if isinstance(func, ast.Name) and name in RAW_IO_NAMES:
+            raw = True
+        elif isinstance(func, ast.Attribute):
+            qualifier = func.value.id if isinstance(func.value, ast.Name) else ""
+            if name in NUMPY_IO_NAMES and qualifier in NUMPY_ALIASES:
+                raw = True
+            elif name in RAW_IO_NAMES:
+                raw = True
+            elif name == "open" and qualifier == "os":
+                raw = True
+        if raw:
+            yield Violation(
+                "io-confinement", str(path), node.lineno,
+                f"raw file access {name!r} outside "
+                "io_engine.py/laf.py moves bytes the machine never charges",
+            )
+
+
+def check_wall_clock(tree: ast.AST, path: Path) -> Iterator[Violation]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in WALL_CLOCK_CALLS:
+            continue
+        # Only flag reads off the time/datetime modules, not unrelated
+        # methods that happen to share a name (e.g. some ``obj.now()``).
+        func = node.func
+        qualifier = ""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            qualifier = func.value.id
+        if qualifier in {"time", "datetime", "dt"} or (
+            isinstance(func, ast.Name) and name in {"perf_counter", "monotonic"}
+        ):
+            yield Violation(
+                "wall-clock", str(path), node.lineno,
+                f"host clock read {qualifier + '.' if qualifier else ''}{name}() "
+                "in a charge path makes simulated counters nondeterministic",
+            )
+
+
+def _catches_retryable(handler: ast.ExceptHandler) -> bool:
+    def names(node) -> List[str]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Tuple):
+            return [n for e in node.elts for n in names(e)]
+        if isinstance(node, ast.Attribute):
+            return [node.attr]
+        if isinstance(node, ast.Name):
+            return [node.id]
+        return []
+
+    return any(n in RETRY_EXCEPTIONS for n in names(handler.type))
+
+
+def check_retry_charges(tree: ast.AST, path: Path) -> Iterator[Violation]:
+    for loop in ast.walk(tree):
+        if not isinstance(loop, (ast.While, ast.For)):
+            continue
+        retries = any(
+            isinstance(node, ast.Try)
+            and any(_catches_retryable(h) for h in node.handlers)
+            for node in ast.walk(loop)
+        )
+        if not retries:
+            continue
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) and _call_name(node).startswith("charge"):
+                yield Violation(
+                    "retry-charge", str(path), node.lineno,
+                    f"{_call_name(node)!r} inside a retry loop charges once "
+                    "per failed attempt, coupling counters to the fault "
+                    "schedule",
+                )
+
+
+def check_frozen_mutation(tree: ast.AST, path: Path) -> Iterator[Violation]:
+    allowed_lines: set = set()
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        for item in klass.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                item.name in {"__init__", "__post_init__", "__setstate__"}
+            ):
+                for node in ast.walk(item):
+                    if isinstance(node, ast.Call) and _is_object_setattr(node):
+                        allowed_lines.add(node.lineno)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and _is_object_setattr(node)
+            and node.lineno not in allowed_lines
+        ):
+            yield Violation(
+                "frozen-mutation", str(path), node.lineno,
+                "object.__setattr__ outside the owning class's __init__/"
+                "__post_init__ mutates a frozen (possibly verified) object",
+            )
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+def lint_file(path: Path, *, runtime: bool) -> List[Violation]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations: List[Violation] = []
+    if runtime:
+        violations.extend(check_io_confinement(tree, path))
+        violations.extend(check_wall_clock(tree, path))
+        violations.extend(check_retry_charges(tree, path))
+    violations.extend(check_frozen_mutation(tree, path))
+    return violations
+
+
+def lint_tree(root: Path) -> List[Violation]:
+    src = root / "src" / "repro"
+    runtime_dir = src / "runtime"
+    violations: List[Violation] = []
+    for path in sorted(src.rglob("*.py")):
+        runtime = runtime_dir in path.parents
+        violations.extend(lint_file(path, runtime=runtime))
+    return violations
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    violations = lint_tree(root)
+    for violation in violations:
+        print(violation.render())
+    checked = len(list((root / "src" / "repro").rglob("*.py")))
+    if violations:
+        print(f"charge discipline: {len(violations)} violation(s) "
+              f"in {checked} file(s)")
+        return 1
+    print(f"charge discipline: clean ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
