@@ -106,7 +106,6 @@ def main(argv=None) -> int:
         existing = json.loads(args.json.read_text())
 
     measurement = measure(workers=args.workers, repeats=args.repeats)
-    measurement["unix_time"] = time.time()
 
     result = {
         "benchmark": "fastpath-execute-sweep",
@@ -135,6 +134,7 @@ def main(argv=None) -> int:
             return 1
         print("charged statistics identical to baseline")
 
+    result["unix_time"] = time.time()
     args.json.write_text(json.dumps(result, indent=2) + "\n")
     return 0
 

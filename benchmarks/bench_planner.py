@@ -1,18 +1,22 @@
 """Even-split vs planner-optimized plans: charged I/O and drift gate.
 
 Runs a fixed three-statement program (``t = a @ b; u = t + d; c = u * e``,
-N=256, P=4) under one 48 KiB node memory budget twice through the Session
-API in EXECUTE mode — once with ``optimize="none"`` (the legacy even split)
-and once with ``optimize="greedy"`` (the cost-model-driven plan search) —
-and records the charged statistics of both.
+N=256, P=4) under one 48 KiB node memory budget three times through the
+Session API in EXECUTE mode — with ``optimize="none"`` (the legacy even
+split), with ``optimize="greedy"`` (the cost-model-driven plan search), and
+with ``optimize="greedy"`` plus ``fusion="on"`` (the search extended with the
+statement-fusion dimension) — and records the charged statistics of all.
 
 The run asserts the planner's contract:
 
-* both configurations verify against the in-core NumPy oracle,
-* ESTIMATE charges exactly the EXECUTE counters in both configurations,
+* every configuration verifies against the in-core NumPy oracle,
+* ESTIMATE charges exactly the EXECUTE counters in every configuration,
 * the optimized plan's *predicted* cost is no worse than the even split's,
 * the optimized plan's *charged* I/O bytes strictly beat the even split's
-  (the acceptance criterion of the planner subsystem).
+  (the acceptance criterion of the planner subsystem),
+* the fused plan's *charged* I/O bytes strictly beat the optimized unfused
+  plan's — the chain's one legal edge (``u`` into ``c``; the reduction
+  producing ``t`` refuses to fuse) drops the intermediate's write+read pass.
 
 As with the other benchmarks, the first run records a ``baseline`` entry and
 later runs fail on any drift of a charged number — the planner is
@@ -74,20 +78,19 @@ SIMULATED_FIELDS = ("simulated_seconds", "io_time", "compute_time", "comm_time",
                     "io_write_bytes_per_proc")
 
 
-def _point(optimize: str) -> WorkloadPoint:
-    return WorkloadPoint(
-        "hpf",
-        optimize=optimize,
-        options={"source": CHAIN_SOURCE, "memory_budget_bytes": BUDGET},
-    )
+def _point(optimize: str, fusion: str = "off") -> WorkloadPoint:
+    options = {"source": CHAIN_SOURCE, "memory_budget_bytes": BUDGET}
+    if fusion != "off":
+        options["fusion"] = fusion
+    return WorkloadPoint("hpf", optimize=optimize, options=options)
 
 
-def _evaluate(optimize: str) -> dict:
+def _evaluate(optimize: str, fusion: str = "off") -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-planner-") as scratch:
         session = Session(config=RunConfig(scratch_dir=scratch))
-        estimate = session.estimate(_point(optimize))
+        estimate = session.estimate(_point(optimize, fusion))
         start = time.perf_counter()
-        record = session.execute(_point(optimize))
+        record = session.execute(_point(optimize, fusion))
         wall = time.perf_counter() - start
     mode_drift = [
         field
@@ -101,6 +104,7 @@ def _evaluate(optimize: str) -> dict:
         "estimate_matches_execute_charges": not mode_drift,
         "statement_budgets": list(record.plan.get("statement_budgets", [])),
         "policies": list(record.plan.get("policies", [])),
+        "fused_edges": list(record.plan.get("fused_edges", [])),
         "predicted_seconds": record.plan["predicted_seconds"],
         "charged_io_bytes_per_proc": record.io_bytes_per_proc,
         "simulated": {field: getattr(record, field) for field in SIMULATED_FIELDS},
@@ -110,11 +114,17 @@ def _evaluate(optimize: str) -> dict:
 def measure() -> dict:
     even = _evaluate("none")
     optimized = _evaluate("greedy")
+    fused = _evaluate("greedy", fusion="on")
     return {
         "even": even,
         "optimized": optimized,
+        "fused": fused,
         "io_bytes_saved_per_proc": (
             even["charged_io_bytes_per_proc"] - optimized["charged_io_bytes_per_proc"]
+        ),
+        "fusion_io_bytes_saved_per_proc": (
+            optimized["charged_io_bytes_per_proc"]
+            - fused["charged_io_bytes_per_proc"]
         ),
         "predicted_speedup": (
             even["predicted_seconds"] / optimized["predicted_seconds"]
@@ -125,13 +135,15 @@ def measure() -> dict:
 
 def _drift(baseline: dict, current: dict) -> list:
     drift = []
-    for config in ("even", "optimized"):
+    for config in ("even", "optimized", "fused"):
         base = baseline.get(config, {})
+        if not base:
+            continue  # baselines recorded before the fused row existed
         for field, value in base.get("simulated", {}).items():
             now = current[config]["simulated"].get(field)
             if now != value:
                 drift.append(f"{config}.{field}: {value!r} -> {now!r}")
-        for field in ("statement_budgets", "policies"):
+        for field in ("statement_budgets", "policies", "fused_edges"):
             if base.get(field) != current[config].get(field):
                 drift.append(
                     f"{config}.{field}: {base.get(field)!r} -> "
@@ -153,9 +165,8 @@ def main(argv=None) -> int:
         existing = json.loads(args.json.read_text())
 
     measurement = measure()
-    measurement["unix_time"] = time.time()
 
-    for config in ("even", "optimized"):
+    for config in ("even", "optimized", "fused"):
         if not measurement[config]["verified"]:
             print(f"ERROR: the {config} plan failed oracle verification")
             return 1
@@ -169,6 +180,13 @@ def main(argv=None) -> int:
     if measurement["io_bytes_saved_per_proc"] <= 0:
         print("ERROR: the optimized plan did not beat the even split's charged "
               "I/O bytes")
+        return 1
+    if measurement["fusion_io_bytes_saved_per_proc"] <= 0:
+        print("ERROR: the fused plan did not beat the optimized unfused plan's "
+              "charged I/O bytes")
+        return 1
+    if not measurement["fused"]["fused_edges"]:
+        print("ERROR: fusion=on chose no fused statement pair on the chain")
         return 1
 
     result = {
@@ -184,6 +202,11 @@ def main(argv=None) -> int:
           f"({saved / 1e6:.3f} MB saved, "
           f"{100 * saved / even_bytes:.1f}%), "
           f"budgets {measurement['optimized']['statement_budgets']}")
+    fused_bytes = measurement["fused"]["charged_io_bytes_per_proc"]
+    fusion_saved = measurement["fusion_io_bytes_saved_per_proc"]
+    print(f"fused:       {fused_bytes / 1e6:.3f} MB "
+          f"({fusion_saved / 1e6:.3f} MB saved vs optimized, "
+          f"fused edges {measurement['fused']['fused_edges']})")
     print(f"predicted speedup: {measurement['predicted_speedup']:.2f}x")
 
     if args.reset_baseline or "baseline" not in existing:
@@ -203,6 +226,7 @@ def main(argv=None) -> int:
             return 1
         print("charged statistics identical to baseline (both configurations)")
 
+    result["unix_time"] = time.time()
     args.json.write_text(json.dumps(result, indent=2) + "\n")
     return 0
 

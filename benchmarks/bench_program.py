@@ -133,7 +133,6 @@ def main(argv=None) -> int:
         existing = json.loads(args.json.read_text())
 
     measurement = measure(repeats=args.repeats)
-    measurement["unix_time"] = time.time()
 
     if not measurement["verified"]:
         print("ERROR: the executed pipeline failed oracle verification")
@@ -170,6 +169,7 @@ def main(argv=None) -> int:
         print("charged statistics identical to baseline "
               "(per-statement breakdown included)")
 
+    result["unix_time"] = time.time()
     args.json.write_text(json.dumps(result, indent=2) + "\n")
     return 0
 

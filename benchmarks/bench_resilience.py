@@ -150,7 +150,6 @@ def main(argv=None) -> int:
         existing = json.loads(args.json.read_text())
 
     measurement = measure(repeats=args.repeats)
-    measurement["unix_time"] = time.time()
 
     print(f"checksums off: {measurement['wall_seconds']['checksums_off']:.3f}s wall")
     print(f"checksums on:  {measurement['wall_seconds']['checksums_on']:.3f}s wall "
@@ -204,6 +203,7 @@ def main(argv=None) -> int:
             return 1
         print("charged statistics and resilience counters identical to baseline")
 
+    result["unix_time"] = time.time()
     args.json.write_text(json.dumps(result, indent=2) + "\n")
     return 0
 

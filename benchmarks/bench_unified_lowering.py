@@ -131,8 +131,8 @@ def main(argv=None) -> int:
         "wall_ratio_unified_over_fastpath": ratio,
         "within_tolerance": ratio <= TOLERANCE,
         "simulated_drift": drift,
-        "unix_time": time.time(),
     }
+    report["unix_time"] = time.time()
     args.json.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"fastpath: {fastpath['wall_seconds']:.3f}s wall")

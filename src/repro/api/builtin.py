@@ -226,10 +226,12 @@ class HpfWorkload(Workload):
 
         ir = frontend_to_ir(parse_program(str(point.option("source"))))
         budget = point.option("memory_budget_bytes")
+        fusion = point.option("fusion")
         return Lowering(
             ir=ir,
             slab_ratio=point.slab_ratio,
             slab_elements=point.slab_elements_dict(),
             memory_budget_bytes=int(budget) if budget is not None else None,
             force_strategy=point.version or None,
+            fusion=str(fusion) if fusion is not None else None,
         )

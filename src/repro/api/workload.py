@@ -172,6 +172,9 @@ class Lowering:
     memory_budget_bytes: Optional[int] = None
     force_strategy: Optional[str] = None
     baseline: Optional[str] = None
+    #: statement-fusion mode forwarded to the pipeline (``"off"`` | ``"auto"``
+    #: | ``"on"``); ``None`` keeps the pipeline default (``"off"``)
+    fusion: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -309,6 +312,8 @@ class Workload(abc.ABC):
             kwargs["memory_budget_bytes"] = int(lowering.memory_budget_bytes)
         if lowering.force_strategy is not None:
             kwargs["force_strategy"] = lowering.force_strategy
+        if lowering.fusion is not None:
+            kwargs["fusion"] = lowering.fusion
         if point.optimize is not None:
             kwargs["optimizer"] = point.optimize
         program = compile_program(lowering.ir, params, **kwargs)
@@ -388,6 +393,7 @@ class Workload(abc.ABC):
             info.update(
                 statement_budgets=tuple(decision.statement_budgets),
                 policies=tuple(decision.policies),
+                fused_edges=tuple(decision.fused_edges),
                 even_predicted_seconds=decision.even_total_time,
                 even_predicted_io_bytes_per_proc=decision.even_io_bytes,
                 planner_cache=decision.cache_status,

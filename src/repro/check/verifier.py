@@ -542,9 +542,20 @@ def check_collective_alignment(
 
 
 def _statement_inputs(program_ir: object) -> Set[str]:
-    """Operand arrays of a single-statement program (staged before it runs)."""
-    statement = program_ir.statement  # type: ignore[attr-defined]
-    return {ref.array for ref in statement.operands}
+    """External operand arrays of a unit's program (staged before it runs).
+
+    A fused unit's program holds two statements; an operand produced by an
+    earlier statement *inside the unit* (the fused intermediate) lives in the
+    producer's compute buffer, never in a staged file, so it is excluded.
+    """
+    statements = program_ir.statements  # type: ignore[attr-defined]
+    internal = {statement.result.array for statement in statements[:-1]}
+    return {
+        ref.array
+        for statement in statements
+        for ref in statement.operands
+        if ref.array not in internal
+    }
 
 
 def check_compiled(
@@ -585,7 +596,7 @@ def check_compiled(
             schedule.steps[index].statement_name
         )
         operands = _statement_inputs(unit_ir)
-        result = unit_ir.statement.result.array
+        result = unit_ir.statements[-1].result.array
 
         if is_whole:
             step = schedule.steps[index]
@@ -667,8 +678,13 @@ def check_compiled(
         produced.add(result)
 
     if is_whole:
+        fused_away = {
+            name for step in compiled.schedule.steps for name in step.fused
+        }
         for name in compiled.schedule.intermediates:
-            consumed = any(
+            # A fused-away intermediate is consumed in its producer's compute
+            # buffer — never written, so it cannot be a dead store.
+            consumed = name in fused_away or any(
                 name in step.laf_inputs for step in compiled.schedule.steps
             )
             if not consumed:

@@ -56,6 +56,7 @@ __all__ = [
     "ArrayAccessInfo",
     "InCorePhaseResult",
     "ElementwisePhaseResult",
+    "FusedElementwisePhase",
     "TransposePhaseResult",
     "PhaseResult",
     "analyze_program",
@@ -155,6 +156,45 @@ class ElementwisePhaseResult:
 
 
 @dataclasses.dataclass
+class FusedElementwisePhase:
+    """In-core-phase facts for a fused elementwise pair.
+
+    The producer's result (``intermediate``) flows straight from its compute
+    buffer into the consumer's per-slab work — it is never written to, nor
+    read back from, its Local Array Files.  Both member analyses are kept so
+    downstream phases can reason about either statement individually.
+    """
+
+    #: the two-statement mini program (producer first, consumer second)
+    program: ProgramIR
+    producer: ElementwisePhaseResult
+    consumer: ElementwisePhaseResult
+    #: the producer result the fusion keeps in memory
+    intermediate: str
+
+    @property
+    def result(self) -> str:
+        """The fused unit's materialized result: the consumer's result."""
+        return self.consumer.result
+
+    @property
+    def max_local_elements(self) -> int:
+        return max(self.producer.max_local_elements, self.consumer.max_local_elements)
+
+    @property
+    def flops_per_proc(self) -> float:
+        return self.producer.flops_per_proc + self.consumer.flops_per_proc
+
+    def describe(self) -> str:
+        return (
+            f"in-core phase of {self.program.name}: fused elementwise "
+            f"{self.producer.op} into {self.intermediate} (never materialized) "
+            f"feeding {self.consumer.op} into {self.consumer.result}, "
+            f"no communication, {self.flops_per_proc:.3e} flops per processor"
+        )
+
+
+@dataclasses.dataclass
 class TransposePhaseResult:
     """In-core-phase facts for a transpose statement ``dst = src^T``.
 
@@ -180,7 +220,12 @@ class TransposePhaseResult:
 
 #: any statement kind's analysis result — what the downstream lowering phases
 #: (strip-mining, cost model, codegen) dispatch on
-PhaseResult = Union[InCorePhaseResult, ElementwisePhaseResult, TransposePhaseResult]
+PhaseResult = Union[
+    InCorePhaseResult,
+    ElementwisePhaseResult,
+    FusedElementwisePhase,
+    TransposePhaseResult,
+]
 
 
 def _analyze_elementwise(program: ProgramIR) -> ElementwisePhaseResult:

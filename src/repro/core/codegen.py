@@ -19,6 +19,7 @@ from typing import Sequence, Tuple, TYPE_CHECKING
 from repro.exceptions import CompilationError
 from repro.core.analysis import (
     ElementwisePhaseResult,
+    FusedElementwisePhase,
     InCorePhaseResult,
     PhaseResult,
     TransposePhaseResult,
@@ -77,6 +78,50 @@ def _generate_elementwise(analysis: ElementwisePhaseResult, plan: AccessPlan) ->
     )
 
 
+def _generate_fused(analysis: FusedElementwisePhase, plan: AccessPlan) -> NodeProgram:
+    """One slab loop running both statements' per-slab work back to back.
+
+    The producer's result slab stays in its compute buffer and feeds the
+    consumer's compute op directly: the loop body carries *no* I/O op for the
+    intermediate, so the generated program's static operation totals — and
+    therefore the verifier's symbolic ledger — charge it zero requests and
+    zero bytes, matching :meth:`CostModel.estimate_fused`.
+    """
+    p, c = analysis.producer, analysis.consumer
+    p_lhs, p_rhs = p.operands
+    other = tuple(name for name in c.operands if name != analysis.intermediate)
+    result_entry = plan.entry(analysis.result)
+    body_ops = [
+        IOReadOp(p_lhs, "slab", float(plan.entry(p_lhs).slab_elements)),
+        IOReadOp(p_rhs, "slab", float(plan.entry(p_rhs).slab_elements)),
+        ComputeOp(
+            f"{p.op} of {p_lhs} and {p_rhs} slabs into resident {analysis.intermediate}",
+            float(plan.entry(analysis.intermediate).slab_elements),
+            per_slab_of=analysis.intermediate,
+        ),
+    ]
+    for name in other:
+        body_ops.append(IOReadOp(name, "slab", float(plan.entry(name).slab_elements)))
+    body_ops.append(
+        ComputeOp(
+            f"{c.op} of {' and '.join(c.operands)} slabs",
+            float(result_entry.slab_elements),
+            per_slab_of=analysis.result,
+        )
+    )
+    body_ops.append(IOWriteOp(analysis.result, "slab", float(result_entry.slab_elements)))
+    body = LoopOp(
+        "s",
+        result_entry.num_slabs,
+        body_ops,
+        comment=f"slabs of the local arrays ({analysis.intermediate} stays resident)",
+        slabs_of=analysis.result,
+    )
+    return NodeProgram(
+        analysis.program.name, f"fused {plan.strategy.value}-slab elementwise", [body]
+    )
+
+
 def _generate_transpose(analysis: TransposePhaseResult, plan: AccessPlan) -> NodeProgram:
     """Stream source slabs through an all-to-all exchange, then write target slabs."""
     src_entry = plan.entry(analysis.source)
@@ -121,6 +166,9 @@ class ScheduleStep:
     writes: str
     laf_inputs: Tuple[str, ...]
     fresh_inputs: Tuple[str, ...]
+    #: intermediates this step fuses away — consumed in their producer's
+    #: compute buffer, never written to (or read back from) their LAFs
+    fused: Tuple[str, ...] = ()
 
     def pretty(self) -> str:
         lines = [f"! step {self.index + 1}: {self.statement_name}"]
@@ -128,6 +176,8 @@ class ScheduleStep:
             lines.append(f"!   operand {name}: reuse LAF written by an earlier step")
         for name in self.fresh_inputs:
             lines.append(f"!   operand {name}: program input")
+        for name in self.fused:
+            lines.append(f"!   intermediate {name}: fused away (never materialized)")
         lines.append(self.node_program.pretty())
         return "\n".join(lines)
 
@@ -169,34 +219,48 @@ class ProgramSchedule:
 def generate_program_schedule(
     program: "ProgramIR", compiled_statements: Sequence["CompiledProgram"]
 ) -> ProgramSchedule:
-    """Assemble the per-statement node programs into a :class:`ProgramSchedule`."""
-    if len(compiled_statements) != len(program.statements):
+    """Assemble the compiled units' node programs into a :class:`ProgramSchedule`.
+
+    A fused unit (its analysis is a :class:`FusedElementwisePhase`) covers two
+    consecutive IR statements with one node program, so there may be fewer
+    steps than statements; every statement must still be covered exactly once.
+    """
+    covered = sum(
+        2 if isinstance(unit.analysis, FusedElementwisePhase) else 1
+        for unit in compiled_statements
+    )
+    if covered != len(program.statements):
         raise CompilationError(
-            f"{len(program.statements)} statements but "
-            f"{len(compiled_statements)} compiled units"
+            f"{len(program.statements)} statements but the "
+            f"{len(compiled_statements)} compiled units cover {covered}"
         )
     produced: set = set()
     steps = []
-    for index, (statement, compiled) in enumerate(
-        zip(program.statements, compiled_statements, strict=True)
-    ):
+    cursor = 0
+    for index, compiled in enumerate(compiled_statements):
+        fused = isinstance(compiled.analysis, FusedElementwisePhase)
+        span = program.statements[cursor : cursor + (2 if fused else 1)]
+        cursor += len(span)
+        fused_away = (compiled.analysis.intermediate,) if fused else ()
         operand_names = []
-        for ref in statement.operands:
-            if ref.array not in operand_names:
-                operand_names.append(ref.array)
+        for statement in span:
+            for ref in statement.operands:
+                if ref.array not in operand_names and ref.array not in fused_away:
+                    operand_names.append(ref.array)
         laf_inputs = tuple(n for n in operand_names if n in produced)
         fresh_inputs = tuple(n for n in operand_names if n not in produced)
         steps.append(
             ScheduleStep(
                 index=index,
-                statement_name=statement.describe(),
+                statement_name="; ".join(s.describe() for s in span),
                 node_program=compiled.node_program,
-                writes=statement.result.array,
+                writes=span[-1].result.array,
                 laf_inputs=laf_inputs,
                 fresh_inputs=fresh_inputs,
+                fused=fused_away,
             )
         )
-        produced.add(statement.result.array)
+        produced.add(span[-1].result.array)
     return ProgramSchedule(
         name=program.name,
         steps=tuple(steps),
@@ -208,6 +272,8 @@ def generate_node_program(analysis: PhaseResult, plan: AccessPlan) -> NodeProgra
     """Generate the node program implementing ``plan`` for the analyzed statement."""
     if isinstance(analysis, ElementwisePhaseResult):
         return _generate_elementwise(analysis, plan)
+    if isinstance(analysis, FusedElementwisePhase):
+        return _generate_fused(analysis, plan)
     if isinstance(analysis, TransposePhaseResult):
         return _generate_transpose(analysis, plan)
     if not isinstance(analysis, InCorePhaseResult):

@@ -36,7 +36,12 @@ import dataclasses
 from typing import Dict, Optional, Sequence
 
 from repro.exceptions import CostModelError
-from repro.core.analysis import ElementwisePhaseResult, InCorePhaseResult, TransposePhaseResult
+from repro.core.analysis import (
+    ElementwisePhaseResult,
+    FusedElementwisePhase,
+    InCorePhaseResult,
+    TransposePhaseResult,
+)
 from repro.core.stripmine import SlabPlanEntry
 from repro.machine.parameters import MachineParameters
 from repro.runtime.slab import SlabbingStrategy
@@ -337,6 +342,48 @@ class CostModel:
         )
         itemsize = analysis.program.arrays[analysis.result].itemsize
         return self._finalize(strategy, costs, analysis.flops_per_proc, 0.0, 0.0, itemsize)
+
+    def estimate_fused(
+        self,
+        analysis: FusedElementwisePhase,
+        strategy: SlabbingStrategy | str,
+        entries: Dict[str, SlabPlanEntry],
+    ) -> PlanCost:
+        """Cost of a fused elementwise pair: the intermediate moves zero bytes.
+
+        The producer's operands and the consumer's non-intermediate operand
+        are each read once; the final result is written once; the
+        intermediate — written and read back by the unfused plan — carries
+        *no* :class:`ArrayIOCost` entry at all, which is exactly the saving
+        fusion buys (a full write+read round-trip plus its seeks).  An array
+        read by both statements is charged for both passes.
+        """
+        strategy = SlabbingStrategy.from_name(strategy)
+        reads: Dict[str, list] = {}
+        for operand in analysis.producer.operands:
+            entry = entries[operand]
+            local = float(entry.local_shape[0] * entry.local_shape[1])
+            reads.setdefault(operand, []).append(
+                ArrayIOCost(operand, float(entry.num_slabs), local, 0.0, 0.0)
+            )
+        for operand in analysis.consumer.operands:
+            if operand == analysis.intermediate:
+                continue  # never materialized: zero requests, zero elements
+            entry = entries[operand]
+            local = float(entry.local_shape[0] * entry.local_shape[1])
+            reads.setdefault(operand, []).append(
+                ArrayIOCost(operand, float(entry.num_slabs), local, 0.0, 0.0)
+            )
+        costs = {name: _sum_array_costs(name, parts) for name, parts in reads.items()}
+        result = analysis.result
+        result_entry = entries[result]
+        result_local = float(result_entry.local_shape[0] * result_entry.local_shape[1])
+        costs[result] = ArrayIOCost(
+            result, 0.0, 0.0, float(result_entry.num_slabs), result_local
+        )
+        itemsize = analysis.program.arrays[result].itemsize
+        cost = self._finalize(strategy, costs, analysis.flops_per_proc, 0.0, 0.0, itemsize)
+        return dataclasses.replace(cost, label=f"fused {strategy.value}-slab")
 
     def estimate_transpose(
         self,

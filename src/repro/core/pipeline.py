@@ -23,6 +23,7 @@ import numpy as np
 from repro.exceptions import CompilationError, PlanVerificationError
 from repro.core.analysis import (
     ElementwisePhaseResult,
+    FusedElementwisePhase,
     InCorePhaseResult,
     analyze_program,
 )
@@ -57,6 +58,8 @@ __all__ = [
     "compile_whole_program",
     "compile_gaxpy",
     "compile_gaxpy_cached",
+    "fuse_statement_pair",
+    "normalize_fusion",
 ]
 
 
@@ -255,6 +258,105 @@ def _plan_data_movement(
     )
 
 
+_FUSION_MODES = ("off", "auto", "on")
+
+
+def normalize_fusion(fusion: Optional[str]) -> str:
+    """Validate the fusion mode; ``"on"`` is an alias for ``"auto"``."""
+    if fusion is None:
+        return "off"
+    fusion = str(fusion)
+    if fusion not in _FUSION_MODES:
+        raise CompilationError(
+            f"fusion must be one of {_FUSION_MODES}, got {fusion!r}"
+        )
+    return "auto" if fusion == "on" else fusion
+
+
+def fuse_statement_pair(
+    program: ProgramIR,
+    index: int,
+    producer: CompiledProgram,
+    consumer: CompiledProgram,
+    params: MachineParameters,
+) -> CompiledProgram:
+    """Compile statements ``index`` and ``index + 1`` into one fused unit.
+
+    ``producer`` and ``consumer`` are the statements' individually compiled
+    units under the budgets the planner assigned them; fusion reuses their
+    access plans and only replaces the loop structure, so the slab extents the
+    cost model priced are exactly the extents the fused loop streams.  Raises
+    :class:`CompilationError` when the intermediate's slabs are not conformal
+    across the pair (different strategy, extents or storage order) — the
+    planner treats that as "this candidate does not fuse".
+    """
+    p_analysis = producer.analysis
+    c_analysis = consumer.analysis
+    if not isinstance(p_analysis, ElementwisePhaseResult) or not isinstance(
+        c_analysis, ElementwisePhaseResult
+    ):
+        raise CompilationError("only elementwise statement pairs can fuse")
+    intermediate = p_analysis.result
+    if intermediate not in c_analysis.operands:
+        raise CompilationError(
+            f"statement {index + 1} does not consume {intermediate!r}; nothing to fuse"
+        )
+    if producer.plan.strategy is not consumer.plan.strategy:
+        raise CompilationError(
+            f"cannot fuse across strategies {producer.plan.strategy.value!r} vs "
+            f"{consumer.plan.strategy.value!r}"
+        )
+    p_entry = producer.plan.entry(intermediate)
+    c_entry = consumer.plan.entry(intermediate)
+    if p_entry != c_entry:
+        raise CompilationError(
+            f"the slabs of {intermediate!r} are not conformal across the pair: "
+            f"{p_entry.slab_elements} elements x {p_entry.num_slabs} slabs "
+            f"({p_entry.storage_order}) vs {c_entry.slab_elements} x "
+            f"{c_entry.num_slabs} ({c_entry.storage_order})"
+        )
+
+    statements = program.statements[index : index + 2]
+    arrays = {}
+    for statement in statements:
+        for name in statement.referenced_arrays():
+            arrays.setdefault(name, program.arrays[name])
+    fused_ir = ProgramIR(
+        name=f"{program.name}[{index}+{index + 1}]",
+        arrays=arrays,
+        statements=statements,
+        loop_nests=tuple(program.loop_nests[index : index + 2]),
+    )
+    phase = FusedElementwisePhase(
+        program=fused_ir,
+        producer=p_analysis,
+        consumer=c_analysis,
+        intermediate=intermediate,
+    )
+    entries = dict(producer.plan.entries)
+    entries.update(consumer.plan.entries)
+    allocation = dict(producer.plan.allocation)
+    allocation.update(consumer.plan.allocation)
+    nprocs = program.nprocs()
+    cost = CostModel(params, nprocs).estimate_fused(phase, producer.plan.strategy, entries)
+    plan = AccessPlan(
+        strategy=producer.plan.strategy, entries=entries, allocation=allocation, cost=cost
+    )
+    budgets = (producer.memory_budget_bytes, consumer.memory_budget_bytes)
+    budget = sum(budgets) if all(b is not None for b in budgets) else None
+    return CompiledProgram(
+        program=fused_ir,
+        analysis=phase,
+        decision=None,
+        plan=plan,
+        node_program=generate_node_program(phase, plan),
+        params=params,
+        nprocs=nprocs,
+        compile_seconds=producer.compile_seconds + consumer.compile_seconds,
+        memory_budget_bytes=budget,
+    )
+
+
 _CHECK_MODES = ("off", "warn", "error")
 
 
@@ -300,6 +402,7 @@ def compile_program(
     optimizer: Optional[str] = None,
     plan_cache: Optional["PlanCache"] = None,
     check: str = "off",
+    fusion: str = "off",
 ) -> CompiledProgram:
     """Compile a program for out-of-core execution.
 
@@ -343,7 +446,9 @@ def compile_program(
             optimizer=optimizer,
             plan_cache=plan_cache,
             check=check,
+            fusion=fusion,
         )
+    normalize_fusion(fusion)  # validated even where it cannot apply
     params = params or touchstone_delta()
     start = time.perf_counter()
     specified = sum(x is not None for x in (memory_budget_bytes, slab_ratio, slab_elements))
@@ -369,6 +474,7 @@ def compile_program(
             strategies=strategies,
             force_strategy=force_strategy,
             plan_cache=cache,
+            fusion=fusion,
         )
         compiled = dataclasses.replace(
             units[0],
@@ -487,6 +593,7 @@ def compile_whole_program(
     optimizer: Optional[str] = None,
     plan_cache: Optional["PlanCache"] = None,
     check: str = "off",
+    fusion: str = "off",
 ) -> CompiledWholeProgram:
     """Compile a (possibly multi-statement) program for out-of-core execution.
 
@@ -520,6 +627,7 @@ def compile_whole_program(
     """
     params = params or touchstone_delta()
     start = time.perf_counter()
+    fusion = normalize_fusion(fusion)
     statements = program.statements
     specified = sum(x is not None for x in (memory_budget_bytes, slab_ratio, slab_elements))
     if specified != 1:
@@ -550,6 +658,7 @@ def compile_whole_program(
                 force_strategy=force_strategy,
                 plan_cache=cache if effective != "none" else None,
                 check=check,
+                fusion=fusion,
             )
             schedule = generate_program_schedule(program, list(units))
             cost = combine_plan_costs([unit.plan.cost for unit in units])

@@ -43,7 +43,7 @@ __all__ = [
     "active_plan_cache",
 ]
 
-_PAYLOAD_VERSION = 1
+_PAYLOAD_VERSION = 2
 
 
 def plan_fingerprint(
@@ -54,6 +54,7 @@ def plan_fingerprint(
     optimizer: str,
     strategies: Sequence[str],
     force_strategy: Optional[str],
+    fusion: str = "off",
 ) -> str:
     """The cache key: a stable digest of everything the search depends on."""
     arrays = {
@@ -81,6 +82,9 @@ def plan_fingerprint(
         "optimizer": str(optimizer),
         "strategies": [str(s) for s in strategies],
         "force_strategy": force_strategy,
+        # The fusion mode is a search-space dimension: the same program with
+        # fusion on vs off must be two cache entries, never a shared plan.
+        "fusion": str(fusion),
     }
     canonical = json.dumps(document, sort_keys=True, default=str)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -133,6 +137,7 @@ class PlanCache:
             "version": _PAYLOAD_VERSION,
             "statement_budgets": [int(b) for b in choice.statement_budgets],
             "policies": list(choice.policies),
+            "fused_edges": [int(i) for i in choice.fused_edges],
         }
         payload.update(metadata or {})
         with self._lock:
@@ -173,7 +178,8 @@ class PlanCache:
                 return None
             budgets = tuple(int(b) for b in payload["statement_budgets"])
             policies = tuple(str(p) for p in payload["policies"])
-            return PlanChoice(budgets, policies)
+            fused = tuple(int(i) for i in payload.get("fused_edges", ()))
+            return PlanChoice(budgets, policies, fused)
         except Exception:
             return None
 

@@ -44,6 +44,8 @@ from repro.planner.space import (
     PlanChoice,
     budget_grid,
     even_choice,
+    fusable_edges,
+    fusion_masks,
     policy_instance,
     statement_kinds,
     transfer_neighbors,
@@ -99,10 +101,12 @@ class PlanDecision:
     even_io_bytes: float
     candidates_evaluated: int
     cache_status: str = "off"
+    #: producer indices fused with their successor (empty: fully materialized)
+    fused_edges: Tuple[int, ...] = ()
 
     @property
     def choice(self) -> PlanChoice:
-        return PlanChoice(self.statement_budgets, self.policies)
+        return PlanChoice(self.statement_budgets, self.policies, self.fused_edges)
 
     @property
     def improvement(self) -> float:
@@ -122,6 +126,11 @@ class PlanDecision:
             f"{self.even_total_time:.2f}s (io {self.even_io_time:.2f}s) — "
             f"{self.improvement:.2f}x",
         ]
+        if self.fused_edges:
+            lines.append(
+                "  fused statement pairs: "
+                + ", ".join(f"(s{i}, s{i + 1})" for i in self.fused_edges)
+            )
         return "\n".join(lines)
 
 
@@ -137,7 +146,10 @@ class _Evaluation:
     cost: PlanCost
     budgets: Tuple[int, ...]
     policies: Tuple[str, ...]
-    compiled: Tuple[object, ...]  # CompiledProgram per statement
+    compiled: Tuple[object, ...]  # CompiledProgram per executable unit
+    #: producer indices whose pair compiled into one fused unit; when
+    #: non-empty, ``compiled`` has fewer units than the program has statements
+    fused_edges: Tuple[int, ...] = ()
 
 
 class _ProgramEvaluator:
@@ -152,12 +164,16 @@ class _ProgramEvaluator:
         *,
         fine: bool,
         check: str = "off",
+        fusion: str = "off",
     ) -> None:
         self.program = program
         self.params = params
         self.strategies = tuple(strategies)
         self.force_strategy = force_strategy
         self.fine = fine
+        #: statically legal fusion edges (dataflow only); conformality of the
+        #: chosen slab extents is re-checked per candidate by the pair builder
+        self.fusable = fusable_edges(program) if fusion != "off" else ()
         # Any enabled check mode becomes "error" inside the search: a
         # candidate whose compiled plan fails static verification raises
         # PlanVerificationError (a CompilationError), lands in the except
@@ -218,6 +234,38 @@ class _ProgramEvaluator:
         self._best_memo[key] = best
         return best
 
+    def _fuse_units(
+        self, mask: Tuple[int, ...], compiled: Sequence
+    ) -> Optional[Tuple]:
+        """Fused unit list for ``mask`` over per-statement units, or ``None``.
+
+        ``None`` means some chosen edge is not conformal under these budgets
+        (the pair builder refused); the candidate simply does not fuse there.
+        """
+        from repro.core.pipeline import fuse_statement_pair
+
+        units: List = []
+        index = 0
+        while index < len(compiled):
+            if index in mask:
+                try:
+                    units.append(
+                        fuse_statement_pair(
+                            self.program,
+                            index,
+                            compiled[index],
+                            compiled[index + 1],
+                            self.params,
+                        )
+                    )
+                except (CompilationError, CostModelError):
+                    return None
+                index += 2
+            else:
+                units.append(compiled[index])
+                index += 1
+        return tuple(units)
+
     # ------------------------------------------------------------------
     def evaluate(
         self,
@@ -225,6 +273,8 @@ class _ProgramEvaluator:
         policies: Optional[Sequence[str]] = None,
         *,
         must_succeed: bool = False,
+        allow_fusion: bool = True,
+        fused_edges: Optional[Sequence[int]] = None,
     ) -> Optional[_Evaluation]:
         """Price a full candidate; ``None`` when any statement is infeasible.
 
@@ -232,6 +282,13 @@ class _ProgramEvaluator:
         baseline, cached replays); without, each statement independently takes
         its cheapest policy at its budget — the costs are separable, so the
         per-statement optimum is the program optimum for that budget vector.
+
+        The fusion dimension rides along: with ``allow_fusion`` (and legal
+        edges) every non-overlapping fusion mask is priced on top of the
+        per-statement units and the cheapest wins, so each budget vector the
+        searches visit is automatically evaluated fused *and* unfused.
+        ``fused_edges`` pins one exact mask instead (cache replays); a pinned
+        mask that is not conformal under these budgets degrades to unfused.
         """
         self.candidates_evaluated += 1
         costs: List[PlanCost] = []
@@ -267,12 +324,35 @@ class _ProgramEvaluator:
             costs.append(cost)
             chosen_policies.append(name)
             compiled.append(unit)
-        return _Evaluation(
+        best = _Evaluation(
             cost=combine_plan_costs(costs),
             budgets=tuple(int(b) for b in budgets),
             policies=tuple(chosen_policies),
             compiled=tuple(compiled),
         )
+        if fused_edges is not None:
+            masks: Sequence[Tuple[int, ...]] = [tuple(sorted(int(i) for i in fused_edges))]
+        elif allow_fusion and self.fusable:
+            masks = [mask for mask in fusion_masks(self.fusable) if mask]
+        else:
+            masks = []
+        for mask in masks:
+            if not mask:
+                continue
+            units = self._fuse_units(mask, compiled)
+            if units is None:
+                continue
+            self.candidates_evaluated += 1
+            fused_cost = combine_plan_costs([unit.plan.cost for unit in units])
+            if _cost_key(fused_cost) < _cost_key(best.cost) or fused_edges is not None:
+                best = _Evaluation(
+                    cost=fused_cost,
+                    budgets=best.budgets,
+                    policies=best.policies,
+                    compiled=units,
+                    fused_edges=mask,
+                )
+        return best
 
 
 # ---------------------------------------------------------------------------
@@ -381,6 +461,7 @@ def plan_whole_program(
     force_strategy: "Optional[SlabbingStrategy | str]" = None,
     plan_cache: Optional[PlanCache] = None,
     check: str = "off",
+    fusion: str = "off",
 ) -> Tuple[PlanDecision, Tuple[object, ...]]:
     """Search the plan space of ``program`` under one node byte budget.
 
@@ -398,6 +479,9 @@ def plan_whole_program(
     the search re-runs.
     """
     optimizer = normalize_optimizer(optimizer)
+    from repro.core.pipeline import normalize_fusion
+
+    fusion = normalize_fusion(fusion)
     total = int(memory_budget_bytes)
     evaluator = _ProgramEvaluator(
         program,
@@ -406,10 +490,14 @@ def plan_whole_program(
         force_strategy,
         fine=optimizer == "exhaustive",
         check=check,
+        fusion=fusion if optimizer != "none" else "off",
     )
     even = even_choice(program, total)
+    # The no-worse anchor is the *unfused* even split — exactly the plan the
+    # legacy pipeline produced; fusion only ever displaces it by pricing
+    # strictly cheaper.
     baseline = evaluator.evaluate(
-        even.statement_budgets, even.policies, must_succeed=True
+        even.statement_budgets, even.policies, must_succeed=True, allow_fusion=False
     )
     best = baseline
     cache_status = "off"
@@ -431,14 +519,20 @@ def plan_whole_program(
             optimizer=optimizer,
             strategies=[SlabbingStrategy.from_name(s).value for s in strategies],
             force_strategy=force_name,
+            fusion=fusion,
         )
         cached = plan_cache.lookup(key)
         if (
             cached is not None
             and len(cached.statement_budgets) == len(program.statements)
             and cached.total_budget == total
+            and set(cached.fused_edges) <= set(evaluator.fusable)
         ):
-            replay = evaluator.evaluate(cached.statement_budgets, cached.policies)
+            replay = evaluator.evaluate(
+                cached.statement_budgets,
+                cached.policies,
+                fused_edges=cached.fused_edges,
+            )
             if replay is not None:
                 if _cost_key(replay.cost) < _cost_key(best.cost):
                     best = replay
@@ -460,7 +554,7 @@ def plan_whole_program(
     if key is not None and plan_cache is not None:
         plan_cache.store(
             key,
-            PlanChoice(best.budgets, best.policies),
+            PlanChoice(best.budgets, best.policies, best.fused_edges),
             metadata={
                 "optimizer": optimizer,
                 "predicted_total_time": best.cost.total_time,
@@ -490,4 +584,5 @@ def _decision(
         even_io_bytes=baseline.cost.io_bytes,
         candidates_evaluated=evaluator.candidates_evaluated,
         cache_status=cache_status,
+        fused_edges=best.fused_edges,
     )

@@ -22,7 +22,7 @@ import dataclasses
 import itertools
 from typing import Iterator, Optional, Sequence, Tuple
 
-from repro.core.ir import ProgramIR, ReductionStatement
+from repro.core.ir import ElementwiseStatement, ProgramIR, ReductionStatement
 from repro.core.memory_alloc import (
     AllocationPolicy,
     EqualAllocation,
@@ -39,6 +39,8 @@ __all__ = [
     "policy_instance",
     "statement_kinds",
     "even_choice",
+    "fusable_edges",
+    "fusion_masks",
     "budget_grid",
     "transfer_neighbors",
 ]
@@ -82,6 +84,9 @@ class PlanChoice:
 
     statement_budgets: Tuple[int, ...]
     policies: Tuple[str, ...]
+    #: producer indices ``i`` whose statement is fused with statement ``i + 1``
+    #: (the intermediate never touches disk); empty means fully materialized.
+    fused_edges: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.statement_budgets) != len(self.policies):
@@ -92,6 +97,18 @@ class PlanChoice:
             raise CompilationError(
                 f"every statement needs a positive budget, got {self.statement_budgets}"
             )
+        edges = tuple(int(i) for i in self.fused_edges)
+        if edges != tuple(sorted(set(edges))):
+            raise CompilationError(f"fused edges must be sorted and unique, got {edges}")
+        if any(i < 0 or i + 1 >= len(self.statement_budgets) for i in edges):
+            raise CompilationError(
+                f"fused edge out of range for {len(self.statement_budgets)} statements: {edges}"
+            )
+        if any(b - a == 1 for a, b in zip(edges, edges[1:])):
+            raise CompilationError(
+                f"fused edges may not overlap (one statement in two pairs): {edges}"
+            )
+        object.__setattr__(self, "fused_edges", edges)
 
     @property
     def total_budget(self) -> int:
@@ -104,6 +121,8 @@ class PlanChoice:
                 zip(self.statement_budgets, self.policies, strict=True)
             )
         ]
+        for edge in self.fused_edges:
+            parts.append(f"fuse(s{edge},s{edge + 1})")
         return " ".join(parts)
 
 
@@ -127,6 +146,68 @@ def even_choice(program: ProgramIR, memory_budget_bytes: int) -> PlanChoice:
         for is_reduction in statement_kinds(program)
     )
     return PlanChoice(tuple(budgets), policies)
+
+
+def fusable_edges(
+    program: ProgramIR, *, preserve: Sequence[str] = ()
+) -> Tuple[int, ...]:
+    """Producer indices whose statement may legally fuse with its successor.
+
+    Edge ``i`` (statements ``i`` and ``i + 1``) is fusable when
+
+    * both statements are elementwise — they stream conformal slabs of one
+      distribution, so the producer's result slab is exactly the consumer's
+      operand slab (reductions reorder their slab traffic and are refused),
+    * the producer's result is consumed by statement ``i + 1`` *only*, through
+      a single operand reference — a second consumer (diamond dataflow) or a
+      repeated operand would need the materialized LAF,
+    * no other statement writes between them — adjacency plus the program's
+      single-assignment dataflow guarantees this for consecutive indices,
+    * the intermediate is not in ``preserve`` (arrays the caller must keep on
+      disk, e.g. requested program outputs or checkpoint anchors).
+
+    Conformality of the *chosen* slab extents is a per-candidate property and
+    is re-checked at compile time against both statements' access plans.
+    """
+    keep = set(preserve)
+    edges = []
+    statements = program.statements
+    for i in range(len(statements) - 1):
+        producer, consumer = statements[i], statements[i + 1]
+        if not isinstance(producer, ElementwiseStatement):
+            continue
+        if not isinstance(consumer, ElementwiseStatement):
+            continue
+        intermediate = producer.result.array
+        if intermediate in keep:
+            continue
+        if intermediate not in program.intermediate_arrays():
+            continue  # a terminal result must be materialized
+        uses = [
+            (j, ref)
+            for j, statement in enumerate(statements)
+            for ref in statement.operands
+            if ref.array == intermediate
+        ]
+        if len(uses) != 1 or uses[0][0] != i + 1:
+            continue  # diamond dataflow / repeated operand / distant consumer
+        edges.append(i)
+    return tuple(edges)
+
+
+def fusion_masks(legal_edges: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """Every non-overlapping subset of ``legal_edges``, smallest first.
+
+    Overlap means two chosen edges share a statement (``i`` and ``i + 1``
+    both chosen); such masks are not constructible as :class:`PlanChoice`
+    values and are skipped here rather than raised downstream.
+    """
+    edges = tuple(sorted(set(int(i) for i in legal_edges)))
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            if any(b - a == 1 for a, b in zip(subset, subset[1:])):
+                continue
+            yield subset
 
 
 def budget_grid(

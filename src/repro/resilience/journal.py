@@ -46,8 +46,13 @@ def program_fingerprint(compiled) -> str:
             f"array={name}:{tuple(desc.shape)}:{np_dtype_name(desc.dtype)}:"
             f"ooc={getattr(desc, 'out_of_core', None)!r}"
         )
-    for statement_ir, cs in zip(program.statements, compiled.statements, strict=True):
-        parts.append(f"stmt={statement_ir.describe()}")
+    # Walk the *executable units*: a fused unit covers two IR statements but
+    # commits (and checkpoints) as one step, so the fingerprint must group
+    # them the same way — fusing a pair changes the fingerprint, which
+    # correctly invalidates checkpoints taken with the unfused schedule.
+    for cs in compiled.statements:
+        for statement_ir in cs.program.statements:
+            parts.append(f"stmt={statement_ir.describe()}")
         plan = getattr(cs, "plan", None)
         if plan is not None:
             parts.append(f"plan={getattr(plan, 'strategy', None)!r}:"

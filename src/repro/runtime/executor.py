@@ -71,6 +71,7 @@ __all__ = [
     "run_reduction_incore",
     "run_reduction_single_operand",
     "run_elementwise_plan",
+    "run_fused_elementwise_plan",
     "run_transpose_plan",
 ]
 
@@ -733,6 +734,95 @@ def run_elementwise_plan(
 
 
 # ---------------------------------------------------------------------------
+# fused elementwise engine
+# ---------------------------------------------------------------------------
+def run_fused_elementwise_plan(
+    vm: VirtualMachine,
+    compiled: "CompiledProgram",
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+    verify: bool = True,
+) -> ExecutionResult:
+    """Execute a fused elementwise pair: the intermediate never touches disk.
+
+    One slab loop runs both statements' per-slab work: the producer's result
+    slab is computed into a resident buffer and handed straight to the
+    consumer's compute, so the intermediate array gets no Local Array Files,
+    no write pass and no read pass — in ``EXECUTE`` *and* ``ESTIMATE`` mode
+    alike, which is what keeps the two modes' charged counters identical.
+    The resident slab is cast to the intermediate's declared dtype before the
+    consumer uses it, reproducing the unfused schedule's rounding exactly.
+    """
+    from repro.core.analysis import FusedElementwisePhase
+
+    analysis = compiled.analysis
+    if not isinstance(analysis, FusedElementwisePhase):
+        raise RuntimeExecutionError(
+            "run_fused_elementwise_plan needs a fused elementwise unit; got "
+            f"analysis of type {type(analysis).__name__}"
+        )
+    plan = compiled.plan
+    arrays = compiled.program.arrays
+    producer, consumer = analysis.producer, analysis.consumer
+    p_lhs, p_rhs = producer.operands
+    mid = analysis.intermediate
+    result = analysis.result
+    mid_is_lhs = consumer.operands[0] == mid
+    other = consumer.operands[1] if mid_is_lhs else consumer.operands[0]
+    p_op = _ELEMENTWISE_OPS[producer.op]
+    c_op = _ELEMENTWISE_OPS[consumer.op]
+    dense = dict(inputs or {})
+    strategy = plan.strategy
+    order = "F" if strategy is SlabbingStrategy.COLUMN else "C"
+
+    ooc: Dict[str, OutOfCoreArray] = {}
+    for name in (p_lhs, p_rhs, other):
+        if name not in ooc:
+            ooc[name] = vm.ensure_array(
+                arrays[name], initial=dense.get(name), storage_order=order
+            )
+    result_desc = arrays[result]
+    zeros = np.zeros(result_desc.shape, dtype=result_desc.dtype) if vm.perform_io else None
+    ooc[result] = vm.ensure_array(result_desc, initial=zeros, storage_order=order)
+
+    mid_dtype = arrays[mid].dtype
+    slab_elements = plan.allocation[result]
+    for rank in range(vm.nprocs):
+        local_shape = result_desc.local_shape(rank)
+        for slab in make_slabs(local_shape, strategy, slab_elements):
+            a_block = ooc[p_lhs].local(rank).fetch_slab(slab)
+            b_block = ooc[p_rhs].local(rank).fetch_slab(slab)
+            vm.charge_compute(rank, 1.0 * slab.nelements)
+            mid_block = (
+                p_op(a_block, b_block).astype(mid_dtype) if vm.perform_io else None
+            )
+            o_block = ooc[other].local(rank).fetch_slab(slab)
+            vm.charge_compute(rank, 1.0 * slab.nelements)
+            if vm.perform_io:
+                out = c_op(mid_block, o_block) if mid_is_lhs else c_op(o_block, mid_block)
+                ooc[result].local(rank).store_slab(slab, out.astype(result_desc.dtype))
+            else:
+                ooc[result].local(rank).store_slab(slab, None)
+
+    result_dense = vm.to_dense(ooc[result]) if vm.perform_io else None
+    verified: Optional[bool] = None
+    needed = {p_lhs, p_rhs, other}
+    if verify and result_dense is not None and needed <= set(dense):
+        as64 = {name: np.asarray(dense[name], dtype=np.float64) for name in needed}
+        mid64 = p_op(as64[p_lhs], as64[p_rhs])
+        expected = c_op(mid64, as64[other]) if mid_is_lhs else c_op(as64[other], mid64)
+        verified = bool(np.allclose(result_dense, expected, rtol=1e-4, atol=1e-4))
+    return ExecutionResult(
+        strategy=f"fused {strategy.value}-slab elementwise",
+        mode=_mode(vm),
+        simulated_seconds=vm.elapsed(),
+        time_breakdown=vm.time_breakdown(),
+        io_statistics=vm.io_statistics(),
+        result=result_dense,
+        verified=verified,
+    )
+
+
+# ---------------------------------------------------------------------------
 # transpose engine
 # ---------------------------------------------------------------------------
 def run_transpose_plan(
@@ -831,8 +921,11 @@ class NodeProgramExecutor:
 
     # ------------------------------------------------------------------
     def _statement_kind(self) -> str:
+        from repro.core.analysis import FusedElementwisePhase
         from repro.core.ir import ElementwiseStatement, ReductionStatement, TransposeStatement
 
+        if isinstance(self.compiled.analysis, FusedElementwisePhase):
+            return "fused-elementwise"
         statement = self.compiled.program.statement
         if isinstance(statement, ReductionStatement):
             return "reduction"
@@ -906,6 +999,10 @@ class NodeProgramExecutor:
             return self._run_reduction(vm, inputs, verify)
         if kind == "elementwise":
             return self._run_elementwise(vm, inputs, verify)
+        if kind == "fused-elementwise":
+            return run_fused_elementwise_plan(
+                vm, self.compiled, dict(inputs or {}), verify
+            )
         return self._run_transpose(vm, inputs, verify)
 
     def _run_reduction(self, vm, inputs, verify) -> ExecutionResult:
@@ -1079,15 +1176,19 @@ class ProgramExecutor:
         """
         from repro.core.ir import ReductionStatement
 
-        statement = compiled_statement.program.statement
-        if isinstance(statement, ReductionStatement):
+        unit_ir = compiled_statement.program
+        statements = unit_ir.statements
+        if len(statements) == 1 and isinstance(statements[0], ReductionStatement):
             analysis = compiled_statement.analysis
             return ReductionInputs(
                 streamed=dense.get(analysis.streamed),
                 coefficient=dense.get(analysis.coefficient),
             )
+        # A fused unit spans two statements; the union of their operands
+        # covers both (the fused-away intermediate is never in ``dense``).
         return {
             ref.array: dense[ref.array]
+            for statement in statements
             for ref in statement.operands
             if ref.array in dense
         }
@@ -1174,16 +1275,22 @@ class ProgramExecutor:
         verified: Optional[bool] = None
         max_err: Optional[float] = None
         if vm.perform_io:
-            gather = (
-                program.result_arrays() if collect else program.result_arrays()[-1:]
+            # Fused-away intermediates never materialize — there is no LAF to
+            # gather or verify; the fused result itself still gets both.
+            fused_away = {
+                name for step in self.compiled.schedule.steps for name in step.fused
+            }
+            materialized = tuple(
+                name for name in program.result_arrays() if name not in fused_away
             )
+            gather = materialized if collect else materialized[-1:]
             outputs = {name: vm.to_dense(name) for name in gather}
-            result_dense = outputs[program.result_arrays()[-1]]
+            result_dense = outputs[materialized[-1]]
             if verify:
                 reference = program_reference(program, dense)
                 max_err = 0.0
                 verified = True
-                for name in program.result_arrays():
+                for name in materialized:
                     expected = reference[name]
                     err = float(np.max(np.abs(
                         outputs[name].astype(np.float64) - expected
@@ -1218,7 +1325,9 @@ class ProgramExecutor:
     # resilience: recovery, checkpointing, resume validation
     # ------------------------------------------------------------------
     def _result_array(self, compiled_statement: "CompiledProgram") -> str:
-        return compiled_statement.program.statement.result.array
+        # A fused unit's program holds two statements; the unit's materialized
+        # result is the last one's (the fused intermediate never hits disk).
+        return compiled_statement.program.statements[-1].result.array
 
     def _producer_index(self, name: str) -> Optional[int]:
         for index, compiled_statement in enumerate(self.compiled.statements):
@@ -1353,7 +1462,7 @@ class ProgramExecutor:
             })
         journal.commit_statement(
             index,
-            compiled_statement.program.statement.describe(),
+            "; ".join(s.describe() for s in compiled_statement.program.statements),
             {
                 name: {
                     "files": files,

@@ -204,6 +204,24 @@ def executed_matrix():
                dict(slab_ratio=0.5))
 
 
+def fused_matrix():
+    # Fusion rides on the plan optimizer, so every configuration here takes
+    # the memory-budget path.  The three-statement chain has one legal edge
+    # (u into c); the two-statement program and the pipeline IR have none
+    # (reduction producers refuse to fuse) and must degrade to unfused plans
+    # that still satisfy all three charge oracles.
+    for name, source in (("two-statement", TWO_STATEMENT_SOURCE),
+                         ("three-statement", THREE_STATEMENT_SOURCE)):
+        ir = frontend_to_ir(parse_program(source))
+        for budget in (8 * 1024, 16 * 1024):
+            for fusion in ("auto", "on"):
+                yield (f"fused {name} b={budget} fusion={fusion}", ir,
+                       dict(memory_budget_bytes=budget, optimizer="greedy",
+                            fusion=fusion))
+    yield ("fused pipeline n=24 P=4", build_pipeline_ir(24, 4),
+           dict(memory_budget_bytes=16 * 1024, optimizer="greedy", fusion="on"))
+
+
 def fuzz_matrix(count, seed):
     rng = random.Random(seed)
     for index in range(count):
@@ -240,6 +258,13 @@ def main(argv=None):
         verify_one(label, compile_program(ir, **kwargs), execute=True)
         executed += 1
     print(f"executed matrix: {executed} plans verified against machine counters")
+
+    fused = 0
+    for label, ir, kwargs in fused_matrix():
+        verify_one(label, compile_program(ir, **kwargs), execute=True)
+        fused += 1
+    print(f"fused matrix: {fused} fusion-enabled plans verified against "
+          "machine counters")
 
     fuzzed = 0
     for label, ir, kwargs in fuzz_matrix(args.fuzz, args.seed):

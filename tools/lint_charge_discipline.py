@@ -32,6 +32,16 @@ discipline statically (stdlib ``ast`` only, no third-party dependencies):
     ``__setstate__``.  Foreign mutation of a frozen plan object would let
     code quietly edit an already-verified plan.
 
+``estimate-parity``
+    Every engine in ``src/repro/runtime/`` drives the same slab loops in
+    both modes, so a ``store_slab`` call with a real (non-``None``) payload
+    must be gated on the VM's ``perform_io`` flag (an enclosing
+    ``if vm.perform_io:`` / ``if perform:`` branch, or a
+    ``data if perform_io else None`` payload).  An ungated real store would
+    materialize data in ESTIMATE mode — the fused elementwise engine depends
+    on this to keep its resident intermediate EXECUTE-only while both modes
+    charge identical counters.
+
 Run: ``python tools/lint_charge_discipline.py [root]`` — exits non-zero on
 any violation.  Wired into ``make lint`` and CI.
 """
@@ -199,6 +209,53 @@ def check_frozen_mutation(tree: ast.AST, path: Path) -> Iterator[Violation]:
             )
 
 
+def _mentions_perform_io(node: ast.AST) -> bool:
+    """True when the expression reads the VM's mode flag (or its local alias)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "perform_io":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in {"perform", "perform_io"}:
+            return True
+    return False
+
+
+def _store_payload(node: ast.Call):
+    """The data argument of a ``store_slab(slab, data)`` call, if present."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "data":
+            return keyword.value
+    return None
+
+
+def check_estimate_parity(tree: ast.AST, path: Path) -> Iterator[Violation]:
+    def visit(node: ast.AST, guarded: bool) -> Iterator[Violation]:
+        if isinstance(node, ast.If) and _mentions_perform_io(node.test):
+            for child in node.body:
+                yield from visit(child, True)
+            for child in node.orelse:
+                # The else branch is the ESTIMATE side: only None payloads.
+                yield from visit(child, guarded)
+            return
+        if isinstance(node, ast.Call) and _call_name(node) == "store_slab":
+            payload = _store_payload(node)
+            none_payload = isinstance(payload, ast.Constant) and payload.value is None
+            ifexp_gated = isinstance(payload, ast.IfExp) and _mentions_perform_io(
+                payload.test
+            )
+            if payload is not None and not (none_payload or guarded or ifexp_gated):
+                yield Violation(
+                    "estimate-parity", str(path), node.lineno,
+                    "store_slab with a real payload outside a perform_io gate "
+                    "would materialize data in ESTIMATE mode",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, guarded)
+
+    yield from visit(tree, False)
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -209,6 +266,7 @@ def lint_file(path: Path, *, runtime: bool) -> List[Violation]:
         violations.extend(check_io_confinement(tree, path))
         violations.extend(check_wall_clock(tree, path))
         violations.extend(check_retry_charges(tree, path))
+        violations.extend(check_estimate_parity(tree, path))
     violations.extend(check_frozen_mutation(tree, path))
     return violations
 
