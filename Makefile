@@ -4,7 +4,8 @@
 PYTHON ?= python
 
 .PHONY: test test-faults cov lint typecheck check-plans bench bench-unified \
-	bench-program bench-planner bench-resilience bench-reset clean-scratch
+	bench-program bench-planner bench-resilience bench-mp bench-reset \
+	clean-scratch
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -75,6 +76,14 @@ bench-planner:
 # reproduce the committed baseline exactly.
 bench-resilience:
 	$(PYTHON) -m benchmarks.bench_resilience --json BENCH_resilience.json
+
+# Multi-process backend: the two-statement pipeline run with one OS process
+# per rank must charge statistics bit-identical to the in-process simulator
+# (per-statement breakdown included) and match the committed BENCH_mp.json
+# baseline.  On machines with >= 4 CPUs the process-pool sweep must also be
+# at least 2x faster than the thread pool.
+bench-mp:
+	$(PYTHON) -m benchmarks.bench_mp --json BENCH_mp.json
 
 # Remove orphaned vm_* scratch directories (left by killed runs) from the
 # default scratch dir.  --max-age-s 0 reaps everything not alive right now;

@@ -1,0 +1,246 @@
+"""Charge-parity + wall-clock benchmark of the multi-process EXECUTE backend.
+
+Runs the fixed two-statement pipeline ``t = a @ b; c = t + d`` (N=256, P=4,
+slab ratio 0.25) through the Session API twice — once on the default
+in-process simulator, once on the ``backend="processes"`` distributed
+backend, where every rank is its own OS process and collectives really move
+bytes — and fails on ANY difference between the two records' charged
+statistics, per-statement breakdown included.  That is the backend's whole
+contract: real processes may only change host time, never simulated cost.
+
+It also measures a small EXECUTE-mode sweep on the thread pool vs the
+process pool.  On machines with at least 4 CPUs the process pool must be at
+least 2x faster; on smaller machines (CI runners included) the speedup is
+reported but not enforced.
+
+Like the sibling benchmarks, the charged numbers of the distributed run are
+also compared against the committed ``BENCH_mp.json`` baseline, so backend
+drift fails in CI even if both backends drift together.
+
+Usage::
+
+    python -m benchmarks.bench_mp --json BENCH_mp.json
+    make bench-mp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import Session, WorkloadPoint  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
+
+N = 256
+NPROCS = 4
+SLAB_RATIO = 0.25
+MIN_SPEEDUP = 2.0
+MIN_CPUS_FOR_SPEEDUP_GATE = 4
+
+PIPELINE_SOURCE = f"""
+program pipeline
+  parameter (n = {N}, nprocs = {NPROCS})
+  real a(n, n), b(n, n), t(n, n), d(n, n), c(n, n)
+!hpf$ processors Pr(nprocs)
+!hpf$ template tmpl(n)
+!hpf$ distribute tmpl(block) onto Pr
+!hpf$ align a(*, :) with tmpl
+!hpf$ align t(*, :) with tmpl
+!hpf$ align d(*, :) with tmpl
+!hpf$ align c(*, :) with tmpl
+!hpf$ align b(:, *) with tmpl
+  do j = 1, n
+    forall (k = 1 : n)
+      t(:, j) = sum(a(:, k) * b(k, j))
+    end forall
+  end do
+  c(:, :) = add(t(:, :), d(:, :))
+end program
+"""
+
+SIMULATED_FIELDS = ("simulated_seconds", "io_time", "compute_time", "comm_time",
+                    "io_requests_per_proc", "io_read_bytes_per_proc",
+                    "io_write_bytes_per_proc")
+
+STATEMENT_FIELDS = ("seconds", "io", "compute", "comm", "io_requests_per_proc",
+                    "bytes_read_per_proc", "bytes_written_per_proc")
+
+SWEEP_POINTS = 4
+
+
+def _point() -> WorkloadPoint:
+    return WorkloadPoint("hpf", slab_ratio=SLAB_RATIO,
+                         options={"source": PIPELINE_SOURCE})
+
+
+def _sweep_points() -> list:
+    return [
+        WorkloadPoint("gaxpy", n=N, nprocs=NPROCS, slab_ratio=SLAB_RATIO,
+                      version="column")
+        for _ in range(SWEEP_POINTS)
+    ]
+
+
+def _parity_drift(simulated, distributed) -> list:
+    """Field-by-field comparison of the two backends' charged statistics."""
+    drift = []
+    for field in SIMULATED_FIELDS:
+        sim, dist = getattr(simulated, field), getattr(distributed, field)
+        if sim != dist:
+            drift.append(f"{field}: simulated {sim!r} != processes {dist!r}")
+    sim_stmts, dist_stmts = simulated.statements, distributed.statements
+    if len(sim_stmts) != len(dist_stmts):
+        drift.append(f"statement count: {len(sim_stmts)} != {len(dist_stmts)}")
+        return drift
+    for index, (sim, dist) in enumerate(zip(sim_stmts, dist_stmts, strict=True)):
+        for field in STATEMENT_FIELDS:
+            if sim.get(field, 0.0) != dist.get(field, 0.0):
+                drift.append(
+                    f"statement{index + 1}.{field}: simulated "
+                    f"{sim.get(field)!r} != processes {dist.get(field)!r}"
+                )
+    return drift
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-mp-") as scratch:
+        simulated = Session(config=RunConfig(scratch_dir=scratch)).execute(_point())
+        distributed_session = Session(
+            config=RunConfig(scratch_dir=scratch), backend="processes"
+        )
+        start = time.perf_counter()
+        distributed = distributed_session.execute(_point())
+        wall = time.perf_counter() - start
+
+        points = _sweep_points()
+        threaded_session = Session(config=RunConfig(scratch_dir=scratch))
+        start = time.perf_counter()
+        threaded = threaded_session.sweep(points, mode="execute",
+                                          workers=SWEEP_POINTS)
+        threads_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        pooled = distributed_session.sweep(points, mode="execute",
+                                           workers=SWEEP_POINTS)
+        processes_wall = time.perf_counter() - start
+
+    sweep_drift = [
+        f"point{i}.{field}"
+        for i, (a, b) in enumerate(zip(threaded, pooled, strict=True))
+        for field in SIMULATED_FIELDS
+        if getattr(a, field) != getattr(b, field)
+    ]
+    cpu_count = os.cpu_count() or 1
+    return {
+        "wall_seconds": wall,
+        "verified": simulated.verified is True and distributed.verified is True,
+        "parity_drift": _parity_drift(simulated, distributed),
+        "sweep_parity_drift": sweep_drift,
+        "simulated": {field: getattr(distributed, field)
+                      for field in SIMULATED_FIELDS},
+        "statements": [
+            {field: stmt.get(field, 0.0) for field in STATEMENT_FIELDS}
+            for stmt in distributed.statements
+        ],
+        "sweep": {
+            "points": SWEEP_POINTS,
+            "threads_wall_seconds": threads_wall,
+            "processes_wall_seconds": processes_wall,
+            "speedup": threads_wall / processes_wall if processes_wall else 0.0,
+            "cpu_count": cpu_count,
+            "speedup_enforced": cpu_count >= MIN_CPUS_FOR_SPEEDUP_GATE,
+        },
+    }
+
+
+def _baseline_drift(baseline: dict, current: dict) -> list:
+    drift = []
+    for field, value in baseline.get("simulated", {}).items():
+        now = current["simulated"].get(field)
+        if now != value:
+            drift.append(f"simulated.{field}: {value!r} -> {now!r}")
+    for index, stmt in enumerate(baseline.get("statements", [])):
+        for field, value in stmt.items():
+            now = current["statements"][index].get(field)
+            if now != value:
+                drift.append(f"statement{index + 1}.{field}: {value!r} -> {now!r}")
+    return drift
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=Path("BENCH_mp.json"),
+                        help="result file (baseline is kept across runs)")
+    parser.add_argument("--reset-baseline", action="store_true",
+                        help="overwrite the stored baseline with this run")
+    args = parser.parse_args(argv)
+
+    existing = {}
+    if args.json.exists():
+        existing = json.loads(args.json.read_text())
+
+    measurement = measure()
+
+    if not measurement["verified"]:
+        print("ERROR: a backend failed oracle verification")
+        return 1
+    if measurement["parity_drift"]:
+        print("ERROR: the processes backend charged different statistics "
+              "than the simulator (it may only change host time):")
+        for line in measurement["parity_drift"]:
+            print(f"  {line}")
+        return 1
+    if measurement["sweep_parity_drift"]:
+        print("ERROR: the process-pool sweep drifted from the thread pool:")
+        for line in measurement["sweep_parity_drift"]:
+            print(f"  {line}")
+        return 1
+    print("processes backend charged statistics identical to the simulator "
+          "(per-statement breakdown included)")
+
+    sweep = measurement["sweep"]
+    print(f"sweep: threads {sweep['threads_wall_seconds']:.3f}s, "
+          f"processes {sweep['processes_wall_seconds']:.3f}s "
+          f"({sweep['speedup']:.2f}x, {sweep['cpu_count']} CPUs)")
+    if sweep["speedup_enforced"] and sweep["speedup"] < MIN_SPEEDUP:
+        print(f"ERROR: process-pool sweep must be at least {MIN_SPEEDUP:.1f}x "
+              f"faster than threads on a {sweep['cpu_count']}-CPU machine")
+        return 1
+
+    result = {
+        "benchmark": "multi-process-backend-parity",
+        "config": {"n": N, "nprocs": NPROCS, "slab_ratio": SLAB_RATIO,
+                   "statements": 2, "sweep_points": SWEEP_POINTS},
+    }
+    if args.reset_baseline or "baseline" not in existing:
+        result["baseline"] = measurement
+        print(f"recorded baseline: {measurement['wall_seconds']:.3f}s wall")
+    else:
+        result["baseline"] = existing["baseline"]
+        result["current"] = measurement
+        drift = _baseline_drift(existing["baseline"], measurement)
+        result["simulated_drift"] = drift
+        if drift:
+            print("ERROR: charged statistics moved against the committed "
+                  "baseline:")
+            for line in drift:
+                print(f"  {line}")
+            args.json.write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+        print("charged statistics identical to the committed baseline")
+
+    result["unix_time"] = time.time()
+    args.json.write_text(json.dumps(result, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

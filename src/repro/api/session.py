@@ -21,6 +21,7 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import dataclasses
+import multiprocessing
 import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -106,6 +107,20 @@ class Session:
         scratch directories (left by killed processes) older than this many
         seconds from its scratch dir.  ``None`` disables startup reaping —
         use it when another process may be resumed from that scratch later.
+    backend:
+        How ``EXECUTE``-mode evaluations run.  ``"simulated"`` (the default)
+        drives every rank inside the calling process, exactly as before.
+        ``"processes"`` routes each :meth:`run` through
+        :func:`repro.runtime.distributed.execute_distributed` — one OS
+        process per rank, with collectives really moving bytes between the
+        workers — and :meth:`sweep` with ``workers > 1`` through a process
+        pool.  Charged statistics are bit-identical between the two
+        backends (enforced by ``benchmarks/bench_mp.py``).  ``ESTIMATE``
+        mode is analytic and always runs in-process regardless of backend.
+    start_method:
+        The :mod:`multiprocessing` start method for the ``"processes"``
+        backend (``"fork"`` | ``"spawn"`` | ``"forkserver"``).  ``None``
+        picks ``fork`` where available, else ``spawn``.
     """
 
     def __init__(
@@ -119,6 +134,8 @@ class Session:
         plan_cache_size: int = 256,
         check: str = "warn",
         reap_max_age_s: Optional[float] = DEFAULT_MAX_AGE_S,
+        backend: str = "simulated",
+        start_method: Optional[str] = None,
     ):
         if compile_cache_size < 1:
             raise WorkloadError("compile_cache_size must be at least 1")
@@ -126,6 +143,18 @@ class Session:
             raise WorkloadError(
                 f"check must be 'off', 'warn' or 'error', got {check!r}"
             )
+        if backend not in ("simulated", "processes"):
+            raise WorkloadError(
+                f"backend must be 'simulated' or 'processes', got {backend!r}"
+            )
+        if start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if start_method not in available:
+                raise WorkloadError(
+                    f"start_method must be one of {available}, got {start_method!r}"
+                )
+        self.backend = backend
+        self.start_method = start_method
         self.params = params or touchstone_delta()
         self.config = config or RunConfig()
         self.optimize = normalize_optimizer(optimize)
@@ -320,6 +349,14 @@ class Session:
         Only meaningful for ``EXECUTE``-mode multi-statement programs; a
         stale or mismatched checkpoint is discarded and the program simply
         runs from the start.
+
+        On a ``backend="processes"`` session, ``EXECUTE``-mode evaluations
+        run one worker process per rank (``ESTIMATE`` stays analytic and
+        in-process).  ``resume=`` is not supported there — checkpoint
+        recovery is a single-process affair — and neither is corruption
+        injection (torn writes / bit flips), whose repair path re-executes
+        collective-bearing statements on a single rank and would deadlock
+        the rank workers.
         """
         from repro.runtime.vm import VirtualMachine
 
@@ -337,6 +374,27 @@ class Session:
             raise WorkloadError("resume= needs EXECUTE mode — there is no "
                                 "checkpoint to resume in an analytic estimate")
         run_config = self.config.with_mode(mode)
+        if self.backend == "processes" and mode is ExecutionMode.EXECUTE:
+            if resume is not None:
+                raise WorkloadError(
+                    "resume= is not supported on the 'processes' backend; "
+                    "resume the checkpoint on a backend='simulated' session"
+                )
+            policy = run_config.fault_policy
+            if policy is not None and (
+                policy.torn_write_rate > 0 or policy.bitflip_rate > 0
+            ):
+                raise WorkloadError(
+                    "corruption injection (torn_write_rate / bitflip_rate) is "
+                    "not supported on the 'processes' backend: corruption "
+                    "repair re-executes collective-bearing statements on one "
+                    "rank, which would deadlock the other rank workers"
+                )
+            from repro.runtime.distributed import execute_distributed
+
+            return execute_distributed(
+                compiled, run_config, verify, start_method=self.start_method
+            )
         with VirtualMachine(
             compiled.nprocs, compiled.params, run_config,
             work_dir=Path(resume) if resume is not None else None,
@@ -391,12 +449,26 @@ class Session:
         ``error`` field carries ``"ExceptionType: message"``, its numeric
         fields are zero and ``record.ok`` is False — and keeps sweeping, so
         one malformed source program no longer costs a thousand-point
-        overnight sweep.  ``summary["failed"]`` counts the skipped points.
+        overnight sweep.  Error records are counted under the explicit
+        ``"error"`` bucket of ``summary["optimizers"]`` (not silently under
+        ``"none"``), and each carries the optimizer that *would* have been
+        used in its ``plan``.  ``summary["failed"]`` counts the skipped
+        points.
+
+        On a ``backend="processes"`` session, ``workers > 1`` evaluates the
+        points in a pool of worker *processes* instead of threads — true
+        CPU parallelism for compile- and compute-bound sweeps.  Each pool
+        worker evaluates its points on an in-process child session, so the
+        records are per-field identical to a sequential sweep; the parent's
+        compile/planner caches are not shared with the pool, so the
+        summary's cache deltas report only parent-side activity.
         """
         if on_error not in ("raise", "skip"):
             raise WorkloadError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}"
             )
+        if workers < 1:
+            raise WorkloadError(f"workers must be at least 1, got {workers}")
         points = list(points)
         overrides = self._sweep_overrides(points, optimize)
         before = self.cache_info()
@@ -407,9 +479,13 @@ class Session:
             try:
                 return self.run(point, mode=mode, verify=verify, optimize=override)
             except Exception as exc:  # noqa: BLE001 — converted into the record
-                return self._error_record(point, mode, exc)
+                return self._error_record(point, mode, exc, override)
 
-        if workers > 1 and len(points) > 1:
+        if workers > 1 and len(points) > 1 and self.backend == "processes":
+            records = self._process_sweep(
+                points, overrides, mode, verify, on_error, workers
+            )
+        elif workers > 1 and len(points) > 1:
             with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
                 records = list(
                     pool.map(lambda pair: evaluate(*pair), zip(points, overrides, strict=True))
@@ -418,7 +494,9 @@ class Session:
             records = [evaluate(p, o) for p, o in zip(points, overrides, strict=True)]
         after = self.cache_info()
         optimizers = collections.Counter(
-            str(record.plan.get("optimizer", "none")) for record in records
+            "error" if record.error is not None
+            else str(record.plan.get("optimizer", "none"))
+            for record in records
         )
         summary = {
             "points": len(records),
@@ -432,16 +510,65 @@ class Session:
         }
         return SweepResult(records, summary)
 
+    def _process_sweep(
+        self,
+        points: List[PointLike],
+        overrides: List[Optional[str]],
+        mode: Optional[ExecutionMode | str],
+        verify: Optional[bool],
+        on_error: str,
+        workers: int,
+    ) -> List[RunRecord]:
+        """Evaluate the points in a process pool (``backend="processes"``).
+
+        Pre-compiled workloads are reduced to their points — the pool worker
+        recompiles them, which is deterministic, so the records match.
+        """
+        from repro.runtime.distributed import default_start_method
+
+        method = self.start_method or default_start_method()
+        ctx = multiprocessing.get_context(method)
+        tasks = [
+            (
+                self.params,
+                self.config,
+                self.optimize,
+                self.check,
+                point.point if isinstance(point, CompiledWorkload) else point,
+                mode,
+                verify,
+                override,
+                on_error,
+            )
+            for point, override in zip(points, overrides, strict=True)
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx
+        ) as pool:
+            return list(pool.map(_sweep_process_child, tasks))
+
     def _error_record(
         self,
         point: PointLike,
         mode: Optional[ExecutionMode | str],
         exc: Exception,
+        optimize: Optional[str] = None,
     ) -> RunRecord:
-        """Stand-in record for a point that failed under ``on_error="skip"``."""
+        """Stand-in record for a point that failed under ``on_error="skip"``.
+
+        The record's ``plan`` carries the optimizer that was *requested* for
+        the point (call override → point field → session default), so sweep
+        summaries can attribute failures to the right optimizer instead of
+        lumping them under ``"none"``.
+        """
         raw = point.point if isinstance(point, CompiledWorkload) else point
         effective = self.config.mode if mode is None else mode
         effective = ExecutionMode(effective) if isinstance(effective, str) else effective
+        requested = optimize if optimize is not None else (raw.optimize or self.optimize)
+        try:
+            requested = normalize_optimizer(requested)
+        except WorkloadError:  # the bad optimizer name may be the error itself
+            requested = str(requested)
         return RunRecord(
             workload=raw.workload,
             label=raw.label(),
@@ -458,6 +585,7 @@ class Session:
             io_read_bytes_per_proc=0.0,
             io_write_bytes_per_proc=0.0,
             slab_ratio=raw.slab_ratio,
+            plan={"optimizer": requested},
             error=f"{type(exc).__name__}: {exc}",
         )
 
@@ -484,3 +612,24 @@ class Session:
             f"Session(params={self.params.name!r}, mode={self.config.mode.value}, "
             f"cache {info['size']}/{info['capacity']})"
         )
+
+
+def _sweep_process_child(task) -> RunRecord:
+    """Pool-worker entry point of the process sweep (module level: spawn-safe).
+
+    Rebuilds a lightweight in-process session from the parent's parameters
+    and evaluates one point on it, applying the parent's ``on_error``
+    contract so a failing point comes back as an error record instead of a
+    pickled exception.
+    """
+    params, config, optimize, check, point, mode, verify, override, on_error = task
+    session = Session(
+        params=params, config=config, optimize=optimize, check=check,
+        reap_max_age_s=None,
+    )
+    if on_error == "raise":
+        return session.run(point, mode=mode, verify=verify, optimize=override)
+    try:
+        return session.run(point, mode=mode, verify=verify, optimize=override)
+    except Exception as exc:  # noqa: BLE001 — converted into the record
+        return session._error_record(point, mode, exc, override)

@@ -19,6 +19,7 @@ __all__ = [
     "CostModelError",
     "MemoryAllocationError",
     "RuntimeExecutionError",
+    "DistributedExecutionError",
     "IOEngineError",
     "TransientIOError",
     "SlabCorruptionError",
@@ -101,6 +102,22 @@ class MemoryAllocationError(ReproError):
 
 class RuntimeExecutionError(ReproError):
     """Raised when executing a compiled node program fails."""
+
+
+class DistributedExecutionError(RuntimeExecutionError):
+    """Raised when the process-parallel EXECUTE backend cannot complete a run.
+
+    Examples: a rank worker died (crashed or SIGKILLed) before reporting its
+    results, a worker raised and shipped its traceback to the parent, or the
+    workers' merged statistics failed a sanity check.  Carries ``rank`` (the
+    first failing rank) and ``exitcode`` when known.
+    """
+
+    def __init__(self, message: str, rank: int | None = None,
+                 exitcode: int | None = None):
+        self.rank = rank
+        self.exitcode = exitcode
+        super().__init__(message)
 
 
 class IOEngineError(ReproError):

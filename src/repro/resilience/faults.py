@@ -69,6 +69,13 @@ class FaultPolicy:
         Test hook for checkpoint/resume: SIGKILL the process right after the
         journal commits this many completed statements (1-based).  ``None``
         disables the hook.
+    crash_rank:
+        Restricts ``crash_after_statement`` to one rank of the distributed
+        (process-parallel) backend: only the worker owning this rank kills
+        itself; its peers and the parent survive to surface the failure.
+        ``None`` (the default) keeps the historical behaviour — the hook
+        fires in whichever process reaches the statement count, which in the
+        simulated backend is the one process running all ranks.
     """
 
     seed: int = 0
@@ -79,6 +86,7 @@ class FaultPolicy:
     bitflip_rate: float = 0.0
     max_failures_per_site: int = 2
     crash_after_statement: Optional[int] = None
+    crash_rank: Optional[int] = None
 
     def __post_init__(self) -> None:
         for field in ("read_error_rate", "write_error_rate", "disk_full_rate",
@@ -90,6 +98,8 @@ class FaultPolicy:
             raise ValueError(
                 f"max_failures_per_site must be non-negative, got {self.max_failures_per_site}"
             )
+        if self.crash_rank is not None and self.crash_rank < 0:
+            raise ValueError(f"crash_rank must be non-negative, got {self.crash_rank}")
 
     @property
     def active(self) -> bool:

@@ -7,21 +7,73 @@ deletes such directories once they are older than ``max_age_s``; the
 ``make clean-scratch`` runs this module as a script with ``--max-age-s 0``.
 
 Age is judged by the directory's most recent content mtime, so a live
-long-running VM that is still writing slabs is never reaped even when it was
-created long ago.
+long-running VM that is still writing slabs is rarely reaped — but mtime
+alone is a race: a rank that computes (or sits paused awaiting resume) for
+longer than ``max_age_s`` without writing looks stale and would lose its
+scratch to another Session starting on the same root.  Every
+:class:`~repro.runtime.vm.VirtualMachine` therefore drops an ``owner.json``
+(:func:`write_owner_file`: pid + start time) into its ``vm_*`` directory,
+and the reaper skips any directory whose owning pid is still alive,
+whatever its mtimes say.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import shutil
 import time
 from pathlib import Path
 from typing import List, Optional
 
-__all__ = ["reap_scratch"]
+__all__ = ["reap_scratch", "write_owner_file", "OWNER_FILE"]
 
 DEFAULT_MAX_AGE_S = 24 * 3600.0
+
+#: liveness marker written into every vm_* scratch directory
+OWNER_FILE = "owner.json"
+
+
+def write_owner_file(directory) -> Optional[Path]:
+    """Record this process as the owner of a ``vm_*`` scratch directory.
+
+    Best-effort: scratch may live on a filesystem that rejects the write;
+    the VM must not fail over its liveness marker.  (This helper is the one
+    place the scratch lifecycle reads the host clock — the runtime itself
+    never may, so the VM calls here instead of stamping time itself.)
+    """
+    path = Path(directory) / OWNER_FILE
+    payload = {"pid": os.getpid(), "started_unix": time.time()}
+    try:
+        path.write_text(json.dumps(payload))
+    except OSError:
+        return None
+    return path
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _owner_alive(directory: Path) -> bool:
+    """True when the directory's ``owner.json`` names a live pid."""
+    try:
+        data = json.loads((directory / OWNER_FILE).read_text())
+        pid = int(data["pid"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return False
+    return _pid_alive(pid)
 
 
 def _latest_mtime(directory: Path) -> float:
@@ -55,6 +107,10 @@ def reap_scratch(scratch_dir, max_age_s: float = DEFAULT_MAX_AGE_S, *,
     reaped: List[Path] = []
     for candidate in sorted(root.glob(pattern)):
         if not candidate.is_dir():
+            continue
+        if _owner_alive(candidate):
+            # The owning process still runs: its VM may simply not have
+            # written anything for a while.  Never reap a live VM's scratch.
             continue
         try:
             if _latest_mtime(candidate) > cutoff:

@@ -1,0 +1,21 @@
+"""Process-parallel EXECUTE backend: one OS process per simulated rank.
+
+Charged statistics stay bit-identical to the single-process simulator — see
+:mod:`repro.runtime.comm` for the backend abstraction the engines program
+against and :mod:`repro.runtime.distributed.backend` for the merge argument.
+"""
+
+from repro.runtime.distributed.backend import default_start_method, execute_distributed
+from repro.runtime.distributed.proc_comm import ProcessComm
+from repro.runtime.distributed.transport import SHM_THRESHOLD_BYTES, PipeTransport
+from repro.runtime.distributed.worker import WorkerSpec, run_worker
+
+__all__ = [
+    "execute_distributed",
+    "default_start_method",
+    "ProcessComm",
+    "PipeTransport",
+    "SHM_THRESHOLD_BYTES",
+    "WorkerSpec",
+    "run_worker",
+]

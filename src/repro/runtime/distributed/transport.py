@@ -1,0 +1,149 @@
+"""Inter-process byte transport of the process-parallel EXECUTE backend.
+
+Each rank worker holds one :class:`PipeTransport`: its end of a full mesh of
+duplex :func:`multiprocessing.Pipe` connections, created by the parent before
+the workers start (so the endpoints travel to the children at spawn/fork time
+— both start methods inherit them safely).
+
+Payloads at or above :data:`SHM_THRESHOLD_BYTES` move through a POSIX
+shared-memory segment instead of being pickled through the pipe: the sender
+creates the segment, copies the array in, ships ``(name, shape, dtype)``, and
+unlinks the segment once the receiver acknowledges its copy.  Smaller payloads
+(and non-array objects) ride the pipe directly.
+
+The transport is *pure data movement* — nothing here reads clocks or charges
+the machine model; ``ProcessComm`` layers the cost accounting on top.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from multiprocessing.connection import Connection
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SHM_THRESHOLD_BYTES", "PipeTransport"]
+
+#: payloads at least this large ride shared memory instead of the pipe
+SHM_THRESHOLD_BYTES = 1 << 16
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    The creating process owns the segment's lifetime (it unlinks after the
+    ack).  Python < 3.13 also registers attach-only opens with the resource
+    tracker, which would warn about a "leaked" segment at interpreter exit;
+    unregistering restores the create-side-owns semantics.
+    """
+    try:  # pragma: no cover - exercised indirectly, version-dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+
+
+class PipeTransport:
+    """One rank's endpoint of the pairwise pipe mesh.
+
+    ``peers`` maps every other rank to the duplex connection shared with it.
+    All collective helpers are SPMD: every rank must call the same helper in
+    the same order (the engines guarantee this — they drive identical loops).
+    """
+
+    def __init__(self, rank: int, nprocs: int, peers: Dict[int, Connection]):
+        self.rank = int(rank)
+        self.nprocs = int(nprocs)
+        self.peers = dict(peers)
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def send(self, dst: int, value: object) -> None:
+        conn = self.peers[dst]
+        if isinstance(value, np.ndarray) and value.nbytes >= SHM_THRESHOLD_BYTES:
+            array = np.ascontiguousarray(value)
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+            except OSError:
+                conn.send(("inline", array))
+                return
+            try:
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+                view[...] = array
+                del view
+                conn.send(("shm", shm.name, array.shape, str(array.dtype)))
+                conn.recv()  # receiver finished copying out of the segment
+            finally:
+                shm.close()
+                shm.unlink()
+            return
+        conn.send(("inline", value))
+
+    def recv(self, src: int) -> object:
+        message = self.peers[src].recv()
+        kind = message[0]
+        if kind == "inline":
+            return message[1]
+        _, name, shape, dtype = message
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        try:
+            value = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf).copy()
+        finally:
+            shm.close()
+        self.peers[src].send(("inline", None))  # ack: segment may be unlinked
+        return value
+
+    # ------------------------------------------------------------------
+    # collectives (SPMD: every rank calls these at the same program point)
+    # ------------------------------------------------------------------
+    def gather_to_root(self, value: object, root: int = 0) -> Optional[List[object]]:
+        """Root returns ``[value_0, ..., value_{P-1}]`` in rank order; others ``None``."""
+        if self.rank == root:
+            gathered: List[object] = [None] * self.nprocs
+            gathered[root] = value
+            for other in range(self.nprocs):
+                if other != root:
+                    gathered[other] = self.recv(other)
+            return gathered
+        self.send(root, value)
+        return None
+
+    def broadcast_from(self, value: object, root: int = 0) -> object:
+        if self.rank == root:
+            for other in range(self.nprocs):
+                if other != root:
+                    self.send(other, value)
+            return value
+        return self.recv(root)
+
+    def allreduce(self, value: object, combine: Callable[[List[object]], object]) -> object:
+        """Combine every rank's ``value`` at rank 0 and return the result everywhere."""
+        gathered = self.gather_to_root(value, 0)
+        combined = combine(gathered) if self.rank == 0 else None
+        return self.broadcast_from(combined, 0)
+
+    def scatter_from(self, root: int, parts: Optional[Dict[int, object]]) -> object:
+        """Root distributes ``parts[r]`` to each rank ``r``; returns this rank's part."""
+        if self.rank == root:
+            assert parts is not None
+            for other in range(self.nprocs):
+                if other != root:
+                    self.send(other, parts[other])
+            return parts[root]
+        return self.recv(root)
+
+    def barrier(self) -> None:
+        self.gather_to_root(None, 0)
+        self.broadcast_from(None, 0)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for conn in self.peers.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass

@@ -48,7 +48,6 @@ from repro.hpf.array_desc import ArrayDescriptor
 from repro.machine.cluster import Machine
 from repro.resilience.checksums import SlabManifest
 from repro.resilience.journal import program_fingerprint
-from repro.runtime.collectives import broadcast, global_sum
 from repro.runtime.laf import LocalArrayFile
 from repro.runtime.ocla import OutOfCoreLocalArray
 from repro.runtime.slab import Slab, SlabbingStrategy, column_slabs, make_slabs, row_slabs
@@ -184,6 +183,12 @@ class ExecutionResult:
     #: detected/recovered, statements skipped by a resume) — never part of
     #: the charged statistics; ``None`` for analytic estimates.
     resilience: Optional[Dict[str, float]] = None
+    #: cumulative charge totals at each statement boundary of a
+    #: whole-program run: ``{"elapsed", "time", "io"}`` per statement.  The
+    #: distributed backend merges these across rank workers (field-wise max,
+    #: the critical-path convention) and re-derives the per-statement deltas
+    #: of ``statements`` bit-identically to the simulator.
+    statement_totals: Tuple[Dict[str, object], ...] = ()
 
     def describe(self) -> str:
         lines = [
@@ -304,7 +309,9 @@ def _finish_reduction(
     result_dense: Optional[np.ndarray] = None
     verified: Optional[bool] = None
     max_err: Optional[float] = None
-    if vm.perform_io:
+    # A rank worker of the distributed backend (vm.rank set) owns only its
+    # own local files — the parent gathers and verifies instead.
+    if vm.perform_io and vm.rank is None:
         result_dense = vm.to_dense(ooc_c)
         if verify and inputs is not None:
             reference = reduction_reference(inputs.streamed, inputs.coefficient)
@@ -360,7 +367,7 @@ def run_reduction_column(
 
     perform = vm.perform_io
     c_buffers: Dict[int, np.ndarray] = {
-        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in vm.ranks
     } if perform else {}
 
     # Fast path: the streamed array is read-only, so each slab is loaded from
@@ -372,24 +379,24 @@ def run_reduction_column(
     products64: Dict[int, np.ndarray] = {}
     if perform:
         max_b_cols = max(slab.ncols for slab in b_slabs)
-        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in range(nprocs)}
+        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in vm.ranks}
         products64 = {
-            rank: np.empty((n_rows, max_b_cols), dtype=np.float64) for rank in range(nprocs)
+            rank: np.empty((n_rows, max_b_cols), dtype=np.float64) for rank in vm.ranks
         }
     a_loaded: set = set()
 
     global_col = 0
     for b_slab in b_slabs:
-        b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+        b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in vm.ranks}
         b64 = {
-            rank: b_data[rank].astype(np.float64) for rank in range(nprocs)
+            rank: b_data[rank].astype(np.float64) for rank in vm.ranks
         } if perform else {}
         products: Optional[Dict[int, np.ndarray]] = None
         for m in range(b_slab.ncols):
             j = global_col
             global_col += 1
             for s_slab in s_slabs:
-                for rank in range(nprocs):
+                for rank in vm.ranks:
                     if perform and (rank, s_slab.index) not in a_loaded:
                         a64[rank][:, s_slab.col_slice] = ooc_s.local(rank).fetch_slab(s_slab)
                         a_loaded.add((rank, s_slab.index))
@@ -400,29 +407,24 @@ def run_reduction_column(
                 products = {
                     rank: np.matmul(a64[rank], b64[rank],
                                     out=products64[rank][:, : b_slab.ncols])
-                    for rank in range(nprocs)
+                    for rank in vm.ranks
                 }
-            column = global_sum(
-                vm.machine,
-                {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
+            column = vm.comm.global_sum(
+                {rank: products[rank][:, m] for rank in vm.ranks} if perform else None,
                 shape=(n_rows,),
                 itemsize=itemsize,
             )
-            if perform:
-                owner = c_desc.owner_of_dim(1, j)
-                local_j = c_desc.global_to_local((0, j))[1]
+            owner = c_desc.owner_of_dim(1, j)
+            local_j = c_desc.global_to_local((0, j))[1]
+            c_slab = c_slab_of_col[local_j]
+            if perform and owner in c_buffers:
                 c_buffers[owner][:, local_j] = column.astype(c_desc.dtype)
-                c_slab = c_slab_of_col[local_j]
                 if local_j == c_slab.col_stop - 1:
                     ooc_c.local(owner).store_slab(
                         c_slab, c_buffers[owner][:, c_slab.col_slice]
                     )
-            else:
-                owner = c_desc.owner_of_dim(1, j)
-                local_j = c_desc.global_to_local((0, j))[1]
-                c_slab = c_slab_of_col[local_j]
-                if local_j == c_slab.col_stop - 1:
-                    ooc_c.local(owner).store_slab(c_slab, None)
+            elif not perform and local_j == c_slab.col_stop - 1:
+                ooc_c.local(owner).store_slab(c_slab, None)
 
     return _finish_reduction(vm, "column-slab", ooc_c, inputs, verify)
 
@@ -465,23 +467,23 @@ def run_reduction_row(
         max_b_cols = max(slab.ncols for slab in b_slabs)
         products64 = {
             rank: np.empty((max_s_rows, max_b_cols), dtype=np.float64)
-            for rank in range(nprocs)
+            for rank in vm.ranks
         }
 
     for s_slab in s_slabs:
-        a_data = {rank: ooc_s.local(rank).fetch_slab(s_slab) for rank in range(nprocs)}
+        a_data = {rank: ooc_s.local(rank).fetch_slab(s_slab) for rank in vm.ranks}
         c_buffer: Dict[int, np.ndarray] = {}
         a64: Dict[int, np.ndarray] = {}
         if perform:
             # Hoisted conversions: one astype per fetched slab, not per column.
-            a64 = {rank: a_data[rank].astype(np.float64) for rank in range(nprocs)}
+            a64 = {rank: a_data[rank].astype(np.float64) for rank in vm.ranks}
             c_buffer = {
                 rank: np.zeros((s_slab.nrows, c_shape[1]), dtype=c_desc.dtype)
-                for rank in range(nprocs)
+                for rank in vm.ranks
             }
         global_col = 0
         for b_slab in b_slabs:
-            b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in range(nprocs)}
+            b_data = {rank: ooc_b.local(rank).fetch_slab(b_slab) for rank in vm.ranks}
             products: Optional[Dict[int, np.ndarray]] = None
             if perform:
                 # One BLAS-3 GEMM per rank covers every column of this
@@ -489,22 +491,21 @@ def run_reduction_row(
                 products = {
                     rank: np.matmul(a64[rank], b_data[rank].astype(np.float64),
                                     out=products64[rank][: s_slab.nrows, : b_slab.ncols])
-                    for rank in range(nprocs)
+                    for rank in vm.ranks
                 }
             for m in range(b_slab.ncols):
                 j = global_col
                 global_col += 1
-                for rank in range(nprocs):
+                for rank in vm.ranks:
                     vm.charge_compute(rank, 2.0 * s_slab.nelements)
-                subcolumn = global_sum(
-                    vm.machine,
-                    {rank: products[rank][:, m] for rank in range(nprocs)} if perform else None,
+                subcolumn = vm.comm.global_sum(
+                    {rank: products[rank][:, m] for rank in vm.ranks} if perform else None,
                     shape=(s_slab.nrows,),
                     itemsize=itemsize,
                 )
                 owner = c_desc.owner_of_dim(1, j)
                 local_j = c_desc.global_to_local((0, j))[1]
-                if perform:
+                if perform and owner in c_buffer:
                     c_buffer[owner][:, local_j] = subcolumn.astype(c_desc.dtype)
         # the row slab of the result is complete on every owner: flush it
         c_row_slab = Slab(
@@ -514,7 +515,7 @@ def run_reduction_row(
             col_start=0,
             col_stop=c_shape[1],
         )
-        for rank in range(nprocs):
+        for rank in vm.ranks:
             ooc_c.local(rank).store_slab(c_row_slab, c_buffer.get(rank) if perform else None)
 
     return _finish_reduction(vm, "row-slab", ooc_c, inputs, verify)
@@ -542,10 +543,10 @@ def run_reduction_incore(
     itemsize = c_desc.itemsize
     perform = vm.perform_io
 
-    a_data = {rank: ooc_s.local(rank).fetch_all() for rank in range(nprocs)}
-    b_data = {rank: ooc_b.local(rank).fetch_all() for rank in range(nprocs)}
+    a_data = {rank: ooc_s.local(rank).fetch_all() for rank in vm.ranks}
+    b_data = {rank: ooc_b.local(rank).fetch_all() for rank in vm.ranks}
     c_local = {
-        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in vm.ranks
     } if perform else {}
 
     # One whole-local-array GEMM per rank; the per-column loop below only
@@ -554,7 +555,7 @@ def run_reduction_incore(
     if perform:
         products = {
             rank: a_data[rank].astype(np.float64) @ b_data[rank].astype(np.float64)
-            for rank in range(nprocs)
+            for rank in vm.ranks
         }
 
     flops_per_proc = analysis.flops_per_proc
@@ -562,16 +563,17 @@ def run_reduction_incore(
     for j in range(n_cols):
         contributions = None
         if perform:
-            contributions = {rank: products[rank][:, j] for rank in range(nprocs)}
-        for rank in range(nprocs):
+            contributions = {rank: products[rank][:, j] for rank in vm.ranks}
+        for rank in vm.ranks:
             vm.charge_compute(rank, per_column_flops)
-        column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)
+        column = vm.comm.global_sum(contributions, shape=(n_rows,), itemsize=itemsize)
         if perform:
             owner = c_desc.owner_of_dim(1, j)
             local_j = c_desc.global_to_local((0, j))[1]
-            c_local[owner][:, local_j] = column.astype(c_desc.dtype)
+            if owner in c_local:
+                c_local[owner][:, local_j] = column.astype(c_desc.dtype)
 
-    for rank in range(nprocs):
+    for rank in vm.ranks:
         ooc_c.local(rank).store_all(c_local.get(rank) if perform else None)
 
     return _finish_reduction(vm, "in-core", ooc_c, inputs, verify)
@@ -622,18 +624,18 @@ def run_reduction_single_operand(
     # One read pass: stage the full local part of `a` (float64) per rank.
     a64: Dict[int, np.ndarray] = {}
     if perform:
-        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in range(nprocs)}
+        a64 = {rank: np.empty(s_shape, dtype=np.float64) for rank in vm.ranks}
     for slab in make_slabs(s_shape, plan.strategy, entry.slab_elements):
-        for rank in range(nprocs):
+        for rank in vm.ranks:
             data = ooc_s.local(rank).fetch_slab(slab)
             if perform:
                 a64[rank][slab.row_slice, slab.col_slice] = data
 
     # Global column indices owned by each rank (the reduce dimension of `a`).
-    owned_cols = {rank: s_desc.local_index_ranges(rank)[1] for rank in range(nprocs)}
+    owned_cols = {rank: s_desc.local_index_ranges(rank)[1] for rank in vm.ranks}
 
     c_buffers: Dict[int, np.ndarray] = {
-        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in range(nprocs)
+        rank: np.zeros(c_shape, dtype=c_desc.dtype) for rank in vm.ranks
     } if perform else {}
     c_slabs = column_slabs(c_shape, c_entry.lines_per_slab)
     c_slab_of_col = {}
@@ -646,28 +648,29 @@ def run_reduction_single_operand(
         # rows matching its owned reduce indices and forms the partial.
         coeff_owner = s_desc.owner_of_dim(1, j)
         coeff_local_j = s_desc.global_to_local((0, j))[1]
-        column_j = broadcast(
-            vm.machine,
-            a64[coeff_owner][:, coeff_local_j] if perform else None,
+        column_j = vm.comm.broadcast(
+            coeff_owner,
+            a64[coeff_owner][:, coeff_local_j]
+            if perform and coeff_owner in a64 else None,
             shape=(s_desc.shape[0],),
             itemsize=itemsize,
         )
         contributions = None
         if perform:
             contributions = {
-                rank: a64[rank] @ column_j[owned_cols[rank]] for rank in range(nprocs)
+                rank: a64[rank] @ column_j[owned_cols[rank]] for rank in vm.ranks
             }
-        for rank in range(nprocs):
+        for rank in vm.ranks:
             vm.charge_compute(rank, 2.0 * s_shape[0] * s_shape[1])
-        column = global_sum(vm.machine, contributions, shape=(n_rows,), itemsize=itemsize)
+        column = vm.comm.global_sum(contributions, shape=(n_rows,), itemsize=itemsize)
         owner = c_desc.owner_of_dim(1, j)
         local_j = c_desc.global_to_local((0, j))[1]
         c_slab = c_slab_of_col[local_j]
-        if perform:
+        if perform and owner in c_buffers:
             c_buffers[owner][:, local_j] = column.astype(c_desc.dtype)
             if local_j == c_slab.col_stop - 1:
                 ooc_c.local(owner).store_slab(c_slab, c_buffers[owner][:, c_slab.col_slice])
-        elif local_j == c_slab.col_stop - 1:
+        elif not perform and local_j == c_slab.col_stop - 1:
             ooc_c.local(owner).store_slab(c_slab, None)
 
     return _finish_reduction(vm, f"{plan.strategy.value}-slab single-operand",
@@ -706,7 +709,7 @@ def run_elementwise_plan(
     ooc_c = vm.ensure_array(c_desc, initial=zeros, storage_order=order)
 
     flops_per_element = 1.0
-    for rank in range(vm.nprocs):
+    for rank in vm.ranks:
         local_shape = a_desc.local_shape(rank)
         for slab in make_slabs(local_shape, strategy, slab_elements):
             a_block = ooc_a.local(rank).fetch_slab(slab)
@@ -717,7 +720,7 @@ def run_elementwise_plan(
             else:
                 ooc_c.local(rank).store_slab(slab, None)
 
-    result = vm.to_dense(ooc_c) if vm.perform_io else None
+    result = vm.to_dense(ooc_c) if vm.perform_io and vm.rank is None else None
     verified: Optional[bool] = None
     if verify and result is not None and a_dense is not None and b_dense is not None:
         expected = op(np.asarray(a_dense, dtype=np.float64), np.asarray(b_dense, dtype=np.float64))
@@ -786,7 +789,7 @@ def run_fused_elementwise_plan(
 
     mid_dtype = arrays[mid].dtype
     slab_elements = plan.allocation[result]
-    for rank in range(vm.nprocs):
+    for rank in vm.ranks:
         local_shape = result_desc.local_shape(rank)
         for slab in make_slabs(local_shape, strategy, slab_elements):
             a_block = ooc[p_lhs].local(rank).fetch_slab(slab)
@@ -803,7 +806,7 @@ def run_fused_elementwise_plan(
             else:
                 ooc[result].local(rank).store_slab(slab, None)
 
-    result_dense = vm.to_dense(ooc[result]) if vm.perform_io else None
+    result_dense = vm.to_dense(ooc[result]) if vm.perform_io and vm.rank is None else None
     verified: Optional[bool] = None
     needed = {p_lhs, p_rhs, other}
     if verify and result_dense is not None and needed <= set(dense):
@@ -854,31 +857,38 @@ def run_transpose_plan(
     if vm.perform_io:
         result_locals = {
             rank: np.zeros(dst_desc.local_shape(rank), dtype=dst_desc.dtype)
-            for rank in range(nprocs)
+            for rank in vm.ranks
         }
 
-    for rank in range(nprocs):
-        local_shape = src_desc.local_shape(rank)
+    for src in range(nprocs):
+        local_shape = src_desc.local_shape(src)
         for slab in column_slabs(local_shape, cols_per_slab):
-            block = source.local(rank).fetch_slab(slab)
+            # Only the slab's owner reads it (and is charged for the read); a
+            # rank worker still walks every source rank's slabs so the
+            # all-to-all charges and exchanges stay in lockstep across ranks.
+            block = source.local(src).fetch_slab(slab) if src in vm.ranks else None
             # exchange: every other processor receives the rows it owns as columns of dst
             payload_bytes = slab.nbytes(itemsize) // max(nprocs, 1)
-            vm.machine.charge_all_to_all(payload_bytes)
+            vm.comm.charge_all_to_all(payload_bytes)
             if not vm.perform_io:
                 continue
-            global_cols = src_desc.local_index_ranges(rank)[1][slab.col_start:slab.col_stop]
-            for dest in range(nprocs):
-                # Columns of dst owned by ``dest`` correspond to global rows of
-                # src with the same indices; the slab contributes
-                # dst[g, j] = src[j, g] for every global column g in the slab
-                # and every j on ``dest``.
-                dest_cols = dst_desc.local_index_ranges(dest)[1]
-                piece = block[dest_cols, :]          # shape (|dest columns|, |slab columns|)
+            global_cols = src_desc.local_index_ranges(src)[1][slab.col_start:slab.col_stop]
+            # Columns of dst owned by ``dest`` correspond to global rows of
+            # src with the same indices; the slab contributes
+            # dst[g, j] = src[j, g] for every global column g in the slab
+            # and every j on ``dest``.
+            pieces = {
+                dest: block[dst_desc.local_index_ranges(dest)[1], :]
+                for dest in range(nprocs)
+            } if block is not None else None
+            delivered = vm.comm.scatter(src, pieces)
+            for dest, piece in delivered.items():
+                # piece has shape (|dest columns|, |slab columns|)
                 for offset, gcol in enumerate(global_cols):
                     result_locals[dest][gcol, :] = piece[:, offset]
 
     # write the transposed local arrays slab by slab
-    for rank in range(nprocs):
+    for rank in vm.ranks:
         local_shape = dst_desc.local_shape(rank)
         for slab in column_slabs(local_shape, cols_per_slab):
             if vm.perform_io:
@@ -888,7 +898,7 @@ def run_transpose_plan(
             else:
                 target.local(rank).store_slab(slab, None)
 
-    result = vm.to_dense(target) if vm.perform_io else None
+    result = vm.to_dense(target) if vm.perform_io and vm.rank is None else None
     verified: Optional[bool] = None
     if verify and result is not None and a_dense is not None:
         verified = bool(np.allclose(result, np.asarray(a_dense).T, rtol=1e-5, atol=1e-5))
@@ -1235,6 +1245,7 @@ class ProgramExecutor:
             resume_from = self._validate_checkpoint(vm, journal)
 
         per_statement = []
+        statement_totals = []
         previous_time = vm.time_breakdown()
         previous_io = vm.io_statistics()
         previous_elapsed = vm.elapsed()
@@ -1244,6 +1255,12 @@ class ProgramExecutor:
                     # Completed by the checkpointed run: its result LAFs were
                     # re-validated and restored; nothing is charged.
                     per_statement.append({"seconds": 0.0, "skipped": 1.0})
+                    statement_totals.append({
+                        "elapsed": previous_elapsed,
+                        "time": dict(previous_time),
+                        "io": dict(previous_io),
+                        "skipped": 1.0,
+                    })
                     vm.resilience.statements_skipped += 1
                     continue
                 statement_inputs = self._statement_inputs(compiled_statement, dense)
@@ -1261,6 +1278,11 @@ class ProgramExecutor:
                     {key: io_now[key] - previous_io.get(key, 0.0) for key in io_now}
                 )
                 per_statement.append(breakdown)
+                statement_totals.append({
+                    "elapsed": elapsed_now,
+                    "time": dict(time_now),
+                    "io": dict(io_now),
+                })
                 previous_time, previous_io, previous_elapsed = time_now, io_now, elapsed_now
                 if journal is not None:
                     self._commit_statement(vm, journal, index, compiled_statement)
@@ -1274,7 +1296,7 @@ class ProgramExecutor:
         result_dense: Optional[np.ndarray] = None
         verified: Optional[bool] = None
         max_err: Optional[float] = None
-        if vm.perform_io:
+        if vm.perform_io and vm.rank is None:
             # Fused-away intermediates never materialize — there is no LAF to
             # gather or verify; the fused result itself still gets both.
             fused_away = {
@@ -1319,6 +1341,7 @@ class ProgramExecutor:
             statements=tuple(per_statement),
             outputs=outputs,
             resilience=vm.resilience.as_dict() if vm.perform_io else None,
+            statement_totals=tuple(statement_totals),
         )
 
     # ------------------------------------------------------------------
@@ -1476,6 +1499,11 @@ class ProgramExecutor:
         """Test hook: SIGKILL this process once N statements are journaled."""
         injector = vm.fault_injector
         if injector is None:
+            return
+        crash_rank = getattr(injector.policy, "crash_rank", None)
+        if crash_rank is not None and vm.rank != crash_rank:
+            # The crash is pinned to one rank worker of the distributed
+            # backend; every other process survives.
             return
         target = injector.policy.crash_after_statement
         if target is not None and len(journal.entries) >= target:

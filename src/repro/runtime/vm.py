@@ -32,6 +32,8 @@ from repro.machine.parameters import MachineParameters
 from repro.resilience.checksums import SlabManifest
 from repro.resilience.faults import FaultInjector, ResilienceStats
 from repro.resilience.journal import CheckpointJournal
+from repro.resilience.reaper import write_owner_file
+from repro.runtime.comm import CommBackend, SimulatedComm
 from repro.runtime.icla import InCoreLocalArray
 from repro.runtime.io_engine import IOAccounting, IOEngine
 from repro.runtime.laf import LafHandleCache, LocalArrayFile
@@ -85,10 +87,24 @@ class VirtualMachine:
         accounting: IOAccounting | str = IOAccounting.PER_SLAB,
         max_open_handles: int = 128,
         work_dir: str | os.PathLike | None = None,
+        rank: Optional[int] = None,
+        comm: Optional[CommBackend] = None,
     ):
         self.config = config or default_config()
         self.machine = Machine(nprocs, params)
         self.perform_io = self.config.mode is ExecutionMode.EXECUTE
+        # SPMD identity: a simulated VM owns every rank (rank=None); a rank
+        # worker of the distributed backend owns exactly one.  Engines loop
+        # their per-rank work over ``vm.ranks`` and reach collectives through
+        # ``vm.comm``, so one code path serves both styles.
+        if rank is not None and not 0 <= rank < self.machine.nprocs:
+            raise RuntimeExecutionError(
+                f"rank {rank} outside machine of {self.machine.nprocs} processors"
+            )
+        self.rank: Optional[int] = rank
+        self.ranks: tuple = tuple(range(self.machine.nprocs)) if rank is None else (rank,)
+        self.comm: CommBackend = comm if comm is not None else SimulatedComm()
+        self.comm.bind(self.machine)
         # Prefetch policy: None keeps the exact direct-charge path (the
         # paper's measured configuration); "overlap" hides slab reads behind
         # preceding computation without touching any I/O counter.
@@ -134,6 +150,10 @@ class VirtualMachine:
                 base = self.config.ensure_scratch_dir()
                 self._scratch = Path(base) / f"vm_{uuid.uuid4().hex[:12]}"
             self._scratch.mkdir(parents=True, exist_ok=True)
+            # Liveness marker for the scratch reaper: a vm_* directory whose
+            # owning pid is still alive is never reaped, however stale its
+            # content mtimes look (long computations write nothing for hours).
+            write_owner_file(self._scratch)
             self.journal = CheckpointJournal(self._scratch / "journal.json")
 
     # ------------------------------------------------------------------
@@ -191,7 +211,13 @@ class VirtualMachine:
         scattered: Optional[Dict[int, np.ndarray]] = None
         if self.perform_io and initial is not None:
             scattered = descriptor.scatter(initial)
-        for rank in range(descriptor.nprocs):
+        # A rank worker creates (and charges) only its own local part; the
+        # scatter above is deterministic, so every worker slices the same
+        # dense data identically to the simulator's scatter.
+        owned = (
+            tuple(range(descriptor.nprocs)) if self.rank is None else (self.rank,)
+        )
+        for rank in owned:
             local_shape = descriptor.local_shape(rank)
             if self.perform_io:
                 path = LocalArrayFile.scratch_path(self._scratch, descriptor.name, rank)
@@ -300,6 +326,12 @@ class VirtualMachine:
             array = self.get_array(array)
         if not self.perform_io:
             raise RuntimeExecutionError("to_dense is only available in EXECUTE mode")
+        if self.rank is not None:
+            raise RuntimeExecutionError(
+                "to_dense needs every rank's local part; a rank worker owns "
+                "only its own — the distributed backend gathers results in "
+                "the parent process instead"
+            )
         locals_ = {rank: ocla.laf.read_full() for rank, ocla in array.locals.items()}
         return array.descriptor.gather(locals_)
 
