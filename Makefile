@@ -4,8 +4,8 @@
 PYTHON ?= python
 
 .PHONY: test test-faults cov lint typecheck check-plans bench bench-unified \
-	bench-program bench-planner bench-resilience bench-mp bench-reset \
-	clean-scratch
+	bench-program bench-planner bench-resilience bench-mp bench-service \
+	bench-reset clean-scratch serve
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -84,6 +84,21 @@ bench-resilience:
 # at least 2x faster than the thread pool.
 bench-mp:
 	$(PYTHON) -m benchmarks.bench_mp --json BENCH_mp.json
+
+# Job service: 8 concurrent mixed-tenant jobs over HTTP must return records
+# bit-identical (every charged field) to direct Session.run, match the
+# committed BENCH_service.json baseline, and on machines with >= 4 CPUs the
+# 4-worker service must be at least 2x faster than the serial loop.
+bench-service:
+	$(PYTHON) -m benchmarks.bench_service --json BENCH_service.json
+
+# Run the compile-and-run job server (HOST/PORT/WORKERS overridable):
+#   make serve PORT=8642 WORKERS=4
+HOST ?= 127.0.0.1
+PORT ?= 8642
+WORKERS ?= 2
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.service --host $(HOST) --port $(PORT) --workers $(WORKERS)
 
 # Remove orphaned vm_* scratch directories (left by killed runs) from the
 # default scratch dir.  --max-age-s 0 reaps everything not alive right now;

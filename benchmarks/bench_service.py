@@ -1,0 +1,244 @@
+"""Service parity + concurrent-throughput benchmark of the job server.
+
+Runs a fixed 8-job, 4-tenant mix of EXECUTE workloads twice:
+
+* **serial / direct** — each point through ``Session.run`` back-to-back,
+  no HTTP, no scheduler: the reference both for wall-clock and for every
+  charged statistic.
+* **concurrent / served** — the same points as 8 jobs POSTed concurrently
+  to a 4-worker :class:`~repro.service.JobService` behind the HTTP server,
+  records fetched back over the wire.
+
+The benchmark fails on ANY difference between a served record and its
+direct twin — every charged field, per-statement breakdown included.  That
+is the service's whole contract: scheduling, admission, threads and JSON
+transport may only change host time, never simulated cost.
+
+On machines with at least 4 CPUs the served run must be at least 2x faster
+than the serial loop (the kernels and file I/O release the GIL, so a
+4-worker pool genuinely overlaps); on smaller machines the speedup is
+reported but not enforced.  The charged numbers are also compared against
+the committed ``BENCH_service.json`` baseline, so cost-model drift fails in
+CI even when parity holds.
+
+Usage::
+
+    python -m benchmarks.bench_service --json BENCH_service.json
+    make bench-service
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import Session, WorkloadPoint  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
+from repro.service import JobService, JobSpec, ServiceClient, serve_in_thread  # noqa: E402
+
+N = 128
+NPROCS = 4
+SLAB_RATIO = 0.25
+WORKERS = 4
+TENANTS = 4
+MIN_SPEEDUP = 2.0
+MIN_CPUS_FOR_SPEEDUP_GATE = 4
+SEED = 1997
+
+SIMULATED_FIELDS = ("simulated_seconds", "io_time", "compute_time", "comm_time",
+                    "io_requests_per_proc", "io_read_bytes_per_proc",
+                    "io_write_bytes_per_proc")
+
+STATEMENT_FIELDS = ("seconds", "io", "compute", "comm", "io_requests_per_proc",
+                    "bytes_read_per_proc", "bytes_written_per_proc")
+
+
+def _points() -> list:
+    """8 jobs: two rounds over four workloads, so the compile LRU gets hits."""
+    mix = [
+        WorkloadPoint("gaxpy", n=N, nprocs=NPROCS, slab_ratio=SLAB_RATIO,
+                      version="column"),
+        WorkloadPoint("gaxpy", n=N, nprocs=NPROCS, slab_ratio=SLAB_RATIO,
+                      version="row"),
+        WorkloadPoint("transpose", n=N, nprocs=NPROCS, slab_ratio=SLAB_RATIO),
+        WorkloadPoint("elementwise", n=N, nprocs=NPROCS, slab_ratio=SLAB_RATIO),
+    ]
+    return mix * 2
+
+
+def _record_drift(direct, served, label: str) -> list:
+    drift = []
+    for field in SIMULATED_FIELDS:
+        mine, theirs = getattr(direct, field), getattr(served, field)
+        if mine != theirs:
+            drift.append(f"{label}.{field}: direct {mine!r} != served {theirs!r}")
+    if len(direct.statements) != len(served.statements):
+        drift.append(f"{label}.statements: {len(direct.statements)} != "
+                     f"{len(served.statements)}")
+        return drift
+    for index, (mine, theirs) in enumerate(
+            zip(direct.statements, served.statements, strict=True)):
+        for field in STATEMENT_FIELDS:
+            if mine.get(field, 0.0) != theirs.get(field, 0.0):
+                drift.append(
+                    f"{label}.statement{index + 1}.{field}: direct "
+                    f"{mine.get(field)!r} != served {theirs.get(field)!r}"
+                )
+    return drift
+
+
+def measure() -> dict:
+    points = _points()
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as scratch:
+        scratch_path = Path(scratch)
+
+        direct_session = Session(
+            config=RunConfig(scratch_dir=scratch_path / "direct", seed=SEED))
+        start = time.perf_counter()
+        direct = [direct_session.run(p, mode="execute") for p in points]
+        serial_wall = time.perf_counter() - start
+        direct_session.close()
+
+        service = JobService(
+            config=RunConfig(scratch_dir=scratch_path / "served", seed=SEED),
+            workers=WORKERS,
+        )
+        handle = serve_in_thread(service)
+        try:
+            client = ServiceClient(port=handle.port)
+            snapshots = [None] * len(points)
+
+            def _submit(index: int) -> None:
+                snapshots[index] = client.submit(JobSpec(
+                    points=(points[index],),
+                    tenant=f"tenant-{index % TENANTS}",
+                ))
+
+            start = time.perf_counter()
+            submitters = [threading.Thread(target=_submit, args=(i,))
+                          for i in range(len(points))]
+            for thread in submitters:
+                thread.start()
+            for thread in submitters:
+                thread.join()
+            finals = [client.wait(snap["id"]) for snap in snapshots]
+            concurrent_wall = time.perf_counter() - start
+            served = [client.records(snap["id"])[0] for snap in snapshots]
+            metrics = client.metrics()
+        finally:
+            handle.close()
+
+    parity_drift = []
+    for index, (mine, theirs) in enumerate(zip(direct, served, strict=True)):
+        parity_drift.extend(_record_drift(mine, theirs, f"job{index + 1}"))
+    exact = [mine == theirs
+             for mine, theirs in zip(direct, served, strict=True)]
+    cpu_count = os.cpu_count() or 1
+    return {
+        "verified": all(r.verified is True for r in direct + served),
+        "all_done": all(f["state"] == "done" for f in finals),
+        "parity_drift": parity_drift,
+        "records_bit_identical": all(exact),
+        "serial_wall_seconds": serial_wall,
+        "concurrent_wall_seconds": concurrent_wall,
+        "speedup": serial_wall / concurrent_wall if concurrent_wall else 0.0,
+        "cpu_count": cpu_count,
+        "speedup_enforced": cpu_count >= MIN_CPUS_FOR_SPEEDUP_GATE,
+        "compile_cache_hits": metrics["compile_cache"]["hits"],
+        "tenants": len(metrics["tenants"]),
+        "simulated": {field: getattr(served[0], field)
+                      for field in SIMULATED_FIELDS},
+    }
+
+
+def _baseline_drift(baseline: dict, current: dict) -> list:
+    return [
+        f"simulated.{field}: {value!r} -> {current['simulated'].get(field)!r}"
+        for field, value in baseline.get("simulated", {}).items()
+        if current["simulated"].get(field) != value
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=Path("BENCH_service.json"),
+                        help="result file (baseline is kept across runs)")
+    parser.add_argument("--reset-baseline", action="store_true",
+                        help="overwrite the stored baseline with this run")
+    args = parser.parse_args(argv)
+
+    existing = {}
+    if args.json.exists():
+        existing = json.loads(args.json.read_text())
+
+    measurement = measure()
+
+    if not measurement["verified"]:
+        print("ERROR: a run failed oracle verification")
+        return 1
+    if not measurement["all_done"]:
+        print("ERROR: not every served job finished DONE")
+        return 1
+    if measurement["parity_drift"]:
+        print("ERROR: served records charged different statistics than "
+              "direct Session.run (the service may only change host time):")
+        for line in measurement["parity_drift"]:
+            print(f"  {line}")
+        return 1
+    if not measurement["records_bit_identical"]:
+        print("ERROR: a served record was not == to its direct twin")
+        return 1
+    print(f"{len(_points())} served records bit-identical to direct runs "
+          f"({measurement['tenants']} tenants, "
+          f"{measurement['compile_cache_hits']} shared compile-cache hits)")
+
+    print(f"throughput: serial {measurement['serial_wall_seconds']:.3f}s, "
+          f"served {measurement['concurrent_wall_seconds']:.3f}s "
+          f"({measurement['speedup']:.2f}x, {measurement['cpu_count']} CPUs)")
+    if measurement["speedup_enforced"] and measurement["speedup"] < MIN_SPEEDUP:
+        print(f"ERROR: the {WORKERS}-worker service must be at least "
+              f"{MIN_SPEEDUP:.1f}x faster than the serial loop on a "
+              f"{measurement['cpu_count']}-CPU machine")
+        return 1
+
+    result = {
+        "benchmark": "service-parity-and-throughput",
+        "config": {"n": N, "nprocs": NPROCS, "slab_ratio": SLAB_RATIO,
+                   "jobs": len(_points()), "workers": WORKERS,
+                   "tenants": TENANTS, "seed": SEED},
+    }
+    if args.reset_baseline or "baseline" not in existing:
+        result["baseline"] = measurement
+        print(f"recorded baseline: {measurement['concurrent_wall_seconds']:.3f}s "
+              "served wall")
+    else:
+        result["baseline"] = existing["baseline"]
+        result["current"] = measurement
+        drift = _baseline_drift(existing["baseline"], measurement)
+        result["simulated_drift"] = drift
+        if drift:
+            print("ERROR: charged statistics moved against the committed "
+                  "baseline:")
+            for line in drift:
+                print(f"  {line}")
+            args.json.write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+        print("charged statistics identical to the committed baseline")
+
+    result["unix_time"] = time.time()
+    args.json.write_text(json.dumps(result, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

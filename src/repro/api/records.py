@@ -159,6 +159,50 @@ class RunRecord:
         )
 
     # ------------------------------------------------------------------
+    # lossless JSON round-trip (the job service's wire format)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Every field of the record, as a JSON-serialisable dictionary.
+
+        Unlike :meth:`to_dict` (a flattened report for humans and data
+        frames) this is a *lossless* encoding: :meth:`from_json_dict`
+        rebuilds an equal record.  JSON floats round-trip exactly
+        (``json.dumps`` emits the shortest representation that parses back
+        to the same double), so a record shipped over the job service's
+        HTTP surface is bit-identical — in every charged field — to the
+        record the executor produced.
+        """
+        out = dataclasses.asdict(self)
+        out["statements"] = [dict(s) for s in self.statements]
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, object]) -> "RunRecord":
+        """Rebuild a record encoded by :meth:`to_json_dict`.
+
+        Tuple-valued entries arrive as JSON arrays; the ``statements`` tuple
+        and the top-level tuple values of ``plan`` (statement budgets,
+        policies, fused edges) are converted back, so the round-tripped
+        record compares equal field-by-field to the original.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown RunRecord fields: {sorted(unknown)}")
+        payload = dict(data)
+        payload["statements"] = tuple(
+            dict(s) for s in payload.get("statements", ())
+        )
+        plan = payload.get("plan") or {}
+        payload["plan"] = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in dict(plan).items()
+        }
+        payload["resilience"] = dict(payload.get("resilience") or {})
+        payload["extras"] = dict(payload.get("extras") or {})
+        return cls(**payload)
+
+    # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """Flatten the record into a plain dictionary (strings stay strings)."""
         out: Dict[str, object] = {

@@ -22,9 +22,10 @@ import collections
 import concurrent.futures
 import dataclasses
 import multiprocessing
+import shutil
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.api.records import RunRecord
 from repro.api.workload import CompiledWorkload, WorkloadPoint, get_workload
@@ -90,6 +91,13 @@ class Session:
         written to disk and replayed by any later Session pointed at it.
     plan_cache_size:
         In-memory entry capacity of the plan cache.
+    plan_cache:
+        An existing :class:`~repro.planner.plan_cache.PlanCache` instance to
+        use *instead of* constructing one from ``plan_cache_dir`` /
+        ``plan_cache_size``.  Lets several sessions (e.g. the simulated and
+        the ``"processes"`` sessions of one job service) share one plan
+        store, so a plan searched on behalf of one tenant is replayed for
+        every other.
     check:
         The session's default static-verification mode (``"off"`` |
         ``"warn"`` | ``"error"``; default ``"warn"``).  Every compilation is
@@ -132,6 +140,7 @@ class Session:
         optimize: str = "greedy",
         plan_cache_dir: Optional[Path | str] = None,
         plan_cache_size: int = 256,
+        plan_cache: Optional[PlanCache] = None,
         check: str = "warn",
         reap_max_age_s: Optional[float] = DEFAULT_MAX_AGE_S,
         backend: str = "simulated",
@@ -159,7 +168,11 @@ class Session:
         self.config = config or RunConfig()
         self.optimize = normalize_optimizer(optimize)
         self.check = check
-        self.plan_cache = PlanCache(plan_cache_dir, capacity=plan_cache_size)
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(plan_cache_dir, capacity=plan_cache_size)
+        )
         self._cache: "collections.OrderedDict[WorkloadPoint, CompiledWorkload]" = (
             collections.OrderedDict()
         )
@@ -167,6 +180,12 @@ class Session:
         self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._closed = False
+        # Scratch directories of the VMs this session created that may
+        # outlive their run (keep_files=True, or a crashed executor);
+        # close() reclaims whatever still exists.
+        self._scratch_dirs: Set[Path] = set()
+        self._scratch_lock = threading.Lock()
         if reap_max_age_s is not None:
             try:
                 reap_scratch(self.config.scratch_dir, reap_max_age_s)
@@ -208,6 +227,7 @@ class Session:
         (possibly cached) object with :func:`dataclasses.replace`, so cache
         keys and cached instances shared with other sessions are untouched.
         """
+        self._ensure_open()
         if point is not None and (source is not None or point_kwargs):
             raise WorkloadError("pass either a WorkloadPoint or keyword fields, not both")
         if point is None:
@@ -330,6 +350,7 @@ class Session:
         optimize: Optional[str] = None,
         resume: Optional[Path | str] = None,
         check: Optional[str] = None,
+        scratch_dir: Optional[Path | str] = None,
     ) -> RunRecord:
         """Evaluate one point (or pre-compiled workload) and return its record.
 
@@ -339,6 +360,12 @@ class Session:
         (ignored for pre-compiled workloads, whose plan is already fixed).
         ``check`` overrides the session's static-verification mode for this
         evaluation's compilation (also ignored for pre-compiled workloads).
+
+        ``scratch_dir`` overrides the config's scratch root for this one
+        evaluation: the run's ``vm_*`` directory is created under it instead.
+        The job service gives every job its own scratch directory this way,
+        so per-job disk usage can be measured (and reclaimed) in isolation.
+        Charged statistics are independent of where scratch lives.
 
         ``resume`` points at the scratch directory (``vm_*``) of an earlier
         killed run of the *same* point.  The virtual machine reopens that
@@ -360,6 +387,7 @@ class Session:
         """
         from repro.runtime.vm import VirtualMachine
 
+        self._ensure_open()
         compiled = (
             point
             if isinstance(point, CompiledWorkload)
@@ -374,6 +402,8 @@ class Session:
             raise WorkloadError("resume= needs EXECUTE mode — there is no "
                                 "checkpoint to resume in an analytic estimate")
         run_config = self.config.with_mode(mode)
+        if scratch_dir is not None:
+            run_config = dataclasses.replace(run_config, scratch_dir=Path(scratch_dir))
         if self.backend == "processes" and mode is ExecutionMode.EXECUTE:
             if resume is not None:
                 raise WorkloadError(
@@ -399,6 +429,8 @@ class Session:
             compiled.nprocs, compiled.params, run_config,
             work_dir=Path(resume) if resume is not None else None,
         ) as vm:
+            if vm.work_dir is not None:
+                self._track_scratch(vm.work_dir)
             if mode is ExecutionMode.ESTIMATE:
                 return compiled.workload.estimate(compiled, vm)
             return compiled.workload.execute(compiled, vm, verify)
@@ -463,6 +495,7 @@ class Session:
         compile/planner caches are not shared with the pool, so the
         summary's cache deltas report only parent-side activity.
         """
+        self._ensure_open()
         if on_error not in ("raise", "skip"):
             raise WorkloadError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}"
@@ -604,6 +637,61 @@ class Session:
                 "overrides; pass one string or one entry per point"
             )
         return overrides
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise WorkloadError("this Session is closed; create a new one")
+
+    def _track_scratch(self, work_dir: Path) -> None:
+        """Remember a VM scratch directory so :meth:`close` can reclaim it.
+
+        Directories that the VM cleaned up normally are pruned on the next
+        call, so the set only ever holds the handful of survivors
+        (``keep_files=True`` runs, or executors that crashed mid-write).
+        """
+        with self._scratch_lock:
+            self._scratch_dirs = {d for d in self._scratch_dirs if d.exists()}
+            self._scratch_dirs.add(Path(work_dir))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's on-disk state deterministically.
+
+        Removes every surviving scratch directory of the VMs this session
+        created (runs with ``keep_files=True``, or executors that died
+        mid-run and left their ``vm_*`` directory behind), flushes the plan
+        cache's in-memory entries to its directory (when persistent) and
+        drops the compile cache.  After ``close()`` the session rejects
+        further ``compile``/``run``/``sweep`` calls; closing twice is a
+        no-op.  The long-lived job service calls this on shutdown, and
+        interactive users get the same guarantee from the context-manager
+        form (``with Session(...) as s: ...``) instead of leaking scratch
+        until some later session's startup reap.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._scratch_lock:
+            leftovers = list(self._scratch_dirs)
+            self._scratch_dirs.clear()
+        for directory in leftovers:
+            if directory.exists():
+                shutil.rmtree(directory, ignore_errors=True)
+        self.plan_cache.flush()
+        self.clear_cache()
+
+    def __enter__(self) -> "Session":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -28,6 +28,8 @@ import contextvars
 import dataclasses
 import hashlib
 import json
+import os
+import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Sequence
@@ -155,12 +157,29 @@ class PlanCache:
                 "persistent": int(self.path is not None),
             }
 
+    def flush(self) -> int:
+        """Write every in-memory entry to the cache directory.
+
+        Stores already mirror to disk as they happen, so this mostly
+        re-writes files that an earlier best-effort write may have dropped
+        (full disk, permissions).  A memory-only cache flushes nothing.
+        Returns the number of entries written; called by
+        :meth:`repro.api.Session.close`.
+        """
+        if self.path is None:
+            return 0
+        with self._lock:
+            entries = list(self._entries.items())
+        for key, payload in entries:
+            self._write_disk(key, payload)
+        return len(entries)
+
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory entries (and, optionally, the on-disk files)."""
         with self._lock:
             self._entries.clear()
         if disk and self.path is not None:
-            for file in self.path.glob("*.json"):
+            for file in list(self.path.glob("*.json")) + list(self.path.glob("*.tmp")):
                 with contextlib.suppress(OSError):
                     file.unlink()
 
@@ -198,13 +217,33 @@ class PlanCache:
             return None
 
     def _write_disk(self, key: str, payload: Dict) -> None:
+        """Atomically publish one entry file.
+
+        Two processes compiling the same program may store the same key at
+        the same time, so the temporary file must be *unique per writer* —
+        a shared ``<key>.json.tmp`` would interleave their writes into a
+        torn JSON entry.  Each writer therefore stages into its own
+        ``mkstemp`` file and publishes with ``os.replace`` (atomic on POSIX
+        and Windows): readers see either the old complete entry or the new
+        complete entry, never a partial write.  A crash between the two
+        steps leaves only an orphaned ``*.tmp`` file, which lookups ignore
+        and :meth:`clear` removes.
+        """
         file = self._entry_file(key)
         if file is None:
             return
         try:
-            tmp = file.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-            tmp.replace(file)
+            handle, staged = tempfile.mkstemp(
+                prefix=f"{key[:16]}-", suffix=".tmp", dir=self.path
+            )
+            try:
+                with os.fdopen(handle, "w") as writer:
+                    writer.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+                os.replace(staged, file)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(staged)
+                raise
         except OSError:
             pass  # persistence is best-effort; the in-memory entry stands
 

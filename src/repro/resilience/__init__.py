@@ -21,7 +21,7 @@ simulated statistics:
 from repro.resilience.checksums import SlabManifest, slab_checksum
 from repro.resilience.faults import FaultInjector, FaultPolicy, ResilienceStats
 from repro.resilience.journal import CheckpointJournal, program_fingerprint
-from repro.resilience.reaper import reap_scratch
+from repro.resilience.reaper import reap_scratch, scratch_usage, scratch_usage_bytes
 
 __all__ = [
     "FaultPolicy",
@@ -32,4 +32,6 @@ __all__ = [
     "CheckpointJournal",
     "program_fingerprint",
     "reap_scratch",
+    "scratch_usage",
+    "scratch_usage_bytes",
 ]

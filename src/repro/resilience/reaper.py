@@ -25,9 +25,15 @@ import os
 import shutil
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-__all__ = ["reap_scratch", "write_owner_file", "OWNER_FILE"]
+__all__ = [
+    "reap_scratch",
+    "scratch_usage",
+    "scratch_usage_bytes",
+    "write_owner_file",
+    "OWNER_FILE",
+]
 
 DEFAULT_MAX_AGE_S = 24 * 3600.0
 
@@ -91,6 +97,53 @@ def _latest_mtime(directory: Path) -> float:
     return latest
 
 
+def scratch_usage(scratch_dir, *, pattern: str = "vm_*",
+                  skip_live: bool = False) -> Dict[str, int]:
+    """Per-directory byte usage of the ``vm_*`` scratch under ``scratch_dir``.
+
+    Returns ``{directory name: total bytes of regular files below it}`` for
+    every directory matching ``pattern``.  With ``skip_live=True``
+    directories whose ``owner.json`` names a live pid are omitted — that
+    view counts only *reclaimable* bytes (what ``make clean-scratch`` would
+    free).  The default counts everything: the job service's admission
+    control measures its own (live) per-job directories against the disk
+    quota with it.  Races with concurrent deletion are not errors — a file
+    that vanishes mid-walk simply counts zero.
+    """
+    root = Path(scratch_dir)
+    usage: Dict[str, int] = {}
+    if not root.is_dir():
+        return usage
+    for candidate in sorted(root.glob(pattern)):
+        if not candidate.is_dir():
+            continue
+        if skip_live and _owner_alive(candidate):
+            continue
+        total = 0
+        try:
+            for entry in candidate.rglob("*"):
+                try:
+                    if entry.is_file():
+                        total += entry.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        usage[candidate.name] = total
+    return usage
+
+
+def scratch_usage_bytes(scratch_dir, *, pattern: str = "vm_*",
+                        skip_live: bool = False) -> int:
+    """Total bytes held by ``vm_*`` scratch directories under ``scratch_dir``.
+
+    The sum of :func:`scratch_usage` — real measured numbers for the job
+    service's scratch-disk quota and for ``make clean-scratch`` reporting.
+    """
+    return sum(scratch_usage(scratch_dir, pattern=pattern,
+                             skip_live=skip_live).values())
+
+
 def reap_scratch(scratch_dir, max_age_s: float = DEFAULT_MAX_AGE_S, *,
                  pattern: str = "vm_*", now: Optional[float] = None) -> List[Path]:
     """Delete orphaned VM scratch directories older than ``max_age_s`` seconds.
@@ -133,10 +186,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="reap vm_* directories idle for at least this many seconds")
     args = parser.parse_args(argv)
     scratch = Path(args.scratch_dir) if args.scratch_dir else RunConfig().scratch_dir
+    reclaimable = scratch_usage_bytes(scratch, skip_live=True)
     reaped = reap_scratch(scratch, args.max_age_s)
     for path in reaped:
         print(f"reaped {path}")
+    remaining = scratch_usage_bytes(scratch)
     print(f"{len(reaped)} orphaned scratch director{'y' if len(reaped) == 1 else 'ies'} removed from {scratch}")
+    print(f"{reclaimable} reclaimable bytes before, {remaining} bytes still in use")
     return 0
 
 

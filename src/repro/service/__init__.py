@@ -1,0 +1,54 @@
+"""Compile-and-run service: a multi-tenant async job server over Session.
+
+The paper's framework compiles an out-of-core program once and reuses the
+plan; this package turns that into a long-lived server.  Tenants POST
+workload points (or mini-HPF source) over HTTP, jobs pass admission control
+(aggregate memory cap, scratch-disk quota, bounded queue), run on a bounded
+worker pool over one shared :class:`~repro.api.Session` — one compile LRU
+and one plan cache across all tenants — and stream their
+:class:`~repro.api.RunRecord`\\ s back as newline-delimited JSON,
+bit-identical to a direct ``Session.run``.
+
+>>> from repro.service import JobService, serve_in_thread, ServiceClient
+>>> handle = serve_in_thread(JobService(workers=2))
+>>> client = ServiceClient(port=handle.port)
+"""
+
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    AdmissionRejected,
+    Job,
+    JobSpec,
+    JobState,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+    point_from_json,
+    point_to_json,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.service.scheduler import JobService
+from repro.service.server import ServiceHandle, ServiceServer, serve_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "Job",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceServer",
+    "UnknownJobError",
+    "point_from_json",
+    "point_to_json",
+    "serve_in_thread",
+    "spec_from_json",
+    "spec_to_json",
+]

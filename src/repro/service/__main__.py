@@ -1,0 +1,100 @@
+"""``python -m repro.service`` — run the compile-and-run job server.
+
+Example::
+
+    python -m repro.service --port 8642 --workers 4 \\
+        --memory-budget-bytes 268435456 --scratch-quota-bytes 1073741824 \\
+        --plan-cache-dir /tmp/plan-cache
+
+then submit with :class:`repro.service.ServiceClient`, or raw HTTP::
+
+    curl -s localhost:8642/metrics
+    curl -s -X POST localhost:8642/jobs -d '{"points": [{"workload": \\
+        "matmul", "n": 96, "nprocs": 4, "slab_ratio": 0.25}], "tenant": "me"}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+from pathlib import Path
+from typing import List, Optional
+
+from repro.machine.parameters import get_preset
+from repro.service.admission import AdmissionPolicy
+from repro.service.scheduler import JobService
+from repro.service.server import ServiceServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve compile-and-run jobs over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 picks a free one; default 8642)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent jobs (default 2)")
+    parser.add_argument("--backend", choices=("simulated", "processes"),
+                        default="simulated",
+                        help="EXECUTE backend: in-process simulation or one "
+                             "OS process per rank")
+    parser.add_argument("--machine", default=None, metavar="PRESET",
+                        help="machine model preset (touchstone-delta, "
+                             "paragon, sp1, modern; default touchstone-delta)")
+    parser.add_argument("--memory-budget-bytes", type=int, default=None,
+                        help="aggregate in-flight memory cap (default: unlimited)")
+    parser.add_argument("--scratch-quota-bytes", type=int, default=None,
+                        help="aggregate scratch-disk quota (default: unlimited)")
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        help="reject submissions beyond this many queued jobs")
+    parser.add_argument("--scratch-root", type=Path, default=None,
+                        help="directory for per-job scratch (default: "
+                             "<config scratch>/service)")
+    parser.add_argument("--plan-cache-dir", type=Path, default=None,
+                        help="persist winning plans here across restarts")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        help="default per-job wall-clock budget")
+    parser.add_argument("--optimize", default="greedy",
+                        help="default plan optimizer (default greedy)")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = JobService(
+        params=get_preset(args.machine) if args.machine else None,
+        policy=AdmissionPolicy(
+            memory_budget_bytes=args.memory_budget_bytes,
+            scratch_quota_bytes=args.scratch_quota_bytes,
+            max_queue_depth=args.max_queue_depth,
+        ),
+        workers=args.workers,
+        backend=args.backend,
+        scratch_root=args.scratch_root,
+        plan_cache_dir=args.plan_cache_dir,
+        optimize=args.optimize,
+        default_timeout_s=args.timeout_s,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    await server.start()
+    print(f"repro service listening on http://{args.host}:{server.port} "
+          f"({args.workers} workers, backend={args.backend})")
+    try:
+        await asyncio.Event().wait()  # serve until interrupted
+    finally:
+        print("draining ...")
+        await server.close(drain=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    with contextlib.suppress(KeyboardInterrupt):
+        return asyncio.run(_serve(args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

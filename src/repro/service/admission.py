@@ -1,0 +1,173 @@
+"""Admission control: don't oversubscribe memory or scratch, bound the queue.
+
+The service accepts work it cannot run *yet* (jobs queue in FIFO order) but
+never work it cannot run *at all* and never more concurrent demand than the
+operator configured:
+
+* **Aggregate memory cap** — the sum of the declared
+  ``memory_budget_bytes`` of every in-flight job (admitted, compiling or
+  running) stays at or below ``AdmissionPolicy.memory_budget_bytes``.  A job
+  that would push the sum over the cap waits in the queue.
+* **Scratch-disk quota** — the *measured* bytes of every in-flight job's
+  ``vm_*`` directories (via
+  :func:`repro.resilience.reaper.scratch_usage_bytes`) plus declared
+  reservations stay at or below ``scratch_quota_bytes``.  Measured usage
+  counts for at least the declared reservation, so a job that has not
+  written yet still holds its promised share.
+* **Queue-depth limit** — once ``max_queue_depth`` jobs are waiting, new
+  submissions are rejected outright (HTTP 429); likewise a job whose own
+  declared demand exceeds a whole cap, which could never be admitted.
+
+Both gauges are *peak-tracked* so tests (and operators) can assert the cap
+was provably never exceeded, not just that it holds right now.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.resilience.reaper import scratch_usage_bytes
+from repro.service.jobs import AdmissionRejected, Job, JobSpec
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionPolicy:
+    """Operator-set resource limits of one service instance.
+
+    ``None`` disables the corresponding cap.  The queue depth is always
+    bounded — an unbounded queue just moves the failure to the OOM killer.
+    """
+
+    memory_budget_bytes: Optional[int] = None
+    scratch_quota_bytes: Optional[int] = None
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError(
+                f"memory_budget_bytes cap must be positive, got {self.memory_budget_bytes}"
+            )
+        if self.scratch_quota_bytes is not None and self.scratch_quota_bytes <= 0:
+            raise ValueError(
+                f"scratch_quota_bytes must be positive, got {self.scratch_quota_bytes}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be at least 1, got {self.max_queue_depth}"
+            )
+
+
+class AdmissionController:
+    """Tracks in-flight resource demand and decides queue/admit/reject."""
+
+    def __init__(self, policy: AdmissionPolicy):
+        self.policy = policy
+        self._active: Dict[int, Job] = {}
+        self.rejections = 0
+        self.deferrals = 0
+        self.admissions = 0
+        self.peak_memory_in_flight = 0
+        self.peak_scratch_in_flight = 0
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+    def memory_in_flight(self) -> int:
+        """Declared bytes of every admitted-but-not-finished job."""
+        return sum(job.spec.memory_budget_bytes for job in self._active.values())
+
+    def scratch_in_flight(self) -> int:
+        """Max(measured, declared) scratch bytes per in-flight job, summed.
+
+        Measured usage is what the job's ``vm_*`` directories actually hold
+        on disk right now; the declared reservation keeps a job that has not
+        written yet from looking free.
+        """
+        total = 0
+        for job in self._active.values():
+            measured = scratch_usage_bytes(job.scratch_dir)
+            total += max(measured, job.spec.scratch_bytes)
+        return total
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def check_enqueue(self, queue_depth: int, spec: JobSpec) -> None:
+        """Reject (raise) submissions the service could never serve.
+
+        Called at ``POST /jobs`` time: a full queue or a single-job demand
+        above a whole cap is a hard 429, everything else may queue.
+        """
+        if queue_depth >= self.policy.max_queue_depth:
+            self.rejections += 1
+            raise AdmissionRejected(
+                f"queue full ({queue_depth} jobs waiting, "
+                f"limit {self.policy.max_queue_depth}); retry later"
+            )
+        cap = self.policy.memory_budget_bytes
+        if cap is not None and spec.memory_budget_bytes > cap:
+            self.rejections += 1
+            raise AdmissionRejected(
+                f"job declares memory_budget_bytes={spec.memory_budget_bytes} "
+                f"above the service cap of {cap}; it could never be admitted"
+            )
+        quota = self.policy.scratch_quota_bytes
+        if quota is not None and spec.scratch_bytes > quota:
+            self.rejections += 1
+            raise AdmissionRejected(
+                f"job declares scratch_bytes={spec.scratch_bytes} above the "
+                f"service quota of {quota}; it could never be admitted"
+            )
+
+    def try_admit(self, job: Job) -> bool:
+        """Admit ``job`` if both caps hold with it in flight; else defer."""
+        cap = self.policy.memory_budget_bytes
+        if cap is not None:
+            if self.memory_in_flight() + job.spec.memory_budget_bytes > cap:
+                self.deferrals += 1
+                return False
+        quota = self.policy.scratch_quota_bytes
+        if quota is not None:
+            if self.scratch_in_flight() + max(
+                scratch_usage_bytes(job.scratch_dir), job.spec.scratch_bytes
+            ) > quota:
+                self.deferrals += 1
+                return False
+        self._active[job.id] = job
+        self.admissions += 1
+        self.peak_memory_in_flight = max(
+            self.peak_memory_in_flight, self.memory_in_flight()
+        )
+        self.peak_scratch_in_flight = max(
+            self.peak_scratch_in_flight, self.scratch_in_flight()
+        )
+        return True
+
+    def release(self, job: Job) -> None:
+        """Return ``job``'s resources (idempotent; never-admitted jobs too)."""
+        self._active.pop(job.id, None)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "rejections": self.rejections,
+            "deferrals": self.deferrals,
+            "admissions": self.admissions,
+            "in_flight": len(self._active),
+            "memory_in_flight_bytes": self.memory_in_flight(),
+            "scratch_in_flight_bytes": self.scratch_in_flight(),
+            "peak_memory_in_flight_bytes": self.peak_memory_in_flight,
+            "peak_scratch_in_flight_bytes": self.peak_scratch_in_flight,
+            "memory_cap_bytes": self.policy.memory_budget_bytes,
+            "scratch_quota_bytes": self.policy.scratch_quota_bytes,
+            "max_queue_depth": self.policy.max_queue_depth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdmissionController({len(self._active)} in flight, "
+            f"{self.rejections} rejected)"
+        )

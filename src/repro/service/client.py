@@ -1,0 +1,152 @@
+"""Blocking HTTP client for the job service (stdlib ``http.client`` only).
+
+For tests, benchmarks and CLI use from synchronous code.  Mirrors the server
+routes one-to-one; every error response is re-raised as the matching service
+exception so callers handle ``AdmissionRejected`` the same way whether they
+talk to a :class:`~repro.service.scheduler.JobService` in-process or over
+the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, List, Optional
+
+from repro.api.records import RunRecord
+from repro.service.jobs import (
+    AdmissionRejected,
+    JobSpec,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+    spec_to_json,
+)
+
+__all__ = ["ServiceClient"]
+
+_ERROR_BY_STATUS = {
+    404: UnknownJobError,
+    429: AdmissionRejected,
+    503: ServiceClosedError,
+}
+
+
+class ServiceClient:
+    """Synchronous client bound to one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body) if body is not None else None
+            connection.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"} if payload else {},
+            )
+            response = connection.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                self._raise(response.status, data)
+            return data
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _raise(status: int, data: Dict) -> None:
+        message = data.get("message", f"HTTP {status}")
+        raise _ERROR_BY_STATUS.get(status, ServiceError)(message)
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def health(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def submit(self, spec: JobSpec) -> Dict:
+        """POST the spec; returns the job snapshot (``snapshot["id"]``)."""
+        return self._request("POST", "/jobs", spec_to_json(spec))
+
+    def submit_source(self, source: str, *, tenant: str = "default",
+                      mode: str = "execute", **extra) -> Dict:
+        """Submit a mini-HPF program via the ``source`` shorthand."""
+        body = {"source": source, "tenant": tenant, "mode": mode, **extra}
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: int) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: int) -> Dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def records(self, job_id: int) -> List[RunRecord]:
+        """The job's finished records, decoded back to :class:`RunRecord`."""
+        data = self._request("GET", f"/jobs/{job_id}/records")
+        return [RunRecord.from_json_dict(r) for r in data["records"]]
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    def stream(self, job_id: int) -> Iterator[Dict]:
+        """Yield the ndjson events of ``GET /jobs/{id}/stream`` as dicts.
+
+        Record events are ``{"index", "record"}`` (the record still JSON);
+        the final event is ``{"state", "error", "records"}``.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                self._raise(response.status, json.loads(response.read() or b"{}"))
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: int) -> Dict:
+        """Follow the stream to completion; returns the terminal event."""
+        event = None
+        for event in self.stream(job_id):
+            pass
+        if event is None or "state" not in event:
+            raise ServiceError(f"stream of job {job_id} ended without a terminal event")
+        return event
+
+    def run(self, spec: JobSpec) -> List[RunRecord]:
+        """Submit, wait, and return the decoded records (raises on failure)."""
+        job_id = self.submit(spec)["id"]
+        final = self.wait(job_id)
+        if final["state"] != "done":
+            raise ServiceError(
+                f"job {job_id} finished {final['state']}: {final.get('error')}"
+            )
+        return self.records(job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient({self.host}:{self.port})"

@@ -1,0 +1,360 @@
+"""Job model of the compile-and-run service.
+
+A *job* is one tenant's request to evaluate one or more
+:class:`~repro.api.WorkloadPoint`\\ s (or a mini-HPF source program) through
+the shared :class:`~repro.api.Session`.  The frozen :class:`JobSpec` is what
+admission control reasons about — declared memory and scratch demand, the
+execution mode, the tenant label — and the mutable :class:`Job` tracks the
+lifecycle::
+
+    QUEUED ──► ADMITTED ──► COMPILING ──► RUNNING ──► DONE
+       │           │            │             │  ▲        └─► (FAILED)
+       │           │            │             └──┘ next point
+       └───────────┴────────────┴───────────► CANCELLED / FAILED
+
+Job ids are monotonically increasing per service instance, so "job 7 was
+submitted before job 9" always holds.  All mutable job state is confined to
+the service's event loop; worker threads only ever run the blocking
+Session calls and hand their results back to the loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.api.records import RunRecord
+from repro.api.workload import WorkloadPoint
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ServiceError",
+    "AdmissionRejected",
+    "ServiceClosedError",
+    "UnknownJobError",
+    "JobState",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "Job",
+    "job_counter",
+    "point_from_json",
+    "point_to_json",
+    "spec_from_json",
+    "spec_to_json",
+]
+
+
+# ---------------------------------------------------------------------------
+# exceptions
+# ---------------------------------------------------------------------------
+class ServiceError(ReproError):
+    """Base class of job-service failures (bad specs, illegal transitions)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The job cannot be accepted at all (queue full, or a demand that
+    exceeds the whole cap and could never be admitted).  Maps to HTTP 429."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or closed and accepts no new jobs (HTTP 503)."""
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id exists (HTTP 404)."""
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    ADMITTED = "admitted"
+    COMPILING = "compiling"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+#: legal lifecycle transitions; RUNNING -> COMPILING is the next point of a
+#: multi-point job.
+_TRANSITIONS: Dict[JobState, frozenset] = {
+    JobState.QUEUED: frozenset({JobState.ADMITTED, JobState.CANCELLED}),
+    JobState.ADMITTED: frozenset(
+        {JobState.COMPILING, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.COMPILING: frozenset(
+        {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.RUNNING: frozenset(
+        {JobState.COMPILING, JobState.DONE, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+def job_counter(start: int = 1) -> Iterator[int]:
+    """Monotonic job ids for one service instance."""
+    return itertools.count(start)
+
+
+# ---------------------------------------------------------------------------
+# the frozen request
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One tenant's frozen request: what to run and what it will consume.
+
+    Parameters
+    ----------
+    points:
+        The workload points to evaluate, in order; one
+        :class:`~repro.api.RunRecord` is produced (and streamed) per point.
+    tenant:
+        Free-form tenant label; metrics and admission counters are kept per
+        tenant.
+    mode:
+        ``"execute"`` (default) or ``"estimate"``.
+    verify:
+        Optional override of the session's verify flag (EXECUTE mode only).
+    memory_budget_bytes:
+        The job's declared peak node-memory demand, counted against the
+        service's aggregate in-flight memory cap while the job is admitted.
+        Defaults to the largest ``memory_budget_bytes`` option found among
+        the points (0 when none declares one).
+    scratch_bytes:
+        The job's declared peak scratch-disk demand, counted against the
+        scratch quota alongside the *measured* bytes of every in-flight
+        job's ``vm_*`` directories.
+    timeout_s:
+        Optional per-job wall-clock budget; a job that exceeds it fails with
+        ``JobTimeout`` (its in-flight point finishes in the background
+        before the scratch is reclaimed).
+    """
+
+    points: Tuple[WorkloadPoint, ...]
+    tenant: str = "default"
+    mode: str = "execute"
+    verify: Optional[bool] = None
+    memory_budget_bytes: int = 0
+    scratch_bytes: int = 0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+        if not self.points:
+            raise ServiceError("a job needs at least one workload point")
+        for point in self.points:
+            if not isinstance(point, WorkloadPoint):
+                raise ServiceError(
+                    f"job points must be WorkloadPoint instances, got {type(point).__name__}"
+                )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ServiceError(f"tenant must be a non-empty string, got {self.tenant!r}")
+        if self.mode not in ("execute", "estimate"):
+            raise ServiceError(
+                f"mode must be 'execute' or 'estimate', got {self.mode!r}"
+            )
+        if self.memory_budget_bytes < 0:
+            raise ServiceError(
+                f"memory_budget_bytes must be non-negative, got {self.memory_budget_bytes}"
+            )
+        if self.scratch_bytes < 0:
+            raise ServiceError(
+                f"scratch_bytes must be non-negative, got {self.scratch_bytes}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServiceError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+# ---------------------------------------------------------------------------
+# the mutable job
+# ---------------------------------------------------------------------------
+class Job:
+    """Runtime state of one submitted job (event-loop confined).
+
+    ``condition`` guards record appends and state changes so streaming
+    readers can wait for "a new record, or the job turned terminal" without
+    polling.  Workers never mutate a job from their threads — every change
+    happens on the service loop.
+    """
+
+    def __init__(self, job_id: int, spec: JobSpec, scratch_dir: Path):
+        import asyncio
+
+        self.id = int(job_id)
+        self.spec = spec
+        self.scratch_dir = Path(scratch_dir)
+        self.state = JobState.QUEUED
+        self.records: List[RunRecord] = []
+        self.error: Optional[str] = None
+        self.cancel_requested = False
+        self.condition = asyncio.Condition()
+
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def advance(self, state: JobState) -> None:
+        """Move to ``state``, enforcing the lifecycle diagram."""
+        if state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} -> {state.value}"
+            )
+        self.state = state
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON summary for ``GET /jobs/{id}`` (records ship separately)."""
+        return {
+            "id": self.id,
+            "tenant": self.spec.tenant,
+            "state": self.state.value,
+            "mode": self.spec.mode,
+            "points": len(self.spec.points),
+            "records": len(self.records),
+            "memory_budget_bytes": self.spec.memory_budget_bytes,
+            "scratch_bytes": self.spec.scratch_bytes,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job(id={self.id}, tenant={self.spec.tenant!r}, state={self.state.value})"
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+_POINT_FIELDS = (
+    "workload", "n", "nprocs", "version", "slab_ratio", "slab_elements",
+    "dtype", "options", "optimize",
+)
+_SPEC_FIELDS = (
+    "points", "source", "tenant", "mode", "verify", "memory_budget_bytes",
+    "scratch_bytes", "timeout_s",
+)
+
+
+def point_from_json(data: Mapping[str, object]) -> WorkloadPoint:
+    """Build a :class:`WorkloadPoint` from one JSON object (strict fields)."""
+    if not isinstance(data, Mapping):
+        raise ServiceError(f"a point must be a JSON object, got {type(data).__name__}")
+    unknown = set(data) - set(_POINT_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"unknown point fields {sorted(unknown)} (accepted: {list(_POINT_FIELDS)})"
+        )
+    if "workload" not in data:
+        raise ServiceError("a point needs a 'workload' name")
+    kwargs = dict(data)
+    options = kwargs.get("options")
+    if options is not None and not isinstance(options, Mapping):
+        raise ServiceError("point 'options' must be a JSON object")
+    try:
+        return WorkloadPoint(**kwargs)
+    except TypeError as exc:
+        raise ServiceError(f"invalid point: {exc}") from exc
+
+
+def point_to_json(point: WorkloadPoint) -> Dict[str, object]:
+    """Encode a point for submission (inverse of :func:`point_from_json`)."""
+    return {
+        "workload": point.workload,
+        "n": point.n,
+        "nprocs": point.nprocs,
+        "version": point.version,
+        "slab_ratio": point.slab_ratio,
+        "slab_elements": point.slab_elements_dict(),
+        "dtype": point.dtype,
+        "options": point.options_dict(),
+        "optimize": point.optimize,
+    }
+
+
+def _default_memory_budget(points: Tuple[WorkloadPoint, ...]) -> int:
+    """Largest per-point declared budget — the admission default."""
+    budgets = [0]
+    for point in points:
+        declared = point.option("memory_budget_bytes")
+        if declared is not None:
+            budgets.append(int(declared))
+    return max(budgets)
+
+
+def spec_from_json(data: Mapping[str, object]) -> JobSpec:
+    """Build a :class:`JobSpec` from a ``POST /jobs`` body.
+
+    Two shapes are accepted: ``{"points": [{...}, ...]}`` with explicit
+    workload points, or the ``{"source": "...", ...}`` shorthand that wraps
+    one mini-HPF program.  The shorthand compiles the program under the
+    job's declared ``memory_budget_bytes`` (the HPF workload requires a
+    slab specification or budget — pass explicit points for finer control).
+    Unknown fields are rejected so a typo'd quota never silently becomes
+    "unlimited".
+    """
+    if not isinstance(data, Mapping):
+        raise ServiceError("the job body must be a JSON object")
+    unknown = set(data) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"unknown job fields {sorted(unknown)} (accepted: {list(_SPEC_FIELDS)})"
+        )
+    raw_points = data.get("points")
+    source = data.get("source")
+    if (raw_points is None) == (source is None):
+        raise ServiceError("a job needs exactly one of 'points' or 'source'")
+    if source is not None:
+        if not isinstance(source, str) or not source.strip():
+            raise ServiceError("'source' must be a non-empty HPF program string")
+        options: Dict[str, object] = {"source": source}
+        declared = data.get("memory_budget_bytes")
+        if declared:
+            # the job's admission budget doubles as the compile budget
+            options["memory_budget_bytes"] = int(declared)
+        points: Tuple[WorkloadPoint, ...] = (WorkloadPoint("hpf", options=options),)
+    else:
+        if not isinstance(raw_points, (list, tuple)) or not raw_points:
+            raise ServiceError("'points' must be a non-empty JSON array")
+        points = tuple(point_from_json(p) for p in raw_points)
+    memory = data.get("memory_budget_bytes")
+    if memory is None:
+        memory = _default_memory_budget(points)
+    try:
+        return JobSpec(
+            points=points,
+            tenant=str(data.get("tenant", "default")),
+            mode=str(data.get("mode", "execute")),
+            verify=data.get("verify"),
+            memory_budget_bytes=int(memory),
+            scratch_bytes=int(data.get("scratch_bytes", 0)),
+            timeout_s=(
+                float(data["timeout_s"]) if data.get("timeout_s") is not None else None
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"invalid job spec: {exc}") from exc
+
+
+def spec_to_json(spec: JobSpec) -> Dict[str, object]:
+    """Encode a spec for submission (used by the blocking client)."""
+    return {
+        "points": [point_to_json(p) for p in spec.points],
+        "tenant": spec.tenant,
+        "mode": spec.mode,
+        "verify": spec.verify,
+        "memory_budget_bytes": spec.memory_budget_bytes,
+        "scratch_bytes": spec.scratch_bytes,
+        "timeout_s": spec.timeout_s,
+    }

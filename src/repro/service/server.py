@@ -1,0 +1,306 @@
+"""Minimal HTTP/1.1 front end of the job service (stdlib only).
+
+The wire protocol is deliberately small — JSON request/response bodies over
+``asyncio.start_server``, one request per connection (``Connection: close``
+everywhere), no TLS, no chunked encoding.  It is an *operational* surface
+for a simulation service, not a general web framework:
+
+====== ========================== ==========================================
+Method Path                       Meaning
+====== ========================== ==========================================
+POST   ``/jobs``                  submit a job (``201`` + job snapshot)
+GET    ``/jobs``                  list all job snapshots
+GET    ``/jobs/{id}``             one job's snapshot
+GET    ``/jobs/{id}/records``     the finished records (full JSON dicts)
+GET    ``/jobs/{id}/stream``      newline-delimited JSON: one line per
+                                  record as it lands, then a terminal line
+DELETE ``/jobs/{id}``             request cancellation
+GET    ``/metrics``               queue depth, admission + cache counters
+GET    ``/healthz``               liveness probe
+====== ========================== ==========================================
+
+Errors map onto status codes: bad specs and workload-contract violations are
+``400``, unknown jobs ``404``, admission rejections ``429``, a draining
+service ``503``, oversized bodies ``413``, everything unexpected ``500``.
+Every error body is ``{"error": "<type>", "message": "..."}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.service.jobs import (
+    AdmissionRejected,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+    spec_from_json,
+)
+from repro.service.scheduler import JobService
+
+__all__ = ["ServiceServer", "ServiceHandle", "serve_in_thread", "MAX_BODY_BYTES"]
+
+#: request bodies above this are rejected with 413 before parsing
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: carry a status code + message up to the response writer."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _status_for(exc: Exception) -> int:
+    """Map a service/library exception onto its HTTP status."""
+    if isinstance(exc, AdmissionRejected):
+        return 429
+    if isinstance(exc, ServiceClosedError):
+        return 503
+    if isinstance(exc, UnknownJobError):
+        return 404
+    if isinstance(exc, (ServiceError, ReproError)):
+        return 400
+    return 500
+
+
+def _encode(status: int, payload: Dict[str, object]) -> bytes:
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+class ServiceServer:
+    """Bind a :class:`~repro.service.scheduler.JobService` to a TCP port."""
+
+    def __init__(self, service: JobService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port  # updated to the bound port after start()
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop listening, then drain (or cancel) the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close(drain=drain)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HttpError as exc:
+                writer.write(_encode(exc.status, {
+                    "error": "BadRequest", "message": str(exc)}))
+                return
+            try:
+                await self._route(method, path, body, writer)
+            except _HttpError as exc:
+                writer.write(_encode(exc.status, {
+                    "error": "HttpError", "message": str(exc)}))
+            except Exception as exc:  # noqa: BLE001 — every failure becomes a status
+                writer.write(_encode(_status_for(exc), {
+                    "error": type(exc).__name__, "message": str(exc)}))
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+        finally:
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[Dict]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise _HttpError(400, f"bad Content-Length {value!r}") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body of {content_length} bytes exceeds "
+                                  f"the {MAX_BODY_BYTES}-byte limit")
+        body: Optional[Dict] = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError as exc:
+                raise _HttpError(400, f"request body is not valid JSON: {exc}") from exc
+        return method, target.split("?", 1)[0], body
+
+    async def _route(self, method: str, path: str, body: Optional[Dict],
+                     writer: asyncio.StreamWriter) -> None:
+        segments = [s for s in path.split("/") if s]
+        if segments == ["healthz"] and method == "GET":
+            writer.write(_encode(200, {"ok": True}))
+            return
+        if segments == ["metrics"] and method == "GET":
+            writer.write(_encode(200, self.service.metrics()))
+            return
+        if segments == ["jobs"]:
+            if method == "POST":
+                if body is None:
+                    raise _HttpError(400, "POST /jobs needs a JSON body")
+                job = await self.service.submit(spec_from_json(body))
+                writer.write(_encode(201, job.snapshot()))
+                return
+            if method == "GET":
+                writer.write(_encode(200, {
+                    "jobs": [job.snapshot() for job in self.service.jobs()]}))
+                return
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+        if len(segments) >= 2 and segments[0] == "jobs":
+            try:
+                job_id = int(segments[1])
+            except ValueError as exc:
+                raise _HttpError(404, f"job ids are integers, got {segments[1]!r}") from exc
+            tail = segments[2:]
+            if not tail:
+                if method == "GET":
+                    writer.write(_encode(200, self.service.get(job_id).snapshot()))
+                    return
+                if method == "DELETE":
+                    job = await self.service.cancel(job_id)
+                    writer.write(_encode(200, job.snapshot()))
+                    return
+                raise _HttpError(405, f"{method} not allowed on /jobs/{{id}}")
+            if tail == ["records"] and method == "GET":
+                job = self.service.get(job_id)
+                writer.write(_encode(200, {
+                    "id": job.id,
+                    "state": job.state.value,
+                    "records": [r.to_json_dict() for r in job.records],
+                }))
+                return
+            if tail == ["stream"] and method == "GET":
+                await self._stream(job_id, writer)
+                return
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _stream(self, job_id: int, writer: asyncio.StreamWriter) -> None:
+        """Newline-delimited JSON; no Content-Length — EOF marks the end."""
+        self.service.get(job_id)  # 404 before committing to a 200
+        writer.write((
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii"))
+        await writer.drain()
+        async for event in self.service.stream(job_id):
+            writer.write((json.dumps(event) + "\n").encode("utf-8"))
+            await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# thread-hosted server: lets synchronous code (tests, the blocking client,
+# benchmark drivers) run the service without owning an event loop.
+# ---------------------------------------------------------------------------
+class ServiceHandle:
+    """A running service + event loop on a background thread."""
+
+    def __init__(self, server: ServiceServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._closed = False
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def run(self, coro):
+        """Run a coroutine on the service loop and wait for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def close(self, drain: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.run(self.server.close(drain=drain))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_in_thread(service: JobService, host: str = "127.0.0.1",
+                    port: int = 0) -> ServiceHandle:
+    """Start ``service`` behind an HTTP server on a daemon thread."""
+    server = ServiceServer(service, host=host, port=port)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+        # drain callbacks scheduled by the final close() before tearing down
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    started.wait(timeout=60)
+    if not started.is_set():  # pragma: no cover - defensive
+        raise ServiceError("service thread failed to start within 60s")
+    return ServiceHandle(server, loop, thread)

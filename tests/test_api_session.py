@@ -424,6 +424,86 @@ class TestRunRecord:
 
 
 # ---------------------------------------------------------------------------
+# session lifecycle: close() and the context-manager protocol
+# ---------------------------------------------------------------------------
+class TestSessionClose:
+    def test_context_manager_closes(self, tmp_path):
+        with make_session(tmp_path) as session:
+            session.run(WorkloadPoint("gaxpy", n=32, nprocs=2, slab_ratio=0.5),
+                        mode="estimate")
+        assert session.closed is True
+
+    def test_closed_session_rejects_work(self, tmp_path):
+        session = make_session(tmp_path)
+        session.close()
+        point = WorkloadPoint("gaxpy", n=32, nprocs=2, slab_ratio=0.5)
+        with pytest.raises(WorkloadError, match="closed"):
+            session.compile(point)
+        with pytest.raises(WorkloadError, match="closed"):
+            session.run(point)
+        with pytest.raises(WorkloadError, match="closed"):
+            with session:
+                pass
+
+    def test_close_is_idempotent(self, tmp_path):
+        session = make_session(tmp_path)
+        session.close()
+        session.close()
+        assert session.closed is True
+
+    def test_close_reclaims_kept_scratch(self, tmp_path):
+        # keep_files=True leaves each run's vm_* scratch on disk; close()
+        # sweeps what this session created.
+        session = Session(config=RunConfig(scratch_dir=tmp_path, keep_files=True))
+        session.run(WorkloadPoint("gaxpy", n=32, nprocs=2, slab_ratio=0.5),
+                    mode="execute")
+        leftovers = list(tmp_path.glob("vm_*"))
+        assert leftovers, "keep_files=True should have kept the scratch dir"
+        session.close()
+        assert list(tmp_path.glob("vm_*")) == []
+
+    def test_close_flushes_plan_cache_and_clears_compile_cache(self, tmp_path):
+        session = Session(
+            config=RunConfig(scratch_dir=tmp_path / "scratch"),
+            plan_cache_dir=tmp_path / "plans",
+        )
+        source = """
+        program square
+          parameter (n = 32, nprocs = 2)
+          real a(n, n), c(n, n)
+        !hpf$ processors Pr(nprocs)
+        !hpf$ template d(n)
+        !hpf$ distribute d(block) onto Pr
+        !hpf$ align a(*, :) with d
+        !hpf$ align c(*, :) with d
+          do j = 1, n
+            forall (k = 1 : n)
+              c(:, j) = sum(a(:, k) * a(k, j))
+            end forall
+          end do
+        end program
+        """
+        session.compile(source=source,
+                        options={"memory_budget_bytes": 32 * 1024})
+        stored = list((tmp_path / "plans").glob("*.json"))
+        assert stored, "budget compile should have persisted a plan"
+        stored[0].unlink()  # simulate a lost best-effort write
+        session.close()
+        assert list((tmp_path / "plans").glob("*.json")), "close() flushes"
+        assert session.cache_info()["size"] == 0
+
+    def test_sessions_can_share_one_plan_cache(self, tmp_path):
+        from repro.planner import PlanCache
+
+        shared = PlanCache(tmp_path / "plans")
+        first = Session(config=RunConfig(scratch_dir=tmp_path / "a"),
+                        plan_cache=shared)
+        second = Session(config=RunConfig(scratch_dir=tmp_path / "b"),
+                         plan_cache=shared)
+        assert first.plan_cache is shared and second.plan_cache is shared
+
+
+# ---------------------------------------------------------------------------
 # package-level exports
 # ---------------------------------------------------------------------------
 def test_top_level_session_quickstart(tmp_path):

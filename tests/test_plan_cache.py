@@ -80,6 +80,79 @@ class TestPlanCacheStore:
 
 
 # ---------------------------------------------------------------------------
+# concurrent-writer safety and crash recovery
+# ---------------------------------------------------------------------------
+class TestAtomicPersistence:
+    def test_concurrent_writers_never_tear_an_entry(self, tmp_path):
+        """Many threads storing the same key: the file is always whole JSON.
+
+        Regression test: a shared ``<key>.json.tmp`` staging name let two
+        writers interleave into a torn entry; per-writer ``mkstemp`` +
+        ``os.replace`` makes every publish atomic.
+        """
+        import threading
+
+        cache = PlanCache(tmp_path)
+        choices = [PlanChoice((100 + i,), ("proportional",)) for i in range(8)]
+        start = threading.Barrier(8)
+
+        def hammer(choice):
+            start.wait()
+            for _ in range(25):
+                cache.store("contended", choice)
+
+        threads = [threading.Thread(target=hammer, args=(c,)) for c in choices]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        payload = json.loads((tmp_path / "contended.json").read_text())
+        assert tuple(payload["statement_budgets"]) in {
+            tuple(c.statement_budgets) for c in choices
+        }
+        # no staging files survive the dust settling
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_mid_write_leaves_previous_entry_intact(self, tmp_path,
+                                                          monkeypatch):
+        import os as os_module
+
+        cache = PlanCache(tmp_path)
+        before = PlanChoice((111,), ("proportional",))
+        cache.store("durable", before)
+
+        def explode(src, dst):
+            raise OSError("simulated crash between stage and publish")
+
+        monkeypatch.setattr(os_module, "replace", explode)
+        cache.store("durable", PlanChoice((999,), ("equal",)))
+        monkeypatch.undo()
+        # the published file still holds the previous complete entry ...
+        assert PlanCache(tmp_path).lookup("durable") == before
+        # ... and clear(disk=True) sweeps any orphaned staging file
+        cache.clear(disk=True)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_orphaned_tmp_files_are_ignored_by_lookup(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        (tmp_path / "deadbeef-orphan.tmp").write_text("{torn")
+        assert cache.lookup("deadbeef") is None
+
+    def test_flush_rewrites_dropped_files(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        choice = PlanChoice((42,), ("proportional",))
+        cache.store("flushme", choice)
+        (tmp_path / "flushme.json").unlink()  # a best-effort write "lost"
+        assert cache.flush() == 1
+        assert PlanCache(tmp_path).lookup("flushme") == choice
+
+    def test_memory_only_cache_flushes_nothing(self):
+        cache = PlanCache()
+        cache.store("k", PlanChoice((1,), ("-",)))
+        assert cache.flush() == 0
+
+
+# ---------------------------------------------------------------------------
 # fingerprint invalidation
 # ---------------------------------------------------------------------------
 class TestFingerprint:

@@ -374,6 +374,57 @@ class TestReaper:
 
 
 # ---------------------------------------------------------------------------
+# scratch byte accounting (the job service's disk-quota gauge)
+# ---------------------------------------------------------------------------
+class TestScratchUsage:
+    def _vm_dir(self, tmp_path, name, nbytes):
+        directory = tmp_path / name
+        directory.mkdir()
+        (directory / "slab.laf").write_bytes(b"x" * nbytes)
+        return directory
+
+    def test_counts_bytes_per_vm_dir(self, tmp_path):
+        from repro.resilience import scratch_usage, scratch_usage_bytes
+
+        self._vm_dir(tmp_path, "vm_aaa", 100)
+        self._vm_dir(tmp_path, "vm_bbb", 250)
+        (tmp_path / "unrelated").mkdir()  # does not match vm_*
+        assert scratch_usage(tmp_path) == {"vm_aaa": 100, "vm_bbb": 250}
+        assert scratch_usage_bytes(tmp_path) == 350
+
+    def test_nested_files_are_included(self, tmp_path):
+        from repro.resilience import scratch_usage_bytes
+
+        vm_dir = self._vm_dir(tmp_path, "vm_nested", 10)
+        deep = vm_dir / "a" / "b"
+        deep.mkdir(parents=True)
+        (deep / "chunk.laf").write_bytes(b"y" * 90)
+        assert scratch_usage_bytes(tmp_path) == 100
+
+    def test_skip_live_omits_owned_directories(self, tmp_path):
+        import json
+        import os
+
+        from repro.resilience import scratch_usage_bytes
+
+        live = self._vm_dir(tmp_path, "vm_live", 64)
+        (live / "owner.json").write_text(json.dumps({"pid": os.getpid()}))
+        dead = self._vm_dir(tmp_path, "vm_dead", 32)
+        (dead / "owner.json").write_text(json.dumps({"pid": 2 ** 30}))
+        # each dir's bytes include its own owner.json marker
+        live_marker = (live / "owner.json").stat().st_size
+        dead_marker = (dead / "owner.json").stat().st_size
+        assert scratch_usage_bytes(tmp_path) == 96 + live_marker + dead_marker
+        assert scratch_usage_bytes(tmp_path, skip_live=True) == 32 + dead_marker
+
+    def test_missing_root_is_zero(self, tmp_path):
+        from repro.resilience import scratch_usage, scratch_usage_bytes
+
+        assert scratch_usage(tmp_path / "nope") == {}
+        assert scratch_usage_bytes(tmp_path / "nope") == 0
+
+
+# ---------------------------------------------------------------------------
 # sweep error handling
 # ---------------------------------------------------------------------------
 class TestSweepOnError:
